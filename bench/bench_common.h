@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Shared plumbing for the figure/table reproduction benches: dataset
+ * construction at simulation scale, technique-to-workload mapping, and
+ * table printing with the paper's reported numbers alongside.
+ *
+ * Scale notes (see DESIGN.md): each dataset analogue is generated at
+ * 2^13-2^14 vertices and the simulated machine's shared L3 is shrunk by
+ * the same class of factor, preserving the footprint-to-LLC ratio that
+ * drives every memory-bound conclusion. Absolute cycle counts are not
+ * comparable to the paper's wall-clock; speedup *ratios* are.
+ */
+
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "graph/datasets.h"
+#include "graph/reorder.h"
+#include "sim/machine.h"
+#include "sim/workloads.h"
+
+namespace graphite::bench {
+
+/** Default shrink of the simulated L2/L3 (see DESIGN.md Section 5). */
+inline constexpr unsigned kCacheShrink = 8;
+
+/** Hidden width at bench scale: keeps weights:L2 at the paper's ratio. */
+inline constexpr std::size_t kBenchHiddenFeatures = 128;
+
+/** A dataset analogue prepared for simulation. */
+struct BenchDataset
+{
+    Dataset dataset;
+    CsrGraph transposed;
+    ProcessingOrder locality;
+    /** Locality order of the transposed graph (backward pass). */
+    ProcessingOrder localityTransposed;
+
+    const CsrGraph &graph() const { return dataset.graph; }
+    const std::string &name() const { return dataset.name; }
+};
+
+/** Build @p id at simulation scale (|V| ~ 2^(15 - extraShift)). */
+inline BenchDataset
+makeBenchDataset(DatasetId id, unsigned extraShift = 0,
+                 std::uint64_t seed = 1)
+{
+    const DatasetSpec spec = datasetSpec(id);
+    const unsigned shift = spec.scaleLog2 - 15 + extraShift;
+    BenchDataset out;
+    out.dataset = makeDataset(id, shift, seed);
+    out.dataset.hiddenFeatures = kBenchHiddenFeatures;
+    // Input widths shrink with the hidden width so layer-1's
+    // footprint class scales consistently (products keeps its
+    // narrower-than-hidden input, papers/twitter their wider one).
+    out.dataset.inputFeatures =
+        std::max<std::size_t>(16, out.dataset.inputFeatures / 2);
+    out.transposed = out.dataset.graph.transposed();
+    out.locality = localityOrder(out.dataset.graph);
+    out.localityTransposed = localityOrder(out.transposed);
+    return out;
+}
+
+/** The named software configurations of Figure 11. */
+enum class SwConfig
+{
+    DistGnn,
+    Mkl,
+    Basic,
+    Fusion,
+    Compression,
+    Combined,
+    CombinedLocality,
+};
+
+inline const char *
+swConfigName(SwConfig config)
+{
+    switch (config) {
+      case SwConfig::DistGnn:          return "DistGNN";
+      case SwConfig::Mkl:              return "MKL";
+      case SwConfig::Basic:            return "basic";
+      case SwConfig::Fusion:           return "fusion";
+      case SwConfig::Compression:      return "compression";
+      case SwConfig::Combined:         return "combined";
+      case SwConfig::CombinedLocality: return "c-locality";
+    }
+    return "?";
+}
+
+/** Map a named configuration onto a simulator network workload. */
+inline sim::NetworkWorkload
+makeNetwork(const BenchDataset &data, SwConfig config,
+            double sparsity = 0.5)
+{
+    sim::NetworkWorkload net;
+    net.graph = &data.graph();
+    net.order = &data.locality;
+    net.transposedOrder = &data.localityTransposed;
+    net.fInput = data.dataset.inputFeatures;
+    net.fHidden = data.dataset.hiddenFeatures;
+    net.numLayers = 2;
+    net.sparsity = sparsity;
+    switch (config) {
+      case SwConfig::DistGnn:
+        net.impl = sim::LayerImpl::DistGnn;
+        break;
+      case SwConfig::Mkl:
+        net.impl = sim::LayerImpl::Mkl;
+        break;
+      case SwConfig::Basic:
+        net.impl = sim::LayerImpl::Basic;
+        break;
+      case SwConfig::Fusion:
+        net.impl = sim::LayerImpl::Fused;
+        break;
+      case SwConfig::Compression:
+        net.impl = sim::LayerImpl::Basic;
+        net.compression = true;
+        break;
+      case SwConfig::Combined:
+        net.impl = sim::LayerImpl::Fused;
+        net.compression = true;
+        break;
+      case SwConfig::CombinedLocality:
+        net.impl = sim::LayerImpl::Fused;
+        net.compression = true;
+        net.locality = true;
+        break;
+    }
+    return net;
+}
+
+/** Simulated cycles of one full-network inference under @p config. */
+inline Cycles
+inferenceCycles(const BenchDataset &data, SwConfig config,
+                double sparsity = 0.5,
+                unsigned cacheShrink = kCacheShrink)
+{
+    sim::Machine machine(sim::paperMachine(cacheShrink));
+    return sim::simulateInference(machine, makeNetwork(data, config,
+                                                       sparsity))
+        .totalCycles;
+}
+
+/** Simulated cycles of one training iteration under @p config. */
+inline Cycles
+trainingCycles(const BenchDataset &data, SwConfig config,
+               double sparsity = 0.5,
+               unsigned cacheShrink = kCacheShrink)
+{
+    sim::Machine machine(sim::paperMachine(cacheShrink));
+    return sim::simulateTraining(machine, makeNetwork(data, config,
+                                                      sparsity),
+                                 data.transposed)
+        .totalCycles;
+}
+
+/** Print a bench header banner. */
+inline void
+banner(const char *title, const char *paperRef)
+{
+    std::printf("\n=== %s ===\n", title);
+    std::printf("reproduces: %s\n", paperRef);
+    std::printf("substrate : %u-core simulated machine (DESIGN.md §5); "
+                "shapes comparable, absolute time is not\n\n",
+                sim::MachineParams{}.numCores);
+}
+
+/** Print one speedup cell with the paper's value for comparison. */
+inline void
+speedupCell(double measured, double paper)
+{
+    std::printf("  %5.2fx (paper %4.2fx)", measured, paper);
+}
+
+} // namespace graphite::bench

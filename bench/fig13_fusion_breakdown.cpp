@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Figure 13 reproduction: execution-time breakdown of basic vs fused
+ * on GCN's *hidden* layers (F_in = F_out = 256), normalised to basic.
+ * The paper splits basic into aggregation + update time and shows the
+ * fused kernel's time approaching basic's aggregation time alone —
+ * i.e. the update compute is practically fully hidden.
+ */
+
+#include <cstdio>
+#include <map>
+
+#include "bench_common.h"
+#include "common/options.h"
+
+using namespace graphite;
+using namespace graphite::bench;
+
+namespace {
+
+sim::LayerWorkload
+hiddenLayer(const BenchDataset &data, sim::LayerImpl impl, bool writeAgg)
+{
+    sim::LayerWorkload w;
+    w.graph = &data.graph();
+    w.fIn = data.dataset.hiddenFeatures;
+    w.fOut = data.dataset.hiddenFeatures;
+    w.impl = impl;
+    w.writeAgg = writeAgg;
+    return w;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options options("Figure 13: layer-fusion time breakdown");
+    options.add("extra-shift", "0", "extra dataset shrink");
+    options.parse(argc, argv);
+
+    banner("Figure 13: basic vs fused on hidden layers",
+           "paper Figure 13 (update share 7-31%; fused ~= basic's "
+           "aggregation time)");
+
+    // Paper values: (aggregation share, fused-inference, fused-fwd-train)
+    const std::map<std::string, std::array<double, 3>> paper = {
+        {"products", {0.93, 0.87, 0.92}},
+        {"wikipedia", {0.69, 0.71, 0.86}},
+        {"papers", {0.81, 0.78, 0.88}},
+        {"twitter", {0.84, 0.83, 0.91}}};
+
+    std::printf("%-10s %10s %10s %18s %18s  (normalised to basic "
+                "= agg + update)\n",
+                "graph", "agg", "update", "fused-inference",
+                "fused-fwd-train");
+    const auto extraShift =
+        static_cast<unsigned>(options.getInt("extra-shift"));
+    for (DatasetId id : allDatasets()) {
+        BenchDataset data = makeBenchDataset(id, extraShift);
+        sim::Machine machine(sim::paperMachine(kCacheShrink));
+
+        // basic: aggregation-only phase then the update stream.
+        sim::LayerWorkload aggOnly =
+            hiddenLayer(data, sim::LayerImpl::Basic, true);
+        aggOnly.doUpdate = false;
+        const Cycles aggCycles =
+            sim::simulateLayer(machine, aggOnly).makespan;
+        sim::LayerWorkload full =
+            hiddenLayer(data, sim::LayerImpl::Basic, true);
+        const Cycles basicCycles =
+            sim::simulateLayer(machine, full).makespan;
+        const Cycles updateCycles =
+            basicCycles > aggCycles ? basicCycles - aggCycles : 0;
+
+        // fused inference (no a^k) and fused forward-training (a^k
+        // kept) — Figure 5b/5c.
+        const Cycles fusedInf = sim::simulateLayer(
+            machine, hiddenLayer(data, sim::LayerImpl::Fused, false))
+            .makespan;
+        const Cycles fusedTrain = sim::simulateLayer(
+            machine, hiddenLayer(data, sim::LayerImpl::Fused, true))
+            .makespan;
+
+        const double norm = static_cast<double>(basicCycles);
+        const auto &p = paper.at(data.name());
+        std::printf("%-10s %9.2f %10.2f", data.name().c_str(),
+                    aggCycles / norm, updateCycles / norm);
+        std::printf("    %5.2f (paper %4.2f)", fusedInf / norm, p[1]);
+        std::printf("    %5.2f (paper %4.2f)\n", fusedTrain / norm,
+                    p[2]);
+        std::fflush(stdout);
+    }
+    std::printf("\nexpected shape: fused-inference time approaches the "
+                "aggregation share (update hidden); forward-training "
+                "pays the a^k write-back\n");
+    return 0;
+}

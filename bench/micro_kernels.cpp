@@ -1,0 +1,299 @@
+/**
+ * @file
+ * Native micro-benchmarks (google-benchmark) of the Graphite kernels
+ * on this host: aggregation variants, mask compression, GEMM, the
+ * fused layer and the locality reordering. These measure the real
+ * AVX-512 implementations — the figure benches measure the simulated
+ * 28-core machine instead (this host has a single hardware thread).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "baselines/baseline_layers.h"
+#include "compress/compressed_matrix.h"
+#include "dma/pipelined_runner.h"
+#include "graph/generators.h"
+#include "graph/reorder.h"
+#include "kernels/fused_layer.h"
+#include "tensor/gemm.h"
+#include "tensor/spmm.h"
+
+namespace {
+
+using namespace graphite;
+
+/** Shared medium graph + features for the aggregation benches. */
+struct AggFixture
+{
+    CsrGraph graph;
+    AggregationSpec spec;
+    DenseMatrix features;
+    DenseMatrix output;
+
+    explicit
+    AggFixture(std::size_t f)
+    {
+        RmatParams params;
+        params.scale = 13;
+        params.avgDegree = 16.0;
+        graph = generateRmat(params);
+        spec = gcnSpec(graph);
+        features = DenseMatrix(graph.numVertices(), f);
+        features.fillUniform(-1.0f, 1.0f, 1);
+        output = DenseMatrix(graph.numVertices(), f);
+    }
+
+    double
+    gatheredBytes() const
+    {
+        return static_cast<double>(graph.numEdges() +
+                                   graph.numVertices()) *
+               features.rowBytes();
+    }
+};
+
+void
+BM_AggregateBasic(benchmark::State &state)
+{
+    AggFixture fx(static_cast<std::size_t>(state.range(0)));
+    for (auto _ : state) {
+        aggregateBasic(fx.graph, fx.features, fx.output, fx.spec);
+        benchmark::DoNotOptimize(fx.output.data());
+    }
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(fx.gatheredBytes() *
+                                  state.iterations()));
+}
+BENCHMARK(BM_AggregateBasic)->Arg(64)->Arg(128)->Arg(256);
+
+void
+BM_AggregateDistGnn(benchmark::State &state)
+{
+    AggFixture fx(static_cast<std::size_t>(state.range(0)));
+    for (auto _ : state) {
+        distgnnAggregate(fx.graph, fx.features, fx.output, fx.spec);
+        benchmark::DoNotOptimize(fx.output.data());
+    }
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(fx.gatheredBytes() *
+                                  state.iterations()));
+}
+BENCHMARK(BM_AggregateDistGnn)->Arg(256);
+
+void
+BM_AggregateCompressed(benchmark::State &state)
+{
+    AggFixture fx(256);
+    const double sparsity = static_cast<double>(state.range(0)) / 100.0;
+    fx.features.sparsify(sparsity, 2);
+    CompressedMatrix packed(fx.graph.numVertices(), 256);
+    packed.compressFrom(fx.features);
+    for (auto _ : state) {
+        aggregateCompressed(fx.graph, packed, fx.output, fx.spec);
+        benchmark::DoNotOptimize(fx.output.data());
+    }
+}
+BENCHMARK(BM_AggregateCompressed)->Arg(10)->Arg(50)->Arg(90);
+
+void
+BM_AggregateLocalityOrder(benchmark::State &state)
+{
+    AggFixture fx(256);
+    ProcessingOrder order = localityOrder(fx.graph);
+    for (auto _ : state) {
+        aggregateBasic(fx.graph, fx.features, fx.output, fx.spec,
+                       order);
+        benchmark::DoNotOptimize(fx.output.data());
+    }
+}
+BENCHMARK(BM_AggregateLocalityOrder);
+
+void
+BM_FusedLayerInference(benchmark::State &state)
+{
+    AggFixture fx(256);
+    DenseMatrix weights(256, 256);
+    weights.fillUniform(-0.1f, 0.1f, 3);
+    std::vector<Feature> bias(256, 0.01f);
+    const UpdateOp update{&weights, bias, true};
+    DenseMatrix out(fx.graph.numVertices(), 256);
+    for (auto _ : state) {
+        fusedLayerInference(fx.graph, fx.features, fx.spec, update, out);
+        benchmark::DoNotOptimize(out.data());
+    }
+}
+BENCHMARK(BM_FusedLayerInference);
+
+void
+BM_UnfusedLayer(benchmark::State &state)
+{
+    AggFixture fx(256);
+    DenseMatrix weights(256, 256);
+    weights.fillUniform(-0.1f, 0.1f, 3);
+    std::vector<Feature> bias(256, 0.01f);
+    const UpdateOp update{&weights, bias, true};
+    DenseMatrix agg(fx.graph.numVertices(), 256);
+    DenseMatrix out(fx.graph.numVertices(), 256);
+    for (auto _ : state) {
+        unfusedLayer(fx.graph, fx.features, fx.spec, update, agg, out);
+        benchmark::DoNotOptimize(out.data());
+    }
+}
+BENCHMARK(BM_UnfusedLayer);
+
+void
+BM_DmaPipelinedLayer(benchmark::State &state)
+{
+    AggFixture fx(256);
+    DenseMatrix weights(256, 256);
+    weights.fillUniform(-0.1f, 0.1f, 3);
+    std::vector<Feature> bias(256, 0.01f);
+    const UpdateOp update{&weights, bias, true};
+    DenseMatrix agg(fx.graph.numVertices(), 256);
+    DenseMatrix out(fx.graph.numVertices(), 256);
+    for (auto _ : state) {
+        dma::pipelinedDmaLayer(fx.graph, fx.features, fx.spec, update,
+                               agg, out);
+        benchmark::DoNotOptimize(out.data());
+    }
+}
+BENCHMARK(BM_DmaPipelinedLayer);
+
+void
+BM_CompressRows(benchmark::State &state)
+{
+    DenseMatrix dense(4096, 256);
+    dense.fillUniform(0.5f, 1.5f, 4);
+    dense.sparsify(static_cast<double>(state.range(0)) / 100.0, 5);
+    CompressedMatrix packed(4096, 256);
+    for (auto _ : state) {
+        packed.compressFrom(dense);
+        benchmark::DoNotOptimize(packed.values(0));
+    }
+    state.SetBytesProcessed(state.iterations() * 4096 * 256 * 4);
+}
+BENCHMARK(BM_CompressRows)->Arg(10)->Arg(50)->Arg(90);
+
+void
+BM_DecompressRows(benchmark::State &state)
+{
+    DenseMatrix dense(4096, 256);
+    dense.fillUniform(0.5f, 1.5f, 6);
+    dense.sparsify(0.5, 7);
+    CompressedMatrix packed(4096, 256);
+    packed.compressFrom(dense);
+    DenseMatrix restored(4096, 256);
+    for (auto _ : state) {
+        packed.decompressTo(restored);
+        benchmark::DoNotOptimize(restored.data());
+    }
+    state.SetBytesProcessed(state.iterations() * 4096 * 256 * 4);
+}
+BENCHMARK(BM_DecompressRows);
+
+void
+BM_Gemm(benchmark::State &state)
+{
+    const auto n = static_cast<std::size_t>(state.range(0));
+    DenseMatrix a(n, 256);
+    DenseMatrix b(256, 256);
+    DenseMatrix c(n, 256);
+    a.fillUniform(-1.0f, 1.0f, 8);
+    b.fillUniform(-1.0f, 1.0f, 9);
+    for (auto _ : state) {
+        gemm(GemmMode::NN, a, b, c);
+        benchmark::DoNotOptimize(c.data());
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(n) * 256 * 256 *
+                            2);
+}
+BENCHMARK(BM_Gemm)->Arg(1024)->Arg(8192);
+
+void
+BM_AggregateBf16(benchmark::State &state)
+{
+    AggFixture fx(256);
+    Bf16Matrix packed(fx.graph.numVertices(), 256);
+    packed.fromDense(fx.features);
+    for (auto _ : state) {
+        aggregateBf16(fx.graph, packed, fx.output, fx.spec);
+        benchmark::DoNotOptimize(fx.output.data());
+    }
+    // Half the gathered bytes of the fp32 kernel.
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(fx.gatheredBytes() / 2 *
+                                  state.iterations()));
+}
+BENCHMARK(BM_AggregateBf16);
+
+void
+BM_SpmmAggregation(benchmark::State &state)
+{
+    AggFixture fx(256);
+    for (auto _ : state) {
+        spmm(fx.graph, fx.features, fx.output, fx.spec.edgeFactors,
+             fx.spec.selfFactors);
+        benchmark::DoNotOptimize(fx.output.data());
+    }
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(fx.gatheredBytes() *
+                                  state.iterations()));
+}
+BENCHMARK(BM_SpmmAggregation);
+
+void
+BM_AggregateMaxReduction(benchmark::State &state)
+{
+    AggFixture fx(256);
+    AggregationSpec spec = maxSpec();
+    for (auto _ : state) {
+        aggregateBasic(fx.graph, fx.features, fx.output, spec);
+        benchmark::DoNotOptimize(fx.output.data());
+    }
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(fx.gatheredBytes() *
+                                  state.iterations()));
+}
+BENCHMARK(BM_AggregateMaxReduction);
+
+void
+BM_FusedLayerCompressed(benchmark::State &state)
+{
+    AggFixture fx(256);
+    fx.features.sparsify(0.5, 10);
+    CompressedMatrix packed(fx.graph.numVertices(), 256);
+    packed.compressFrom(fx.features);
+    DenseMatrix weights(256, 256);
+    weights.fillUniform(-0.1f, 0.1f, 3);
+    std::vector<Feature> bias(256, 0.01f);
+    const UpdateOp update{&weights, bias, true};
+    DenseMatrix out(fx.graph.numVertices(), 256);
+    for (auto _ : state) {
+        fusedLayerInferenceCompressed(fx.graph, packed, fx.spec, update,
+                                      out);
+        benchmark::DoNotOptimize(out.data());
+    }
+}
+BENCHMARK(BM_FusedLayerCompressed);
+
+void
+BM_LocalityOrderConstruction(benchmark::State &state)
+{
+    RmatParams params;
+    params.scale = 15;
+    params.avgDegree = 16.0;
+    CsrGraph graph = generateRmat(params);
+    for (auto _ : state) {
+        ProcessingOrder order = localityOrder(graph);
+        benchmark::DoNotOptimize(order.data());
+    }
+    state.SetItemsProcessed(
+        state.iterations() *
+        static_cast<std::int64_t>(graph.numEdges()));
+}
+BENCHMARK(BM_LocalityOrderConstruction);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,33 @@
+#!/bin/bash
+# Run every paper-reproduction bench in order and tee the output.
+# Usage: scripts/run_all_experiments.sh [output-file]
+set -u
+cd "$(dirname "$0")/.."
+out="${1:-experiments_output.txt}"
+
+benches=(
+    table3_datasets
+    fig02_sampling_overhead
+    fig03_pipeline_breakdown
+    fig11_software_speedup
+    fig12_dma_speedup
+    fig13_fusion_breakdown
+    fig14_compression_sensitivity
+    fig15_locality_randomized
+    table4_memory_characterization
+    table5_cache_access_reduction
+    sec732_memory_system
+    fig16_tracking_table
+    ablation_fused_block
+    ablation_prefetch
+)
+
+{
+    for bench in "${benches[@]}"; do
+        echo "######## ${bench} ########"
+        ./build/bench/"${bench}"
+        echo
+    done
+    echo "######## micro_kernels ########"
+    ./build/bench/micro_kernels --benchmark_min_time=0.2
+} 2>&1 | tee "${out}"

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * The two comparison baselines from the paper's evaluation (Section 6):
+ *
+ *  - DistGNN: the state-of-the-art single-socket GNN layer the paper
+ *    baselines against — a vertex-parallel, vectorised but *unfused*
+ *    aggregation with no software prefetch, no compression and no
+ *    locality ordering, followed by a whole-matrix GEMM update.
+ *  - MKL: aggregation expressed as SpMM (adjacency x features) plus the
+ *    same GEMM update.
+ *
+ * Both produce bit-identical math to the Graphite kernels given the same
+ * AggregationSpec, so differential tests pin all implementations to each
+ * other.
+ */
+
+#pragma once
+
+#include <span>
+
+#include "kernels/aggregation.h"
+#include "kernels/fused_layer.h"
+#include "tensor/dense_matrix.h"
+
+namespace graphite {
+
+/**
+ * DistGNN-style aggregation: vertex-parallel gather-reduce, statically
+ * blocked, no prefetch, identity processing order.
+ */
+void distgnnAggregate(const CsrGraph &graph, const DenseMatrix &in,
+                      DenseMatrix &out, const AggregationSpec &spec);
+
+/** DistGNN layer: distgnnAggregate then GEMM + bias + optional ReLU. */
+void distgnnLayer(const CsrGraph &graph, const DenseMatrix &in,
+                  const AggregationSpec &spec, const UpdateOp &update,
+                  DenseMatrix &aggOut, DenseMatrix &out);
+
+/** MKL-style layer: SpMM aggregation then GEMM + bias + optional ReLU. */
+void mklLayer(const CsrGraph &graph, const DenseMatrix &in,
+              const AggregationSpec &spec, const UpdateOp &update,
+              DenseMatrix &aggOut, DenseMatrix &out);
+
+} // namespace graphite

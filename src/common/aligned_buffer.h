@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Cache-line-aligned heap storage. Feature matrices, aggregation buffers and
+ * compression masks all require 64-byte alignment so that AVX-512 loads are
+ * aligned and so that the timing simulator's line-granularity accounting
+ * matches the real layout.
+ */
+
+#pragma once
+
+#include <cstdlib>
+#include <cstring>
+#include <new>
+#include <utility>
+
+#include "common/assert.h"
+#include "common/types.h"
+
+namespace graphite {
+
+/**
+ * Fixed-size aligned array of trivially-copyable elements.
+ *
+ * Unlike std::vector this guarantees the configured alignment and never
+ * reallocates, so raw pointers into it stay valid for the buffer's lifetime
+ * (the simulator keeps such pointers in its trace records).
+ */
+template <typename T>
+class AlignedBuffer
+{
+  public:
+    AlignedBuffer() = default;
+
+    /** Allocate @p count elements, zero-initialised. */
+    explicit
+    AlignedBuffer(std::size_t count, std::size_t alignment = kFeatureAlignment)
+    {
+        allocate(count, alignment);
+    }
+
+    AlignedBuffer(const AlignedBuffer &other) { copyFrom(other); }
+
+    AlignedBuffer &
+    operator=(const AlignedBuffer &other)
+    {
+        if (this != &other) {
+            release();
+            copyFrom(other);
+        }
+        return *this;
+    }
+
+    AlignedBuffer(AlignedBuffer &&other) noexcept
+        : data_(std::exchange(other.data_, nullptr)),
+          count_(std::exchange(other.count_, 0)),
+          alignment_(other.alignment_)
+    {}
+
+    AlignedBuffer &
+    operator=(AlignedBuffer &&other) noexcept
+    {
+        if (this != &other) {
+            release();
+            data_ = std::exchange(other.data_, nullptr);
+            count_ = std::exchange(other.count_, 0);
+            alignment_ = other.alignment_;
+        }
+        return *this;
+    }
+
+    ~AlignedBuffer() { release(); }
+
+    /** (Re)allocate to @p count elements, zero-initialised. */
+    void
+    resize(std::size_t count)
+    {
+        release();
+        allocate(count, alignment_);
+    }
+
+    /** Set every element to zero. */
+    void
+    zero()
+    {
+        if (data_)
+            std::memset(data_, 0, count_ * sizeof(T));
+    }
+
+    T *data() { return data_; }
+    const T *data() const { return data_; }
+    std::size_t size() const { return count_; }
+    bool empty() const { return count_ == 0; }
+
+    T &
+    operator[](std::size_t i)
+    {
+        GRAPHITE_ASSERT(i < count_, "AlignedBuffer index out of range");
+        return data_[i];
+    }
+
+    const T &
+    operator[](std::size_t i) const
+    {
+        GRAPHITE_ASSERT(i < count_, "AlignedBuffer index out of range");
+        return data_[i];
+    }
+
+    T *begin() { return data_; }
+    T *end() { return data_ + count_; }
+    const T *begin() const { return data_; }
+    const T *end() const { return data_ + count_; }
+
+  private:
+    void
+    allocate(std::size_t count, std::size_t alignment)
+    {
+        static_assert(std::is_trivially_copyable_v<T>,
+                      "AlignedBuffer requires trivially copyable elements");
+        alignment_ = alignment;
+        count_ = count;
+        if (count == 0) {
+            data_ = nullptr;
+            return;
+        }
+        // Round the byte size up to a multiple of the alignment, as
+        // required by std::aligned_alloc.
+        std::size_t bytes = count * sizeof(T);
+        bytes = (bytes + alignment - 1) / alignment * alignment;
+        data_ = static_cast<T *>(std::aligned_alloc(alignment, bytes));
+        if (!data_)
+            throw std::bad_alloc();
+        std::memset(data_, 0, bytes);
+    }
+
+    void
+    release()
+    {
+        std::free(data_);
+        data_ = nullptr;
+        count_ = 0;
+    }
+
+    void
+    copyFrom(const AlignedBuffer &other)
+    {
+        allocate(other.count_, other.alignment_);
+        if (other.count_ > 0)
+            std::memcpy(data_, other.data_, other.count_ * sizeof(T));
+    }
+
+    T *data_ = nullptr;
+    std::size_t count_ = 0;
+    std::size_t alignment_ = kFeatureAlignment;
+};
+
+} // namespace graphite

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Error-handling helpers in the spirit of gem5's panic()/fatal() split:
+ * GRAPHITE_ASSERT guards internal invariants (library bugs), while fatal()
+ * reports unrecoverable user errors (bad configuration, bad input).
+ */
+
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace graphite {
+
+/**
+ * Report an unrecoverable user-caused error and exit(1).
+ *
+ * @param fmt printf-style format string.
+ */
+template <typename... Args>
+[[noreturn]] void
+fatal(const char *fmt, Args... args)
+{
+    std::fprintf(stderr, "graphite: fatal: ");
+    if constexpr (sizeof...(Args) == 0) {
+        std::fprintf(stderr, "%s", fmt);
+    } else {
+        std::fprintf(stderr, fmt, args...);
+    }
+    std::fprintf(stderr, "\n");
+    std::exit(1);
+}
+
+/**
+ * Report an internal invariant violation (a library bug) and abort().
+ */
+template <typename... Args>
+[[noreturn]] void
+panic(const char *fmt, Args... args)
+{
+    std::fprintf(stderr, "graphite: panic: ");
+    if constexpr (sizeof...(Args) == 0) {
+        std::fprintf(stderr, "%s", fmt);
+    } else {
+        std::fprintf(stderr, fmt, args...);
+    }
+    std::fprintf(stderr, "\n");
+    std::abort();
+}
+
+} // namespace graphite
+
+/** Internal invariant check; enabled in all build types. */
+#define GRAPHITE_ASSERT(cond, msg)                                          \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            ::graphite::panic("assertion failed: %s (%s:%d): %s", #cond,    \
+                              __FILE__, __LINE__, msg);                     \
+        }                                                                   \
+    } while (0)

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Minimal leveled logging. Benches and examples use inform(); warn() flags
+ * suspicious-but-survivable conditions, mirroring gem5's message taxonomy.
+ */
+
+#pragma once
+
+#include <string>
+
+namespace graphite {
+
+/** Logging verbosity levels. */
+enum class LogLevel { Debug, Info, Warn, Error };
+
+/** Set the global minimum level that is actually printed. */
+void setLogLevel(LogLevel level);
+
+/** Current global log level. */
+LogLevel logLevel();
+
+/** Emit one formatted log line at @p level (printf-style). */
+void logMessage(LogLevel level, const char *fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+/** Informative status message. */
+template <typename... Args>
+void
+inform(const char *fmt, Args... args)
+{
+    logMessage(LogLevel::Info, fmt, args...);
+}
+
+/** Possibly-problematic condition worth flagging. */
+template <typename... Args>
+void
+warn(const char *fmt, Args... args)
+{
+    logMessage(LogLevel::Warn, fmt, args...);
+}
+
+} // namespace graphite

@@ -1,0 +1,114 @@
+#include "common/options.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/assert.h"
+
+namespace graphite {
+
+Options::Options(std::string description)
+    : description_(std::move(description))
+{
+}
+
+void
+Options::add(const std::string &name, const std::string &defaultValue,
+             const std::string &help)
+{
+    GRAPHITE_ASSERT(find(name) == nullptr, "duplicate option");
+    entries_.push_back(Entry{name, defaultValue, help});
+}
+
+void
+Options::parse(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--help" || arg == "-h") {
+            printHelp(argv[0]);
+            std::exit(0);
+        }
+        if (arg.rfind("--", 0) != 0)
+            fatal("unexpected positional argument '%s'", arg.c_str());
+        arg = arg.substr(2);
+        std::string name = arg;
+        std::string value;
+        bool haveValue = false;
+        auto eq = arg.find('=');
+        if (eq != std::string::npos) {
+            name = arg.substr(0, eq);
+            value = arg.substr(eq + 1);
+            haveValue = true;
+        }
+        Entry *entry = find(name);
+        if (!entry)
+            fatal("unknown option '--%s' (try --help)", name.c_str());
+        if (!haveValue) {
+            // `--flag value` form, or bare boolean `--flag`.
+            if (i + 1 < argc && argv[i + 1][0] != '-') {
+                value = argv[++i];
+            } else {
+                value = "true";
+            }
+        }
+        entry->value = value;
+    }
+}
+
+std::string
+Options::getString(const std::string &name) const
+{
+    const Entry *entry = find(name);
+    GRAPHITE_ASSERT(entry != nullptr, "option not registered");
+    return entry->value;
+}
+
+std::int64_t
+Options::getInt(const std::string &name) const
+{
+    return std::strtoll(getString(name).c_str(), nullptr, 0);
+}
+
+double
+Options::getDouble(const std::string &name) const
+{
+    return std::strtod(getString(name).c_str(), nullptr);
+}
+
+bool
+Options::getBool(const std::string &name) const
+{
+    std::string v = getString(name);
+    return v == "true" || v == "1" || v == "yes" || v == "on";
+}
+
+const Options::Entry *
+Options::find(const std::string &name) const
+{
+    for (const auto &entry : entries_) {
+        if (entry.name == name)
+            return &entry;
+    }
+    return nullptr;
+}
+
+Options::Entry *
+Options::find(const std::string &name)
+{
+    return const_cast<Entry *>(
+        static_cast<const Options *>(this)->find(name));
+}
+
+void
+Options::printHelp(const char *argv0) const
+{
+    std::printf("%s\n\nusage: %s [--option=value ...]\n\noptions:\n",
+                description_.c_str(), argv0);
+    for (const auto &entry : entries_) {
+        std::printf("  --%-24s %s (default: %s)\n", entry.name.c_str(),
+                    entry.help.c_str(), entry.value.c_str());
+    }
+}
+
+} // namespace graphite

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Fundamental scalar typedefs shared across the Graphite library.
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace graphite {
+
+/** Vertex identifier. 32 bits covers the graph scales we target. */
+using VertexId = std::uint32_t;
+
+/** Edge identifier / CSR offset. 64 bits: |E| can exceed 4 B in general. */
+using EdgeId = std::uint64_t;
+
+/** Feature scalar. The paper evaluates single-precision features. */
+using Feature = float;
+
+/** Simulated-time unit (core clock cycles). */
+using Cycles = std::uint64_t;
+
+/** Byte count. */
+using Bytes = std::uint64_t;
+
+/** Size of a cache line in bytes, fixed across the simulated machine. */
+inline constexpr std::size_t kCacheLineBytes = 64;
+
+/** Alignment used for all feature storage (one cache line). */
+inline constexpr std::size_t kFeatureAlignment = 64;
+
+} // namespace graphite

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Compressed feature matrix with constant-stride rows.
+ *
+ * Per paper Section 4.3, compression exists to cut DRAM *traffic*, not
+ * footprint: each row keeps its full fixed-size slot (so random access
+ * stays an O(1) pointer computation, no indirection) and only the leading
+ * nnz(v) values of the slot hold packed data. A sidecar array holds the
+ * per-row bit masks and non-zero counts. Traffic accounting helpers
+ * report how many cache lines a reader actually touches per row — the
+ * quantity the benches and the timing simulator charge to DRAM.
+ */
+
+#pragma once
+
+#include <cstdint>
+
+#include "common/aligned_buffer.h"
+#include "compress/mask_compress.h"
+#include "tensor/dense_matrix.h"
+
+namespace graphite {
+
+/** Fixed-stride mask-compressed float matrix. */
+class CompressedMatrix
+{
+  public:
+    CompressedMatrix() = default;
+
+    /** Allocate storage for rows x cols (stride-padded like DenseMatrix). */
+    CompressedMatrix(std::size_t rows, std::size_t cols);
+
+    std::size_t rows() const { return rows_; }
+    std::size_t cols() const { return cols_; }
+    std::size_t rowStride() const { return rowStride_; }
+
+    /** Mask words (uint16) per row. */
+    std::size_t maskWordsPerRow() const { return maskWordsFor(cols_); }
+
+    /** Packed value slot of row @p r (capacity rowStride() floats). */
+    Feature *values(std::size_t r) { return values_.data() + r * rowStride_; }
+    const Feature *
+    values(std::size_t r) const
+    {
+        return values_.data() + r * rowStride_;
+    }
+
+    /** Mask words of row @p r. */
+    std::uint16_t *
+    mask(std::size_t r)
+    {
+        return masks_.data() + r * maskWordsPerRow();
+    }
+    const std::uint16_t *
+    mask(std::size_t r) const
+    {
+        return masks_.data() + r * maskWordsPerRow();
+    }
+
+    /** Number of packed values currently stored in row @p r. */
+    std::size_t nnz(std::size_t r) const { return nnz_[r]; }
+
+    /** Compress one padded dense row into row @p r. */
+    void compressRowFrom(std::size_t r, const Feature *denseRow);
+
+    /** Compress every row of @p dense (parallel). */
+    void compressFrom(const DenseMatrix &dense);
+
+    /** Decompress row @p r into @p denseRow (rowStride floats). */
+    void decompressRowTo(std::size_t r, Feature *denseRow) const;
+
+    /** Decompress all rows into @p dense (parallel). */
+    void decompressTo(DenseMatrix &dense) const;
+
+    /**
+     * dst[0..cols) += factor * row r (expanded on the fly, no
+     * intermediate dense copy).
+     */
+    void accumulateRow(std::size_t r, Feature factor, Feature *dst) const;
+
+    /**
+     * Cache lines a reader touches for row @p r: packed values rounded up
+     * to lines, plus this row's share of mask lines.
+     */
+    std::size_t linesTouched(std::size_t r) const;
+
+    /** Total bytes a streaming reader of the whole matrix transfers. */
+    Bytes compressedTrafficBytes() const;
+
+    /** Bytes the equivalent dense matrix would transfer. */
+    Bytes denseTrafficBytes() const;
+
+  private:
+    std::size_t rows_ = 0;
+    std::size_t cols_ = 0;
+    std::size_t rowStride_ = 0;
+    AlignedBuffer<Feature> values_;
+    AlignedBuffer<std::uint16_t> masks_;
+    AlignedBuffer<std::uint32_t> nnz_;
+};
+
+} // namespace graphite

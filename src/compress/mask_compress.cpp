@@ -1,0 +1,175 @@
+#include "compress/mask_compress.h"
+
+#include <bit>
+
+#include "common/assert.h"
+
+#if defined(__AVX512F__) && defined(__AVX512VL__) && defined(__AVX512BW__)
+#define GRAPHITE_HAVE_AVX512 1
+#include <immintrin.h>
+#else
+#define GRAPHITE_HAVE_AVX512 0
+#endif
+
+namespace graphite {
+
+std::size_t
+compressRowScalar(const Feature *src, std::size_t n, Feature *dstValues,
+                  std::uint16_t *dstMask)
+{
+    GRAPHITE_ASSERT(n % kMaskGroup == 0, "row length must be 16-aligned");
+    std::size_t out = 0;
+    for (std::size_t g = 0; g < n; g += kMaskGroup) {
+        std::uint16_t mask = 0;
+        for (std::size_t lane = 0; lane < kMaskGroup; ++lane) {
+            const Feature v = src[g + lane];
+            if (v != 0.0f) {
+                mask |= static_cast<std::uint16_t>(1u << lane);
+                dstValues[out++] = v;
+            }
+        }
+        dstMask[g / kMaskGroup] = mask;
+    }
+    return out;
+}
+
+std::size_t
+decompressRowScalar(const Feature *srcValues, const std::uint16_t *srcMask,
+                    std::size_t n, Feature *dst)
+{
+    GRAPHITE_ASSERT(n % kMaskGroup == 0, "row length must be 16-aligned");
+    std::size_t in = 0;
+    for (std::size_t g = 0; g < n; g += kMaskGroup) {
+        const std::uint16_t mask = srcMask[g / kMaskGroup];
+        for (std::size_t lane = 0; lane < kMaskGroup; ++lane) {
+            dst[g + lane] =
+                (mask >> lane) & 1 ? srcValues[in++] : 0.0f;
+        }
+    }
+    return in;
+}
+
+std::size_t
+accumulateExpandedScalar(const Feature *srcValues,
+                         const std::uint16_t *srcMask, std::size_t n,
+                         Feature factor, Feature *dst)
+{
+    GRAPHITE_ASSERT(n % kMaskGroup == 0, "row length must be 16-aligned");
+    std::size_t in = 0;
+    for (std::size_t g = 0; g < n; g += kMaskGroup) {
+        const std::uint16_t mask = srcMask[g / kMaskGroup];
+        for (std::size_t lane = 0; lane < kMaskGroup; ++lane) {
+            if ((mask >> lane) & 1)
+                dst[g + lane] += factor * srcValues[in++];
+        }
+    }
+    return in;
+}
+
+#if GRAPHITE_HAVE_AVX512
+
+std::size_t
+compressRow(const Feature *src, std::size_t n, Feature *dstValues,
+            std::uint16_t *dstMask)
+{
+    GRAPHITE_ASSERT(n % kMaskGroup == 0, "row length must be 16-aligned");
+    const __m512 zero = _mm512_setzero_ps();
+    std::size_t out = 0;
+    for (std::size_t g = 0; g < n; g += kMaskGroup) {
+        const __m512 vec = _mm512_loadu_ps(src + g);
+        // Step 1 (Fig. 6a): compare against zero for the non-zero mask.
+        const __mmask16 mask = _mm512_cmp_ps_mask(vec, zero, _CMP_NEQ_OQ);
+        // Step 2 (Fig. 6b): bubble-collapse into the packed run.
+        _mm512_mask_compressstoreu_ps(dstValues + out, mask, vec);
+        dstMask[g / kMaskGroup] = static_cast<std::uint16_t>(mask);
+        out += static_cast<std::size_t>(std::popcount(
+            static_cast<unsigned>(mask)));
+    }
+    return out;
+}
+
+std::size_t
+decompressRow(const Feature *srcValues, const std::uint16_t *srcMask,
+              std::size_t n, Feature *dst)
+{
+    GRAPHITE_ASSERT(n % kMaskGroup == 0, "row length must be 16-aligned");
+    std::size_t in = 0;
+    for (std::size_t g = 0; g < n; g += kMaskGroup) {
+        const __mmask16 mask = srcMask[g / kMaskGroup];
+        // Fig. 6c: bubble-expand the packed run, zero-filling gaps.
+        const __m512 vec =
+            _mm512_maskz_expandloadu_ps(mask, srcValues + in);
+        _mm512_storeu_ps(dst + g, vec);
+        in += static_cast<std::size_t>(std::popcount(
+            static_cast<unsigned>(mask)));
+    }
+    return in;
+}
+
+std::size_t
+accumulateExpanded(const Feature *srcValues, const std::uint16_t *srcMask,
+                   std::size_t n, Feature factor, Feature *dst)
+{
+    GRAPHITE_ASSERT(n % kMaskGroup == 0, "row length must be 16-aligned");
+    const __m512 factorVec = _mm512_set1_ps(factor);
+    std::size_t in = 0;
+    for (std::size_t g = 0; g < n; g += kMaskGroup) {
+        const __mmask16 mask = srcMask[g / kMaskGroup];
+        const __m512 vec =
+            _mm512_maskz_expandloadu_ps(mask, srcValues + in);
+        const __m512 acc = _mm512_loadu_ps(dst + g);
+        _mm512_storeu_ps(dst + g, _mm512_fmadd_ps(vec, factorVec, acc));
+        in += static_cast<std::size_t>(std::popcount(
+            static_cast<unsigned>(mask)));
+    }
+    return in;
+}
+
+bool
+compressionUsesAvx512()
+{
+    return true;
+}
+
+#else // !GRAPHITE_HAVE_AVX512
+
+std::size_t
+compressRow(const Feature *src, std::size_t n, Feature *dstValues,
+            std::uint16_t *dstMask)
+{
+    return compressRowScalar(src, n, dstValues, dstMask);
+}
+
+std::size_t
+decompressRow(const Feature *srcValues, const std::uint16_t *srcMask,
+              std::size_t n, Feature *dst)
+{
+    return decompressRowScalar(srcValues, srcMask, n, dst);
+}
+
+std::size_t
+accumulateExpanded(const Feature *srcValues, const std::uint16_t *srcMask,
+                   std::size_t n, Feature factor, Feature *dst)
+{
+    return accumulateExpandedScalar(srcValues, srcMask, n, factor, dst);
+}
+
+bool
+compressionUsesAvx512()
+{
+    return false;
+}
+
+#endif // GRAPHITE_HAVE_AVX512
+
+std::size_t
+maskPopcount(const std::uint16_t *mask, std::size_t words)
+{
+    std::size_t total = 0;
+    for (std::size_t w = 0; w < words; ++w)
+        total += static_cast<std::size_t>(std::popcount(
+            static_cast<unsigned>(mask[w])));
+    return total;
+}
+
+} // namespace graphite

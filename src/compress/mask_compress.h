@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Mask-based sparse-vector (de)compression (paper Section 4.3, Figure 6).
+ *
+ * Compression: compare a 16-float vector against zero to produce a 16-bit
+ * mask, then bubble-collapse the non-zeros into a contiguous run
+ * (vcompressps). Decompression: bubble-expand the run back using the saved
+ * mask (vexpandps). The mask is the only metadata — 1 bit per element,
+ * 3.125% overhead for 32-bit features regardless of sparsity.
+ *
+ * AVX-512 implementations are used when the build target supports
+ * AVX512F+VL+BW; a bit-exact scalar fallback covers other targets and
+ * serves as the test oracle.
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/types.h"
+
+namespace graphite {
+
+/** Number of lanes covered by one compression mask word. */
+inline constexpr std::size_t kMaskGroup = 16;
+
+/** Mask words needed to cover @p n elements. */
+inline constexpr std::size_t
+maskWordsFor(std::size_t n)
+{
+    return (n + kMaskGroup - 1) / kMaskGroup;
+}
+
+/**
+ * Compress @p n floats from @p src: write the packed non-zeros to
+ * @p dstValues and one 16-bit mask per 16-element group to @p dstMask.
+ *
+ * @return number of non-zero values written.
+ *
+ * @pre n is a multiple of 16 (feature rows are stride-padded to 16).
+ * @pre dstValues has room for n floats (worst case: fully dense).
+ */
+std::size_t compressRow(const Feature *src, std::size_t n,
+                        Feature *dstValues, std::uint16_t *dstMask);
+
+/**
+ * Decompress into @p dst (n floats) from packed values + masks.
+ *
+ * @return number of packed values consumed.
+ */
+std::size_t decompressRow(const Feature *srcValues,
+                          const std::uint16_t *srcMask, std::size_t n,
+                          Feature *dst);
+
+/**
+ * Fused decompress-and-accumulate: dst[0..n) += factor * expand(src).
+ * This is the aggregation fast path — the expanded vector never takes a
+ * trip through memory.
+ *
+ * @return number of packed values consumed.
+ */
+std::size_t accumulateExpanded(const Feature *srcValues,
+                               const std::uint16_t *srcMask, std::size_t n,
+                               Feature factor, Feature *dst);
+
+/** Count of non-zeros recorded in @p words mask words. */
+std::size_t maskPopcount(const std::uint16_t *mask, std::size_t words);
+
+/** True when the AVX-512 fast path is compiled in and used. */
+bool compressionUsesAvx512();
+
+/**
+ * Scalar reference implementations (always available; used as the oracle
+ * in differential tests).
+ * @{
+ */
+std::size_t compressRowScalar(const Feature *src, std::size_t n,
+                              Feature *dstValues, std::uint16_t *dstMask);
+std::size_t decompressRowScalar(const Feature *srcValues,
+                                const std::uint16_t *srcMask, std::size_t n,
+                                Feature *dst);
+std::size_t accumulateExpandedScalar(const Feature *srcValues,
+                                     const std::uint16_t *srcMask,
+                                     std::size_t n, Feature factor,
+                                     Feature *dst);
+/** @} */
+
+} // namespace graphite

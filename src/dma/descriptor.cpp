@@ -1,0 +1,27 @@
+#include "dma/descriptor.h"
+
+namespace graphite::dma {
+
+const char *
+validateDescriptor(const AggregationDescriptor &desc)
+{
+    if (desc.elementsPerBlock == 0)
+        return "E (elements per block) must be non-zero";
+    if (desc.paddedBlockBytes == 0)
+        return "S (padded block size) must be non-zero";
+    if (desc.valType != ValType::F32)
+        return "unsupported value type";
+    if (desc.elementsPerBlock * sizeof(float) > desc.paddedBlockBytes)
+        return "E values do not fit in the padded block size S";
+    if (desc.indexAddr == 0 && desc.numBlocks > 0)
+        return "IDX must be set when N > 0";
+    if (desc.inputBase == 0)
+        return "IN must be set";
+    if (desc.outputAddr == 0)
+        return "OUT must be set";
+    if (desc.binOp != BinOp::None && desc.factorAddr == 0)
+        return "FACTOR must be set when bin_op is used";
+    return nullptr;
+}
+
+} // namespace graphite::dma

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * The 64-byte aggregation descriptor (paper Figure 8).
+ *
+ * A single descriptor encodes an entire per-vertex aggregation — unlike
+ * conventional scatter-gather DMA descriptor chains, where each
+ * descriptor moves one contiguous block (Section 2.3/5.1). All data
+ * blocks gathered by one descriptor have the same fixed size, which is
+ * exactly the GNN feature-row shape.
+ */
+
+#pragma once
+
+#include <cstdint>
+
+namespace graphite::dma {
+
+/** Reduction operator (red_op field). */
+enum class RedOp : std::uint8_t {
+    Sum = 0,
+    Max = 1,
+    Min = 2,
+};
+
+/** Optional binary operator applied with the factor array (bin_op). */
+enum class BinOp : std::uint8_t {
+    None = 0,
+    Multiply = 1,
+    Add = 2,
+};
+
+/** Index element type (idx_t field). */
+enum class IdxType : std::uint8_t {
+    U32 = 0,
+    U64 = 1,
+};
+
+/** Value element type (val_t field). */
+enum class ValType : std::uint8_t {
+    F32 = 0,
+};
+
+/**
+ * Aggregation descriptor, 64 bytes, laid out per Figure 8:
+ *
+ *   bytes  0-7 : red_op, bin_op, idx_t, val_t, E (# values per block)
+ *   bytes  8-15: S (padded block size in bytes), N (# input blocks)
+ *   bytes 16-23: IDX   — index array start address
+ *   bytes 24-31: IN    — input base address
+ *   bytes 32-39: OUT   — output start address
+ *   bytes 40-47: FACTOR— factor array start address (optional)
+ *   bytes 48-55: STATUS— completion record start address
+ *   bytes 56-63: reserved
+ */
+struct AggregationDescriptor
+{
+    RedOp redOp = RedOp::Sum;
+    BinOp binOp = BinOp::None;
+    IdxType idxType = IdxType::U32;
+    ValType valType = ValType::F32;
+    /** Number of values in each gathered data block (E). */
+    std::uint32_t elementsPerBlock = 0;
+
+    /** Padded size of each data block in bytes (S). */
+    std::uint32_t paddedBlockBytes = 0;
+    /** Number of input data blocks gathered (N). */
+    std::uint32_t numBlocks = 0;
+
+    std::uint64_t indexAddr = 0;   ///< IDX
+    std::uint64_t inputBase = 0;   ///< IN
+    std::uint64_t outputAddr = 0;  ///< OUT
+    std::uint64_t factorAddr = 0;  ///< FACTOR (0 = no factors)
+    std::uint64_t statusAddr = 0;  ///< STATUS (0 = no record)
+    std::uint64_t reserved = 0;
+};
+
+static_assert(sizeof(AggregationDescriptor) == 64,
+              "descriptor must match the 64-byte hardware layout");
+
+/** Per-block completion status written to the STATUS record. */
+enum class CompletionStatus : std::uint8_t {
+    Pending = 0,
+    Success = 1,
+    Fault = 2,
+};
+
+/**
+ * Validate structural invariants a hardware engine would check before
+ * accepting the descriptor (non-zero sizes, E fits in S, supported
+ * type combinations). @return nullptr if valid, else a message.
+ */
+const char *validateDescriptor(const AggregationDescriptor &desc);
+
+} // namespace graphite::dma

@@ -1,0 +1,134 @@
+#include "dma/dma_engine.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/assert.h"
+
+namespace graphite::dma {
+
+DmaEngine::DmaEngine(EngineConfig config) : config_(config)
+{
+    buffer_.resize(config_.outputBufferBytes / sizeof(float));
+}
+
+bool
+DmaEngine::enqueue(const AggregationDescriptor &desc)
+{
+    if (queue_.size() >= config_.descriptorQueue)
+        return false;
+    queue_.push_back(desc);
+    return true;
+}
+
+void
+DmaEngine::processAll()
+{
+    while (!queue_.empty()) {
+        execute(queue_.front());
+        queue_.pop_front();
+    }
+}
+
+namespace {
+
+float
+applyBinOp(BinOp op, float value, float factor)
+{
+    switch (op) {
+      case BinOp::None:     return value;
+      case BinOp::Multiply: return value * factor;
+      case BinOp::Add:      return value + factor;
+    }
+    return value;
+}
+
+float
+applyRedOp(RedOp op, float acc, float value)
+{
+    switch (op) {
+      case RedOp::Sum: return acc + value;
+      case RedOp::Max: return std::max(acc, value);
+      case RedOp::Min: return std::min(acc, value);
+    }
+    return acc;
+}
+
+float
+redOpIdentity(RedOp op)
+{
+    switch (op) {
+      case RedOp::Sum: return 0.0f;
+      case RedOp::Max: return -__builtin_inff();
+      case RedOp::Min: return __builtin_inff();
+    }
+    return 0.0f;
+}
+
+std::uint64_t
+readIndex(const AggregationDescriptor &desc, std::uint32_t i)
+{
+    if (desc.idxType == IdxType::U32) {
+        const auto *idx =
+            reinterpret_cast<const std::uint32_t *>(desc.indexAddr);
+        return idx[i];
+    }
+    const auto *idx =
+        reinterpret_cast<const std::uint64_t *>(desc.indexAddr);
+    return idx[i];
+}
+
+void
+writeStatus(const AggregationDescriptor &desc, CompletionStatus status)
+{
+    if (desc.statusAddr != 0) {
+        *reinterpret_cast<std::uint8_t *>(desc.statusAddr) =
+            static_cast<std::uint8_t>(status);
+    }
+}
+
+} // namespace
+
+CompletionStatus
+DmaEngine::execute(const AggregationDescriptor &desc)
+{
+    if (validateDescriptor(desc) != nullptr ||
+        desc.elementsPerBlock > buffer_.size()) {
+        // The software must split aggregations whose feature vectors
+        // exceed the output buffer (paper Section 5.2).
+        ++counters_.descriptorsFaulted;
+        writeStatus(desc, CompletionStatus::Fault);
+        return CompletionStatus::Fault;
+    }
+
+    const std::uint32_t e = desc.elementsPerBlock;
+    // Algorithm 4 line 1: clear the buffer to the reduction identity.
+    std::fill(buffer_.begin(), buffer_.begin() + e,
+              redOpIdentity(desc.redOp));
+
+    const auto *factors =
+        reinterpret_cast<const float *>(desc.factorAddr);
+    for (std::uint32_t i = 0; i < desc.numBlocks; ++i) {
+        const std::uint64_t blockIndex = readIndex(desc, i);
+        const auto *block = reinterpret_cast<const float *>(
+            desc.inputBase + blockIndex * desc.paddedBlockBytes);
+        const float factor =
+            desc.binOp == BinOp::None ? 0.0f : factors[i];
+        // Algorithm 4 lines 3-6: ψ then reduce, element-wise.
+        for (std::uint32_t j = 0; j < e; ++j) {
+            const float k = applyBinOp(desc.binOp, block[j], factor);
+            buffer_[j] = applyRedOp(desc.redOp, buffer_[j], k);
+        }
+        ++counters_.blocksGathered;
+        counters_.elementsReduced += e;
+    }
+
+    // Lines 8-9: flush the buffer to OUT.
+    auto *out = reinterpret_cast<float *>(desc.outputAddr);
+    std::memcpy(out, buffer_.data(), e * sizeof(float));
+    ++counters_.descriptorsCompleted;
+    writeStatus(desc, CompletionStatus::Success);
+    return CompletionStatus::Success;
+}
+
+} // namespace graphite::dma

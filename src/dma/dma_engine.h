@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Functional model of the enhanced DMA engine (paper Section 5.2,
+ * Algorithm 4): executes aggregation descriptors against host memory,
+ * exactly reproducing the arithmetic the hardware unit would perform —
+ * gather N fixed-size blocks via an index array, apply the optional
+ * binary operator with a factor array (the ψ function), reduce
+ * element-wise into an output buffer, and flush the buffer to OUT.
+ *
+ * Timing is modelled separately in sim/dma_runner.*; this class is the
+ * architectural (functional) reference the tests pin against the
+ * software aggregation kernels.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "dma/descriptor.h"
+
+namespace graphite::dma {
+
+/** Engine buffer sizing (defaults per paper Section 6). */
+struct EngineConfig
+{
+    /** Output buffer capacity in bytes (bounds E per descriptor). */
+    std::uint32_t outputBufferBytes = 2048;
+    /** Descriptor queue capacity. */
+    std::uint32_t descriptorQueue = 32;
+};
+
+/** Counters of one functional engine. */
+struct EngineCounters
+{
+    std::uint64_t descriptorsCompleted = 0;
+    std::uint64_t descriptorsFaulted = 0;
+    std::uint64_t blocksGathered = 0;
+    std::uint64_t elementsReduced = 0;
+};
+
+/** One per-core DMA engine (functional). */
+class DmaEngine
+{
+  public:
+    explicit DmaEngine(EngineConfig config = {});
+
+    /**
+     * Enqueue a descriptor (the ENQCMD-style user-space submission).
+     * @return false when the descriptor queue is full — the caller must
+     * process the queue first, like real descriptor-ring software.
+     */
+    bool enqueue(const AggregationDescriptor &desc);
+
+    /** Descriptors currently queued. */
+    std::size_t pending() const { return queue_.size(); }
+
+    /**
+     * Execute every queued descriptor in order. Faults (validation
+     * failures, E exceeding the output buffer) write Fault to the
+     * descriptor's STATUS record and abort that descriptor only.
+     */
+    void processAll();
+
+    /** Execute one descriptor immediately (Algorithm 4). */
+    CompletionStatus execute(const AggregationDescriptor &desc);
+
+    const EngineCounters &counters() const { return counters_; }
+    const EngineConfig &config() const { return config_; }
+
+  private:
+    EngineConfig config_;
+    std::deque<AggregationDescriptor> queue_;
+    /** The output buffer B of Algorithm 4. */
+    std::vector<float> buffer_;
+    EngineCounters counters_;
+};
+
+} // namespace graphite::dma

@@ -1,0 +1,247 @@
+#include "dma/pipelined_runner.h"
+
+#include <algorithm>
+#include <cstring>
+#include <mutex>
+#include <vector>
+
+#include "common/assert.h"
+#include "parallel/thread_pool.h"
+#include "tensor/gemm.h"
+
+namespace graphite::dma {
+
+namespace {
+
+/** Per-thread state: one engine plus the staging arrays it gathers. */
+struct ThreadEngine
+{
+    DmaEngine engine;
+    /**
+     * Staged per-vertex [v, neighbors...] / [selfFactor, edgeFactors...]
+     * arrays. Descriptors hold raw pointers into these until the engine
+     * drains, so entries are pooled and only recycled after processAll.
+     */
+    std::vector<std::vector<std::uint32_t>> indexPool;
+    std::vector<std::vector<float>> factorPool;
+    std::size_t poolCursor = 0;
+    std::vector<std::uint8_t> status;
+
+    explicit ThreadEngine(const EngineConfig &config) : engine(config) {}
+
+    /** Claim one staging slot (reusing drained ones). */
+    std::size_t
+    claimSlot()
+    {
+        if (poolCursor == indexPool.size()) {
+            indexPool.emplace_back();
+            factorPool.emplace_back();
+        }
+        return poolCursor++;
+    }
+
+    /** All queued descriptors executed: staging slots are free again. */
+    void
+    drain()
+    {
+        engine.processAll();
+        poolCursor = 0;
+    }
+};
+
+/**
+ * Build and execute the (possibly split) descriptors aggregating vertex
+ * @p v into aggOut.row(v).
+ */
+void
+issueVertexAggregation(ThreadEngine &te, const CsrGraph &graph,
+                       const DenseMatrix &in, const AggregationSpec &spec,
+                       VertexId v, DenseMatrix &aggOut,
+                       PipelineCounters &counters)
+{
+    const auto neighbors = graph.neighbors(v);
+    const std::size_t n = neighbors.size() + 1;
+
+    const std::size_t slot = te.claimSlot();
+    std::vector<std::uint32_t> &indices = te.indexPool[slot];
+    std::vector<float> &factors = te.factorPool[slot];
+    indices.clear();
+    factors.clear();
+    indices.reserve(n);
+    factors.reserve(n);
+    indices.push_back(v);
+    factors.push_back(spec.selfFactor(v));
+    for (EdgeId e = graph.rowBegin(v); e < graph.rowEnd(v); ++e) {
+        indices.push_back(graph.colIdx()[e]);
+        factors.push_back(spec.edgeFactor(e));
+    }
+    te.status.assign(1, 0);
+
+    const std::size_t f = in.cols();
+    const std::size_t bufferFloats =
+        te.engine.config().outputBufferBytes / sizeof(float);
+
+    // Split the aggregation when the feature vector exceeds the output
+    // buffer (Section 5.2's 400-element example).
+    std::size_t issued = 0;
+    for (std::size_t offset = 0; offset < f; offset += bufferFloats) {
+        const std::size_t chunk = std::min(bufferFloats, f - offset);
+        AggregationDescriptor desc;
+        desc.redOp = spec.reduce == ReduceOp::Sum ? RedOp::Sum
+                                                  : RedOp::Max;
+        desc.binOp = BinOp::Multiply;
+        desc.idxType = IdxType::U32;
+        desc.valType = ValType::F32;
+        desc.elementsPerBlock = static_cast<std::uint32_t>(chunk);
+        desc.paddedBlockBytes =
+            static_cast<std::uint32_t>(in.rowBytes());
+        desc.numBlocks = static_cast<std::uint32_t>(n);
+        desc.indexAddr =
+            reinterpret_cast<std::uint64_t>(indices.data());
+        // Shift the input base by the element offset: every gathered
+        // block's window moves together because blocks share S.
+        desc.inputBase = reinterpret_cast<std::uint64_t>(in.data()) +
+                         offset * sizeof(float);
+        desc.outputAddr =
+            reinterpret_cast<std::uint64_t>(aggOut.row(v) + offset);
+        desc.factorAddr =
+            reinterpret_cast<std::uint64_t>(factors.data());
+        desc.statusAddr =
+            reinterpret_cast<std::uint64_t>(te.status.data());
+        if (!te.engine.enqueue(desc)) {
+            // Queue full: execute the backlog. The staged arrays of the
+            // *current* descriptor must survive the drain, so only the
+            // engine queue is flushed here (slots recycle at the block
+            // boundary in the caller).
+            te.engine.processAll();
+            const bool ok = te.engine.enqueue(desc);
+            GRAPHITE_ASSERT(ok, "descriptor enqueue failed after drain");
+        }
+        ++issued;
+    }
+    counters.descriptors += issued;
+    counters.splitDescriptors += issued > 1 ? issued : 0;
+    counters.blocksGathered += n * issued;
+}
+
+using UpdateFn =
+    void (*)(const UpdateOp &, const DenseMatrix &, VertexId,
+             DenseMatrix &);
+
+void
+updateVertex(const UpdateOp &update, const DenseMatrix &aggOut, VertexId v,
+             DenseMatrix &out)
+{
+    gemmBlockSerial(aggOut.row(v), 1, aggOut.rowStride(), *update.weights,
+                    out.row(v), out.rowStride(), aggOut.cols());
+    Feature *row = out.row(v);
+    if (!update.bias.empty()) {
+        #pragma omp simd
+        for (std::size_t c = 0; c < out.cols(); ++c)
+            row[c] += update.bias[c];
+    }
+    if (update.relu) {
+        #pragma omp simd
+        for (std::size_t c = 0; c < out.cols(); ++c)
+            row[c] = std::max(row[c], 0.0f);
+    }
+}
+
+PipelineCounters
+runPipeline(const CsrGraph &graph, const DenseMatrix &in,
+            const AggregationSpec &spec, const UpdateOp *update,
+            DenseMatrix &aggOut, DenseMatrix *out,
+            std::span<const VertexId> order, const PipelineConfig &config)
+{
+    const VertexId numVertices = graph.numVertices();
+    GRAPHITE_ASSERT(in.rows() == numVertices, "row mismatch");
+    GRAPHITE_ASSERT(aggOut.rows() == numVertices &&
+                        aggOut.cols() == in.cols(),
+                    "aggOut shape mismatch");
+    GRAPHITE_ASSERT(order.empty() || order.size() == numVertices,
+                    "order size mismatch");
+
+    const std::size_t numThreads = ThreadPool::global().numThreads();
+    std::vector<ThreadEngine> engines;
+    engines.reserve(numThreads);
+    for (std::size_t t = 0; t < numThreads; ++t)
+        engines.emplace_back(config.engine);
+    std::vector<PipelineCounters> counters(numThreads);
+
+    const std::size_t blockSize =
+        std::max<std::size_t>(1, config.blockSize);
+    const std::size_t task =
+        blockSize * std::max<std::size_t>(1, config.blocksPerTask);
+
+    // Per-thread ping-pong state: the previously issued block whose
+    // update is still owed (Algorithm 5's Q'/R bookkeeping).
+    std::vector<std::vector<VertexId>> pendingBlock(numThreads);
+
+    parallelFor(0, numVertices, task,
+                [&](std::size_t begin, std::size_t end, std::size_t tid) {
+        ThreadEngine &te = engines[tid];
+        for (std::size_t j = begin; j < end; j += blockSize) {
+            const std::size_t blockEnd = std::min(j + blockSize, end);
+            // Build and issue this block's descriptors (lines 5-7).
+            std::vector<VertexId> block;
+            block.reserve(blockEnd - j);
+            for (std::size_t i = j; i < blockEnd; ++i) {
+                const VertexId v = order.empty()
+                    ? static_cast<VertexId>(i) : order[i];
+                block.push_back(v);
+                issueVertexAggregation(te, graph, in, spec, v, aggOut,
+                                       counters[tid]);
+            }
+            // Wait for the previous batch (lines 8-10: the functional
+            // engine completes on drain) and update it (11-13).
+            te.drain();
+            if (update && out) {
+                for (VertexId v : pendingBlock[tid])
+                    updateVertex(*update, aggOut, v, *out);
+            }
+            pendingBlock[tid] = std::move(block);
+        }
+    });
+
+    // Trailing updates (Algorithm 5 lines 15-20).
+    for (std::size_t t = 0; t < numThreads; ++t) {
+        engines[t].drain();
+        if (update && out) {
+            for (VertexId v : pendingBlock[t])
+                updateVertex(*update, aggOut, v, *out);
+        }
+    }
+
+    PipelineCounters total;
+    for (const auto &c : counters) {
+        total.descriptors += c.descriptors;
+        total.splitDescriptors += c.splitDescriptors;
+        total.blocksGathered += c.blocksGathered;
+    }
+    return total;
+}
+
+} // namespace
+
+PipelineCounters
+pipelinedDmaLayer(const CsrGraph &graph, const DenseMatrix &in,
+                  const AggregationSpec &spec, const UpdateOp &update,
+                  DenseMatrix &aggOut, DenseMatrix &out,
+                  std::span<const VertexId> order,
+                  const PipelineConfig &config)
+{
+    GRAPHITE_ASSERT(update.weights != nullptr, "update weights required");
+    return runPipeline(graph, in, spec, &update, aggOut, &out, order,
+                       config);
+}
+
+PipelineCounters
+dmaAggregate(const CsrGraph &graph, const DenseMatrix &in,
+             const AggregationSpec &spec, DenseMatrix &out,
+             std::span<const VertexId> order, const PipelineConfig &config)
+{
+    return runPipeline(graph, in, spec, nullptr, out, nullptr, order,
+                       config);
+}
+
+} // namespace graphite::dma

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Graph Attention Network (GAT) inference layer — an extension that
+ * demonstrates the generality of the paper's ψ-factor mechanism with
+ * *data-dependent* edge factors.
+ *
+ * GAT computes, per edge (v, u):
+ *
+ *   z        = h W                          (the shared projection)
+ *   e(v, u)  = LeakyReLU(aDstᵀ z_v + aSrcᵀ z_u)
+ *   α(v, u)  = softmax over u ∈ N(v) ∪ {v} of e(v, u)
+ *   out_v    = act( Σ_u α(v, u) · z_u )
+ *
+ * The attention coefficients α are exactly an AggregationSpec — per-edge
+ * multiplicative factors aligned with the CSR — so once they are
+ * computed, the aggregation runs through *any* Graphite kernel: the
+ * basic AVX-512 path, the fused layer, or the DMA engine, whose FACTOR
+ * array field (paper Figure 8) exists for precisely this "host computes
+ * the factors, engine applies them" contract (Section 5.2).
+ */
+
+#pragma once
+
+#include <cstdint>
+
+#include "graph/csr_graph.h"
+#include "kernels/aggregation.h"
+#include "tensor/dense_matrix.h"
+
+namespace graphite {
+
+/** Single-head GAT layer (inference). */
+class GatLayer
+{
+  public:
+    /**
+     * @param inFeatures  input width.
+     * @param outFeatures projected/output width.
+     * @param negativeSlope LeakyReLU slope for the attention logits.
+     */
+    GatLayer(std::size_t inFeatures, std::size_t outFeatures,
+             float negativeSlope = 0.2f);
+
+    /** Glorot init of W and the two attention vectors. */
+    void initWeights(std::uint64_t seed);
+
+    std::size_t inFeatures() const { return inFeatures_; }
+    std::size_t outFeatures() const { return outFeatures_; }
+
+    DenseMatrix &weights() { return weights_; }
+    std::vector<Feature> &attentionSrc() { return attnSrc_; }
+    std::vector<Feature> &attentionDst() { return attnDst_; }
+
+    /**
+     * The projected features z = h W (the aggregation's input — and
+     * the IN operand a DMA offload would use).
+     */
+    DenseMatrix project(const DenseMatrix &h) const;
+
+    /**
+     * Compute the attention coefficients for @p z as an
+     * AggregationSpec: edgeFactors[e] = α(v, u) for CSR edge e and
+     * selfFactors[v] = α(v, v). Each vertex's factors (neighbors +
+     * self) sum to 1 by the softmax.
+     */
+    AggregationSpec attentionSpec(const CsrGraph &graph,
+                                  const DenseMatrix &z) const;
+
+    /**
+     * Full forward: project, attend, aggregate (through the standard
+     * Graphite aggregation kernel), then ELU-activate.
+     */
+    DenseMatrix forward(const CsrGraph &graph, const DenseMatrix &h) const;
+
+    /** Plain-loop reference used by the differential tests. */
+    DenseMatrix forwardReference(const CsrGraph &graph,
+                                 const DenseMatrix &h) const;
+
+  private:
+    std::size_t inFeatures_;
+    std::size_t outFeatures_;
+    float negativeSlope_;
+    DenseMatrix weights_;
+    std::vector<Feature> attnSrc_;
+    std::vector<Feature> attnDst_;
+};
+
+} // namespace graphite

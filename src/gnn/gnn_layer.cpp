@@ -1,0 +1,200 @@
+#include "gnn/gnn_layer.h"
+
+#include <cmath>
+
+#include "common/assert.h"
+#include "common/rng.h"
+#include "kernels/fused_layer.h"
+#include "parallel/thread_pool.h"
+#include "tensor/gemm.h"
+#include "tensor/row_ops.h"
+
+namespace graphite {
+
+AggregationSpec
+transposeSpec(const CsrGraph &graph, const AggregationSpec &spec,
+              const CsrGraph &transposed)
+{
+    AggregationSpec out;
+    out.selfFactors = spec.selfFactors;
+    if (spec.edgeFactors.empty())
+        return out;
+    GRAPHITE_ASSERT(spec.edgeFactors.size() == graph.numEdges(),
+                    "edge factor count mismatch");
+    out.edgeFactors.resize(graph.numEdges());
+    // Walk original edges v->u in the same order CsrGraph::transposed()
+    // emits them, so cursor positions line up with the transposed CSR.
+    std::vector<EdgeId> cursor(transposed.rowPtr().begin(),
+                               transposed.rowPtr().end() - 1);
+    const VertexId n = graph.numVertices();
+    for (VertexId v = 0; v < n; ++v) {
+        for (EdgeId e = graph.rowBegin(v); e < graph.rowEnd(v); ++e) {
+            const VertexId u = graph.colIdx()[e];
+            out.edgeFactors[cursor[u]++] = spec.edgeFactors[e];
+        }
+    }
+    return out;
+}
+
+GnnLayer::GnnLayer(std::size_t inFeatures, std::size_t outFeatures,
+                   bool relu)
+    : inFeatures_(inFeatures), outFeatures_(outFeatures), relu_(relu),
+      weights_(inFeatures, outFeatures), bias_(outFeatures, 0.0f),
+      weightGrad_(inFeatures, outFeatures), biasGrad_(outFeatures, 0.0f)
+{
+}
+
+void
+GnnLayer::initWeights(std::uint64_t seed)
+{
+    const float limit = std::sqrt(
+        6.0f / static_cast<float>(inFeatures_ + outFeatures_));
+    weights_.fillUniform(-limit, limit, seed);
+    std::fill(bias_.begin(), bias_.end(), 0.0f);
+}
+
+void
+GnnLayer::forwardInference(const CsrGraph &graph,
+                           const AggregationSpec &spec,
+                           const DenseMatrix &in,
+                           const CompressedMatrix *inCompressed,
+                           DenseMatrix &out,
+                           CompressedMatrix *outCompressed,
+                           std::span<const VertexId> order,
+                           const TechniqueConfig &tech) const
+{
+    const UpdateOp update{&weights_, bias_, relu_};
+    const bool packedIn = tech.compression && inCompressed != nullptr;
+    if (tech.fusion) {
+        if (packedIn) {
+            fusedLayerInferenceCompressed(graph, *inCompressed, spec,
+                                          update, out, outCompressed,
+                                          order, tech.fused);
+        } else {
+            fusedLayerInference(graph, in, spec, update, out, order,
+                                tech.fused);
+            if (outCompressed)
+                outCompressed->compressFrom(out);
+        }
+        return;
+    }
+    // Unfused path: aggregation materialises a^k, then one big GEMM.
+    DenseMatrix agg(graph.numVertices(), inFeatures_);
+    if (packedIn)
+        aggregateCompressed(graph, *inCompressed, agg, spec, order,
+                            tech.agg);
+    else
+        aggregateBasic(graph, in, agg, spec, order, tech.agg);
+    gemm(GemmMode::NN, agg, weights_, out);
+    if (!bias_.empty())
+        addBias(out, bias_);
+    if (relu_)
+        reluForward(out);
+    if (outCompressed)
+        outCompressed->compressFrom(out);
+}
+
+void
+GnnLayer::forwardTraining(const CsrGraph &graph, const AggregationSpec &spec,
+                          const DenseMatrix &in,
+                          const CompressedMatrix *inCompressed,
+                          LayerContext &ctx,
+                          std::span<const VertexId> order,
+                          const TechniqueConfig &tech) const
+{
+    const VertexId n = graph.numVertices();
+    if (ctx.agg.rows() != n || ctx.agg.cols() != inFeatures_)
+        ctx.agg.resize(n, inFeatures_);
+    if (ctx.output.rows() != n || ctx.output.cols() != outFeatures_)
+        ctx.output.resize(n, outFeatures_);
+    ctx.hasCompressed = tech.compression;
+    CompressedMatrix *outCompressed = nullptr;
+    if (tech.compression) {
+        if (ctx.outputCompressed.rows() != n ||
+            ctx.outputCompressed.cols() != outFeatures_) {
+            ctx.outputCompressed = CompressedMatrix(n, outFeatures_);
+        }
+        outCompressed = &ctx.outputCompressed;
+    }
+
+    const UpdateOp update{&weights_, bias_, relu_};
+    const bool packedIn = tech.compression && inCompressed != nullptr;
+    if (tech.fusion) {
+        if (packedIn) {
+            fusedLayerTrainingCompressed(graph, *inCompressed, spec,
+                                         update, ctx.agg, ctx.output,
+                                         outCompressed, order, tech.fused);
+        } else {
+            fusedLayerTraining(graph, in, spec, update, ctx.agg,
+                               ctx.output, order, tech.fused);
+            if (outCompressed)
+                outCompressed->compressFrom(ctx.output);
+        }
+        return;
+    }
+    if (packedIn)
+        aggregateCompressed(graph, *inCompressed, ctx.agg, spec, order,
+                            tech.agg);
+    else
+        aggregateBasic(graph, in, ctx.agg, spec, order, tech.agg);
+    gemm(GemmMode::NN, ctx.agg, weights_, ctx.output);
+    if (!bias_.empty())
+        addBias(ctx.output, bias_);
+    if (relu_)
+        reluForward(ctx.output);
+    if (outCompressed)
+        outCompressed->compressFrom(ctx.output);
+}
+
+void
+GnnLayer::backward(const CsrGraph &transposed,
+                   const AggregationSpec &transposedSpec,
+                   const LayerContext &ctx, DenseMatrix &gradOut,
+                   DenseMatrix *gradIn, const TechniqueConfig &tech)
+{
+    GRAPHITE_ASSERT(gradOut.rows() == ctx.output.rows() &&
+                        gradOut.cols() == outFeatures_,
+                    "gradOut shape mismatch");
+    // dz = dh ⊙ ReLU'(h); ctx.output is post-activation so zeros mark
+    // clipped positions.
+    if (relu_)
+        reluBackward(ctx.output, gradOut);
+
+    // dW = aᵀ·dz and db = colsum(dz).
+    gemm(GemmMode::TN, ctx.agg, gradOut, weightGrad_);
+    std::fill(biasGrad_.begin(), biasGrad_.end(), 0.0f);
+    for (std::size_t r = 0; r < gradOut.rows(); ++r) {
+        const Feature *row = gradOut.row(r);
+        for (std::size_t c = 0; c < outFeatures_; ++c)
+            biasGrad_[c] += row[c];
+    }
+
+    if (!gradIn)
+        return;
+    // da = dz·Wᵀ, then dh_prev = Aggᵀ(da) over the transposed graph.
+    DenseMatrix dAgg(gradOut.rows(), inFeatures_);
+    gemm(GemmMode::NT, gradOut, weights_, dAgg);
+    if (gradIn->rows() != gradOut.rows() || gradIn->cols() != inFeatures_)
+        gradIn->resize(gradOut.rows(), inFeatures_);
+    aggregateBasic(transposed, dAgg, *gradIn, transposedSpec, {},
+                   tech.agg);
+}
+
+void
+GnnLayer::sgdStep(float learningRate)
+{
+    parallelFor(0, weights_.rows(), 64,
+                [&](std::size_t begin, std::size_t end, std::size_t) {
+        for (std::size_t r = begin; r < end; ++r) {
+            Feature *w = weights_.row(r);
+            const Feature *g = weightGrad_.row(r);
+            #pragma omp simd
+            for (std::size_t c = 0; c < outFeatures_; ++c)
+                w[c] -= learningRate * g[c];
+        }
+    });
+    for (std::size_t c = 0; c < outFeatures_; ++c)
+        bias_[c] -= learningRate * biasGrad_[c];
+}
+
+} // namespace graphite

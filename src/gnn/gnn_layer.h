@@ -1,0 +1,125 @@
+/**
+ * @file
+ * One GNN layer: aggregation (Table 2's AGGREGATE) + FC/ReLU update,
+ * with forward paths for every technique combination and a full backward
+ * pass for training.
+ *
+ * Backward math for h = ReLU(a W + b), a = Agg(h_prev):
+ *   dz      = dh ⊙ ReLU'(h)
+ *   dW      = aᵀ · dz          db = colsum(dz)
+ *   da      = dz · Wᵀ
+ *   dh_prev = Aggᵀ(da)   — aggregation along the transposed graph with
+ *                          the transposed factor map.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "compress/compressed_matrix.h"
+#include "gnn/technique_config.h"
+#include "graph/csr_graph.h"
+#include "kernels/aggregation.h"
+#include "tensor/dense_matrix.h"
+
+namespace graphite {
+
+/**
+ * Map @p spec's per-edge factors onto @p transposed's edge order, so that
+ * Aggᵀ can run as a plain aggregation over the transposed graph.
+ */
+AggregationSpec transposeSpec(const CsrGraph &graph,
+                              const AggregationSpec &spec,
+                              const CsrGraph &transposed);
+
+/** Saved forward state one layer needs for its backward pass. */
+struct LayerContext
+{
+    /** Aggregation output a^k (pre-update). */
+    DenseMatrix agg;
+    /** Layer output h^k (post-activation). */
+    DenseMatrix output;
+    /** Compressed copy of output, maintained when compression is on. */
+    CompressedMatrix outputCompressed;
+    bool hasCompressed = false;
+};
+
+/** A single aggregation+update GNN layer with trainable W and b. */
+class GnnLayer
+{
+  public:
+    /**
+     * @param inFeatures  input feature width F_{k-1}.
+     * @param outFeatures output feature width F_k.
+     * @param relu        apply ReLU (disabled on the final logits layer).
+     */
+    GnnLayer(std::size_t inFeatures, std::size_t outFeatures, bool relu);
+
+    std::size_t inFeatures() const { return inFeatures_; }
+    std::size_t outFeatures() const { return outFeatures_; }
+    bool hasRelu() const { return relu_; }
+
+    /** Glorot-uniform weight init, zero bias. */
+    void initWeights(std::uint64_t seed);
+
+    DenseMatrix &weights() { return weights_; }
+    const DenseMatrix &weights() const { return weights_; }
+    std::vector<Feature> &bias() { return bias_; }
+    const std::vector<Feature> &bias() const { return bias_; }
+
+    /**
+     * Inference forward: writes h^k into @p out; a^k is only
+     * materialised when fusion is off (the unfused path needs it as a
+     * GEMM input). When compression is on and @p inCompressed is
+     * non-null, gathers read packed features; when @p outCompressed is
+     * non-null the produced features are also packed for the next layer.
+     */
+    void forwardInference(const CsrGraph &graph, const AggregationSpec &spec,
+                          const DenseMatrix &in,
+                          const CompressedMatrix *inCompressed,
+                          DenseMatrix &out, CompressedMatrix *outCompressed,
+                          std::span<const VertexId> order,
+                          const TechniqueConfig &tech) const;
+
+    /**
+     * Training forward: fills @p ctx with a^k and h^k (and the packed
+     * copy when compression is on).
+     */
+    void forwardTraining(const CsrGraph &graph, const AggregationSpec &spec,
+                         const DenseMatrix &in,
+                         const CompressedMatrix *inCompressed,
+                         LayerContext &ctx, std::span<const VertexId> order,
+                         const TechniqueConfig &tech) const;
+
+    /**
+     * Backward pass. Consumes dL/dh^k in @p gradOut (clobbered), fills
+     * weight/bias gradients, and when @p gradIn is non-null computes
+     * dL/dh^{k-1} via the transposed aggregation.
+     *
+     * @param transposed     transposed graph.
+     * @param transposedSpec factors remapped by transposeSpec().
+     */
+    void backward(const CsrGraph &transposed,
+                  const AggregationSpec &transposedSpec,
+                  const LayerContext &ctx, DenseMatrix &gradOut,
+                  DenseMatrix *gradIn, const TechniqueConfig &tech);
+
+    /** SGD parameter update from the last backward()'s gradients. */
+    void sgdStep(float learningRate);
+
+    const DenseMatrix &weightGrad() const { return weightGrad_; }
+    std::span<const Feature> biasGrad() const { return biasGrad_; }
+
+  private:
+    std::size_t inFeatures_;
+    std::size_t outFeatures_;
+    bool relu_;
+    DenseMatrix weights_;
+    std::vector<Feature> bias_;
+    DenseMatrix weightGrad_;
+    std::vector<Feature> biasGrad_;
+};
+
+} // namespace graphite

@@ -1,0 +1,150 @@
+#include "gnn/gnn_model.h"
+
+#include "common/assert.h"
+#include "tensor/row_ops.h"
+
+namespace graphite {
+
+GnnModel::GnnModel(const CsrGraph &graph, GnnModelConfig config)
+    : graph_(&graph), config_(std::move(config))
+{
+    GRAPHITE_ASSERT(config_.featureWidths.size() >= 2,
+                    "need at least input and output widths");
+    switch (config_.kind) {
+      case GnnKind::Gcn:
+        spec_ = gcnSpec(graph);
+        break;
+      case GnnKind::Sage:
+        spec_ = sageSpec(graph);
+        break;
+      case GnnKind::Gin:
+        spec_ = ginSpec(graph);
+        break;
+    }
+    transposed_ = graph.transposed();
+    transposedSpec_ = transposeSpec(graph, spec_, transposed_);
+
+    const std::size_t numLayers = config_.featureWidths.size() - 1;
+    for (std::size_t k = 0; k < numLayers; ++k) {
+        const bool relu = k + 1 < numLayers; // no ReLU on the logits
+        layers_.push_back(std::make_unique<GnnLayer>(
+            config_.featureWidths[k], config_.featureWidths[k + 1], relu));
+        layers_.back()->initWeights(config_.seed + k);
+    }
+    contexts_.resize(numLayers);
+    dropoutMasks_.resize(numLayers);
+}
+
+std::span<const VertexId>
+GnnModel::localityOrderFor(const TechniqueConfig &tech) const
+{
+    if (!tech.locality)
+        return {};
+    if (cachedLocalityOrder_.empty())
+        cachedLocalityOrder_ = localityOrder(*graph_);
+    return cachedLocalityOrder_;
+}
+
+DenseMatrix
+GnnModel::inference(const DenseMatrix &inputFeatures,
+                    const TechniqueConfig &tech) const
+{
+    GRAPHITE_ASSERT(inputFeatures.rows() == graph_->numVertices(),
+                    "input row count mismatch");
+    GRAPHITE_ASSERT(inputFeatures.cols() == config_.featureWidths.front(),
+                    "input width mismatch");
+    const auto order = localityOrderFor(tech);
+    const VertexId n = graph_->numVertices();
+
+    DenseMatrix current;
+    CompressedMatrix currentPacked;
+    bool havePacked = false;
+
+    for (std::size_t k = 0; k < layers_.size(); ++k) {
+        const GnnLayer &layer = *layers_[k];
+        const DenseMatrix &in = k == 0 ? inputFeatures : current;
+        DenseMatrix out(n, layer.outFeatures());
+        CompressedMatrix outPacked;
+        CompressedMatrix *packedPtr = nullptr;
+        // Hidden activations (post-ReLU) are worth compressing; the
+        // final logits layer has no consumer, so skip packing there.
+        if (tech.compression && k + 1 < layers_.size()) {
+            outPacked = CompressedMatrix(n, layer.outFeatures());
+            packedPtr = &outPacked;
+        }
+        layer.forwardInference(*graph_, spec_, in,
+                               havePacked ? &currentPacked : nullptr, out,
+                               packedPtr, order, tech);
+        current = std::move(out);
+        havePacked = packedPtr != nullptr;
+        if (havePacked)
+            currentPacked = std::move(outPacked);
+    }
+    return current;
+}
+
+const DenseMatrix &
+GnnModel::trainForward(const DenseMatrix &inputFeatures,
+                       const TechniqueConfig &tech)
+{
+    GRAPHITE_ASSERT(inputFeatures.rows() == graph_->numVertices(),
+                    "input row count mismatch");
+    const auto order = localityOrderFor(tech);
+    ++dropoutEpoch_;
+
+    for (std::size_t k = 0; k < layers_.size(); ++k) {
+        const DenseMatrix &in =
+            k == 0 ? inputFeatures : contexts_[k - 1].output;
+        const CompressedMatrix *inPacked =
+            (k > 0 && contexts_[k - 1].hasCompressed)
+                ? &contexts_[k - 1].outputCompressed : nullptr;
+        layers_[k]->forwardTraining(*graph_, spec_, in, inPacked,
+                                    contexts_[k], order, tech);
+        // Inter-layer dropout on hidden activations; the packed copy is
+        // rebuilt afterwards so the next layer sees the post-dropout
+        // sparsity (which is exactly what makes compression pay off in
+        // training — paper Section 2.2).
+        if (k + 1 < layers_.size() && config_.dropoutRate > 0.0) {
+            dropoutForward(contexts_[k].output, config_.dropoutRate,
+                           config_.seed * 1315423911ull + dropoutEpoch_ +
+                               k * 2654435761ull,
+                           dropoutMasks_[k]);
+            if (contexts_[k].hasCompressed)
+                contexts_[k].outputCompressed.compressFrom(
+                    contexts_[k].output);
+        }
+    }
+    return contexts_.back().output;
+}
+
+void
+GnnModel::trainBackward(const DenseMatrix &inputFeatures,
+                        DenseMatrix lossGrad, const TechniqueConfig &tech)
+{
+    (void)inputFeatures;
+    DenseMatrix gradOut = std::move(lossGrad);
+    for (std::size_t k = layers_.size(); k-- > 0;) {
+        DenseMatrix gradIn;
+        const bool needGradIn = k > 0;
+        layers_[k]->backward(transposed_, transposedSpec_, contexts_[k],
+                             gradOut, needGradIn ? &gradIn : nullptr,
+                             tech);
+        if (needGradIn) {
+            // Undo the inter-layer dropout between layer k-1 and k.
+            if (config_.dropoutRate > 0.0) {
+                dropoutBackward(gradIn, config_.dropoutRate,
+                                dropoutMasks_[k - 1]);
+            }
+            gradOut = std::move(gradIn);
+        }
+    }
+}
+
+void
+GnnModel::sgdStep(float learningRate)
+{
+    for (auto &layer : layers_)
+        layer->sgdStep(learningRate);
+}
+
+} // namespace graphite

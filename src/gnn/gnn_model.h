@@ -1,0 +1,100 @@
+/**
+ * @file
+ * A K-layer GNN (paper Section 2.1): a stack of GnnLayer with a shared
+ * aggregation spec (GCN or SAGE, Table 2), optional inter-layer dropout
+ * during training, and the technique flags applied uniformly.
+ */
+
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "gnn/gnn_layer.h"
+#include "graph/reorder.h"
+
+namespace graphite {
+
+/** Hyper-parameters of a GnnModel. */
+struct GnnModelConfig
+{
+    GnnKind kind = GnnKind::Gcn;
+    /** Widths: [F_input, F_hidden..., F_output]; layers = size()-1. */
+    std::vector<std::size_t> featureWidths;
+    /** Dropout rate applied to hidden activations during training. */
+    double dropoutRate = 0.5;
+    std::uint64_t seed = 7;
+};
+
+/** Multi-layer GNN bound to one graph. */
+class GnnModel
+{
+  public:
+    /**
+     * Build the model for @p graph: precomputes the aggregation spec,
+     * the transposed graph + spec (for training), and initial weights.
+     */
+    GnnModel(const CsrGraph &graph, GnnModelConfig config);
+
+    std::size_t numLayers() const { return layers_.size(); }
+    GnnLayer &layer(std::size_t k) { return *layers_[k]; }
+    const GnnLayer &layer(std::size_t k) const { return *layers_[k]; }
+
+    const AggregationSpec &spec() const { return spec_; }
+    const CsrGraph &graph() const { return *graph_; }
+
+    /**
+     * Full-batch inference. @p tech selects the kernel paths; with
+     * compression on, hidden activations flow between layers in packed
+     * form.
+     *
+     * @return logits (|V| x F_output).
+     */
+    DenseMatrix inference(const DenseMatrix &inputFeatures,
+                          const TechniqueConfig &tech) const;
+
+    /**
+     * Full-batch training forward: keeps every layer's context alive
+     * for the backward pass. Dropout (rate from the config) is applied
+     * to hidden activations; masks are saved for the backward pass.
+     *
+     * @return reference to the last layer's output (the logits).
+     */
+    const DenseMatrix &trainForward(const DenseMatrix &inputFeatures,
+                                    const TechniqueConfig &tech);
+
+    /**
+     * Training backward from @p lossGrad = dL/d(logits); fills every
+     * layer's weight/bias gradients.
+     */
+    void trainBackward(const DenseMatrix &inputFeatures,
+                       DenseMatrix lossGrad, const TechniqueConfig &tech);
+
+    /** SGD step on every layer. */
+    void sgdStep(float learningRate);
+
+    /**
+     * The processing order used when tech.locality is on (computed
+     * lazily from Algorithm 3 and cached — the cost is amortised over
+     * training epochs, which is why the paper enables it for training
+     * only).
+     */
+    std::span<const VertexId> localityOrderFor(const TechniqueConfig &tech)
+        const;
+
+  private:
+    const CsrGraph *graph_;
+    GnnModelConfig config_;
+    AggregationSpec spec_;
+    CsrGraph transposed_;
+    AggregationSpec transposedSpec_;
+    std::vector<std::unique_ptr<GnnLayer>> layers_;
+
+    // Training state.
+    std::vector<LayerContext> contexts_;
+    std::vector<std::vector<std::uint64_t>> dropoutMasks_;
+    mutable ProcessingOrder cachedLocalityOrder_;
+    std::uint64_t dropoutEpoch_ = 0;
+};
+
+} // namespace graphite

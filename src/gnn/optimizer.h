@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Optimizers for GNN training. The paper's training loop "updates the
+ * trainable parameters... with a loop of the forward pass and the
+ * backward pass" (Section 2.1); SGD lives on GnnLayer directly, and
+ * this module adds the Adam optimizer most GNN baselines (DGL/PyG
+ * reference models) actually train with, plus optional weight decay.
+ */
+
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "gnn/gnn_model.h"
+
+namespace graphite {
+
+/** Adam hyper-parameters. */
+struct AdamConfig
+{
+    float learningRate = 1e-2f;
+    float beta1 = 0.9f;
+    float beta2 = 0.999f;
+    float epsilon = 1e-8f;
+    /** Decoupled L2 weight decay (0 disables). */
+    float weightDecay = 0.0f;
+};
+
+/** Adam state and update rule over every layer of one model. */
+class AdamOptimizer
+{
+  public:
+    AdamOptimizer(GnnModel &model, AdamConfig config = {});
+
+    /**
+     * Apply one Adam step using the gradients the last
+     * GnnModel::trainBackward() produced.
+     */
+    void step();
+
+    /** Steps taken so far (the bias-correction timestep t). */
+    std::uint64_t steps() const { return steps_; }
+
+    const AdamConfig &config() const { return config_; }
+
+  private:
+    struct LayerState
+    {
+        DenseMatrix weightM;
+        DenseMatrix weightV;
+        std::vector<Feature> biasM;
+        std::vector<Feature> biasV;
+    };
+
+    GnnModel &model_;
+    AdamConfig config_;
+    std::vector<LayerState> state_;
+    std::uint64_t steps_ = 0;
+};
+
+} // namespace graphite

@@ -1,0 +1,71 @@
+#include "gnn/technique_config.h"
+
+namespace graphite {
+
+TechniqueConfig
+TechniqueConfig::basic()
+{
+    return {};
+}
+
+TechniqueConfig
+TechniqueConfig::withFusion()
+{
+    TechniqueConfig config;
+    config.fusion = true;
+    return config;
+}
+
+TechniqueConfig
+TechniqueConfig::withCompression()
+{
+    TechniqueConfig config;
+    config.compression = true;
+    return config;
+}
+
+TechniqueConfig
+TechniqueConfig::combined()
+{
+    TechniqueConfig config;
+    config.fusion = true;
+    config.compression = true;
+    return config;
+}
+
+TechniqueConfig
+TechniqueConfig::combinedLocality()
+{
+    TechniqueConfig config = combined();
+    config.locality = true;
+    return config;
+}
+
+std::string
+TechniqueConfig::label() const
+{
+    if (fusion && compression && locality)
+        return "c-locality";
+    if (fusion && compression)
+        return "combined";
+    if (fusion)
+        return "fusion";
+    if (compression)
+        return "compression";
+    if (locality)
+        return "locality";
+    return "basic";
+}
+
+std::string
+gnnKindName(GnnKind kind)
+{
+    switch (kind) {
+      case GnnKind::Gcn:  return "GCN";
+      case GnnKind::Sage: return "GraphSAGE";
+      case GnnKind::Gin:  return "GIN";
+    }
+    return "?";
+}
+
+} // namespace graphite

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * The Graphite technique matrix: which of the paper's software
+ * optimisations a run enables. The named presets mirror the
+ * configurations evaluated in Figure 11 (basic / fusion / compression /
+ * combined / combined+locality) plus the baselines.
+ */
+
+#pragma once
+
+#include <string>
+
+#include "kernels/aggregation.h"
+#include "kernels/fused_layer.h"
+
+namespace graphite {
+
+/** Software-technique switches for one execution. */
+struct TechniqueConfig
+{
+    /** Layer fusion (Section 4.2). */
+    bool fusion = false;
+    /** Feature compression of hidden activations (Section 4.3). */
+    bool compression = false;
+    /** Temporal-locality processing order (Section 4.4, training only). */
+    bool locality = false;
+    /** Aggregation kernel knobs (Algorithm 1 constants). */
+    AggregationConfig agg;
+    /** Fused kernel knobs (Algorithm 2 constants). */
+    FusedConfig fused;
+
+    /** Named presets from the paper's evaluation. @{ */
+    static TechniqueConfig basic();
+    static TechniqueConfig withFusion();
+    static TechniqueConfig withCompression();
+    static TechniqueConfig combined();
+    static TechniqueConfig combinedLocality();
+    /** @} */
+
+    /** Short label used in bench output ("basic", "combined", ...). */
+    std::string label() const;
+};
+
+/**
+ * Which GNN model. GCN and GraphSAGE are the paper's two (Table 2);
+ * GIN is an extension expressible in the same ψ/⊕ formalism.
+ */
+enum class GnnKind { Gcn, Sage, Gin };
+
+/** Model name for tables ("GCN" / "GraphSAGE" / "GIN"). */
+std::string gnnKindName(GnnKind kind);
+
+} // namespace graphite

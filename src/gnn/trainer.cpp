@@ -1,0 +1,131 @@
+#include "gnn/trainer.h"
+
+#include "common/assert.h"
+#include "common/rng.h"
+#include "common/timer.h"
+#include "tensor/row_ops.h"
+
+namespace graphite {
+
+Trainer::Trainer(GnnModel &model, const DenseMatrix &inputFeatures,
+                 std::vector<std::int32_t> labels, TrainerConfig config)
+    : model_(model), inputFeatures_(inputFeatures),
+      labels_(std::move(labels)), config_(config)
+{
+    GRAPHITE_ASSERT(labels_.size() == inputFeatures.rows(),
+                    "label count mismatch");
+}
+
+std::pair<std::vector<std::uint8_t>, std::vector<std::uint8_t>>
+makeSplitMasks(std::size_t numVertices, double trainFraction,
+               double evalFraction, std::uint64_t seed)
+{
+    GRAPHITE_ASSERT(trainFraction + evalFraction <= 1.0,
+                    "split fractions exceed 1");
+    Rng rng(seed);
+    std::vector<std::uint8_t> train(numVertices, 0);
+    std::vector<std::uint8_t> eval(numVertices, 0);
+    for (std::size_t v = 0; v < numVertices; ++v) {
+        const double draw = rng.uniform();
+        if (draw < trainFraction)
+            train[v] = 1;
+        else if (draw < trainFraction + evalFraction)
+            eval[v] = 1;
+    }
+    return {std::move(train), std::move(eval)};
+}
+
+EpochStats
+Trainer::trainEpoch()
+{
+    Timer timer;
+    const DenseMatrix &logits =
+        model_.trainForward(inputFeatures_, config_.tech);
+    DenseMatrix lossGrad(logits.rows(), logits.cols());
+    EpochStats stats;
+    if (config_.trainMask.empty()) {
+        stats.loss = softmaxCrossEntropy(logits, labels_, lossGrad);
+        stats.trainAccuracy = accuracy(logits, labels_);
+    } else {
+        stats.loss = softmaxCrossEntropyMasked(
+            logits, labels_, config_.trainMask, lossGrad);
+        stats.trainAccuracy =
+            accuracyMasked(logits, labels_, config_.trainMask);
+    }
+    model_.trainBackward(inputFeatures_, std::move(lossGrad),
+                         config_.tech);
+    model_.sgdStep(config_.learningRate);
+    stats.seconds = timer.seconds();
+    return stats;
+}
+
+std::vector<EpochStats>
+Trainer::train()
+{
+    std::vector<EpochStats> history;
+    history.reserve(config_.epochs);
+    for (std::size_t epoch = 0; epoch < config_.epochs; ++epoch)
+        history.push_back(trainEpoch());
+    return history;
+}
+
+double
+Trainer::evaluate() const
+{
+    const DenseMatrix logits =
+        model_.inference(inputFeatures_, config_.tech);
+    if (config_.evalMask.empty())
+        return accuracy(logits, labels_);
+    return accuracyMasked(logits, labels_, config_.evalMask);
+}
+
+SyntheticTask
+makeSyntheticTask(const CsrGraph &graph, std::size_t numClasses,
+                  std::size_t featureWidth, double noise,
+                  std::uint64_t seed)
+{
+    GRAPHITE_ASSERT(numClasses >= 2, "need at least two classes");
+    GRAPHITE_ASSERT(featureWidth >= numClasses,
+                    "feature width must cover the class indicators");
+    const VertexId n = graph.numVertices();
+    Rng rng(seed);
+
+    // Seed random labels, then smooth with a few majority-vote rounds so
+    // labels correlate with structure (and are thus learnable by a GNN).
+    std::vector<std::int32_t> labels(n);
+    for (VertexId v = 0; v < n; ++v)
+        labels[v] = static_cast<std::int32_t>(rng.uniformInt(numClasses));
+    std::vector<std::int32_t> next(n);
+    std::vector<std::uint32_t> votes(numClasses);
+    for (int round = 0; round < 3; ++round) {
+        for (VertexId v = 0; v < n; ++v) {
+            std::fill(votes.begin(), votes.end(), 0);
+            votes[static_cast<std::size_t>(labels[v])] += 2;
+            for (VertexId u : graph.neighbors(v))
+                ++votes[static_cast<std::size_t>(labels[u])];
+            std::size_t best = 0;
+            for (std::size_t c = 1; c < numClasses; ++c) {
+                if (votes[c] > votes[best])
+                    best = c;
+            }
+            next[v] = static_cast<std::int32_t>(best);
+        }
+        labels.swap(next);
+    }
+
+    SyntheticTask task;
+    task.labels = std::move(labels);
+    task.features = DenseMatrix(n, featureWidth);
+    for (VertexId v = 0; v < n; ++v) {
+        Feature *row = task.features.row(v);
+        for (std::size_t c = 0; c < featureWidth; ++c) {
+            row[c] = static_cast<Feature>(
+                noise * (2.0 * rng.uniform() - 1.0));
+        }
+        // Class-indicator bump so the task is separable.
+        row[static_cast<std::size_t>(task.labels[v])] += 1.0f;
+    }
+    return task;
+}
+
+} // namespace graphite

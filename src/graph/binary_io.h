@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Binary CSR persistence. Text edge lists (edge_list_io.h) are portable
+ * but slow to parse and re-sort at graph scale; this format stores the
+ * finished CSR arrays directly, so loading is two reads plus
+ * validation.
+ *
+ * Format (little-endian):
+ *   magic "GCSR" | u32 version | u64 numVertices | u64 numEdges |
+ *   rowPtr (numVertices+1 x u64) | colIdx (numEdges x u32)
+ */
+
+#pragma once
+
+#include <string>
+
+#include "graph/csr_graph.h"
+
+namespace graphite {
+
+/** Write @p graph's CSR arrays to @p path. fatal() on I/O errors. */
+void saveCsr(const CsrGraph &graph, const std::string &path);
+
+/** Load a graph saved by saveCsr(). fatal() on format errors. */
+CsrGraph loadCsr(const std::string &path);
+
+/** True if @p path exists and starts with the CSR magic. */
+bool isCsrFile(const std::string &path);
+
+} // namespace graphite

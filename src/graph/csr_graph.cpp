@@ -1,0 +1,54 @@
+#include "graph/csr_graph.h"
+
+#include <algorithm>
+
+namespace graphite {
+
+CsrGraph::CsrGraph(std::vector<EdgeId> rowPtr, std::vector<VertexId> colIdx)
+    : rowPtr_(std::move(rowPtr)), colIdx_(std::move(colIdx))
+{
+    GRAPHITE_ASSERT(!rowPtr_.empty(), "rowPtr must have |V|+1 entries");
+    GRAPHITE_ASSERT(rowPtr_.front() == 0, "rowPtr must start at 0");
+    GRAPHITE_ASSERT(rowPtr_.back() == colIdx_.size(),
+                    "rowPtr must end at |E|");
+    const VertexId n = numVertices();
+    for (std::size_t v = 0; v + 1 < rowPtr_.size(); ++v) {
+        GRAPHITE_ASSERT(rowPtr_[v] <= rowPtr_[v + 1],
+                        "rowPtr must be non-decreasing");
+    }
+    for (VertexId u : colIdx_)
+        GRAPHITE_ASSERT(u < n, "neighbor id out of range");
+}
+
+CsrGraph
+CsrGraph::transposed() const
+{
+    const VertexId n = numVertices();
+    std::vector<EdgeId> tRowPtr(n + 1, 0);
+    // Count in-degrees.
+    for (VertexId u : colIdx_)
+        ++tRowPtr[u + 1];
+    for (VertexId v = 0; v < n; ++v)
+        tRowPtr[v + 1] += tRowPtr[v];
+    std::vector<VertexId> tColIdx(colIdx_.size());
+    std::vector<EdgeId> cursor(tRowPtr.begin(), tRowPtr.end() - 1);
+    for (VertexId v = 0; v < n; ++v) {
+        for (EdgeId e = rowPtr_[v]; e < rowPtr_[v + 1]; ++e)
+            tColIdx[cursor[colIdx_[e]]++] = v;
+    }
+    return CsrGraph(std::move(tRowPtr), std::move(tColIdx));
+}
+
+bool
+CsrGraph::rowsSorted() const
+{
+    const VertexId n = numVertices();
+    for (VertexId v = 0; v < n; ++v) {
+        auto row = neighbors(v);
+        if (!std::is_sorted(row.begin(), row.end()))
+            return false;
+    }
+    return true;
+}
+
+} // namespace graphite

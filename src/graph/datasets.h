@@ -1,0 +1,85 @@
+/**
+ * @file
+ * The four evaluation datasets as parameterised synthetic analogues.
+ *
+ * Paper Table 3 characterises products, wikipedia, papers and twitter by
+ * |V|, |E|, average/max/variance degree and input-feature width. We expose
+ * the same four names with a scale knob: at scale 1.0 the analogue keeps
+ * each dataset's average degree, skew class and feature width while
+ * shrinking |V| to a size a single host can process in seconds. The ratio
+ * of working-set to last-level-cache size — the property all memory-bound
+ * conclusions hinge on — is preserved by the simulator's cache sizing.
+ */
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/csr_graph.h"
+
+namespace graphite {
+
+/** Identifier for one of the paper's evaluation datasets. */
+enum class DatasetId { Products, Wikipedia, Papers, Twitter };
+
+/** A generated dataset analogue plus its metadata. */
+struct Dataset
+{
+    std::string name;
+    DatasetId id;
+    CsrGraph graph;
+    /** Input feature width F_input (Table 3). */
+    std::size_t inputFeatures = 0;
+    /** Hidden feature width (paper Section 6: 256). */
+    std::size_t hiddenFeatures = 256;
+};
+
+/** Generator family used for a dataset analogue. */
+enum class DatasetGenerator
+{
+    /** R-MAT power-law (papers/twitter/wikipedia analogues). */
+    Rmat,
+    /**
+     * Planted communities (products analogue): co-purchase networks
+     * are highly clustered, which is what makes the paper's locality
+     * reordering shine on products (Section 7.2.4).
+     */
+    Community,
+};
+
+/** Configuration blueprint of one dataset analogue. */
+struct DatasetSpec
+{
+    std::string name;
+    DatasetId id;
+    /** log2(|V|) at scale 1.0. */
+    unsigned scaleLog2 = 16;
+    double avgDegree = 16.0;
+    /** R-MAT `a` quadrant weight — larger means heavier degree skew. */
+    double rmatA = 0.57;
+    bool undirected = false;
+    std::size_t inputFeatures = 256;
+    DatasetGenerator generator = DatasetGenerator::Rmat;
+};
+
+/** Blueprint for @p id (values in DESIGN.md Section 4). */
+DatasetSpec datasetSpec(DatasetId id);
+
+/** All four dataset ids in paper order. */
+std::vector<DatasetId> allDatasets();
+
+/**
+ * Generate the analogue for @p id.
+ *
+ * @param scaleShift subtracted from the blueprint's scaleLog2 so benches
+ *        can run smaller instances (e.g. shift 2 => |V|/4). Feature widths
+ *        are unchanged.
+ */
+Dataset makeDataset(DatasetId id, unsigned scaleShift = 0,
+                    std::uint64_t seed = 1);
+
+/** Parse a dataset name ("products", ...); fatal() on unknown names. */
+DatasetId parseDatasetName(const std::string &name);
+
+} // namespace graphite

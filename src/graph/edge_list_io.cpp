@@ -1,0 +1,69 @@
+#include "graph/edge_list_io.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "common/assert.h"
+#include "graph/graph_builder.h"
+
+namespace graphite {
+
+CsrGraph
+loadEdgeList(const std::string &path, VertexId numVertices, bool undirected)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal("cannot open edge list '%s'", path.c_str());
+
+    std::vector<std::pair<VertexId, VertexId>> edges;
+    VertexId maxId = 0;
+    std::string line;
+    std::size_t lineNo = 0;
+    while (std::getline(in, line)) {
+        ++lineNo;
+        if (line.empty() || line[0] == '#')
+            continue;
+        std::istringstream fields(line);
+        std::uint64_t src;
+        std::uint64_t dst;
+        if (!(fields >> src >> dst)) {
+            fatal("malformed edge at %s:%zu: '%s'", path.c_str(), lineNo,
+                  line.c_str());
+        }
+        edges.emplace_back(static_cast<VertexId>(src),
+                           static_cast<VertexId>(dst));
+        maxId = std::max({maxId, static_cast<VertexId>(src),
+                          static_cast<VertexId>(dst)});
+    }
+    if (numVertices == 0)
+        numVertices = edges.empty() ? 0 : maxId + 1;
+
+    GraphBuilder builder(numVertices);
+    for (const auto &[src, dst] : edges) {
+        if (undirected)
+            builder.addUndirectedEdge(src, dst);
+        else
+            builder.addEdge(src, dst);
+    }
+    return builder.build();
+}
+
+void
+saveEdgeList(const CsrGraph &graph, const std::string &path)
+{
+    std::ofstream out(path);
+    if (!out)
+        fatal("cannot write edge list '%s'", path.c_str());
+    out << "# graphite edge list: " << graph.numVertices() << " vertices, "
+        << graph.numEdges() << " edges\n";
+    for (VertexId v = 0; v < graph.numVertices(); ++v) {
+        for (VertexId u : graph.neighbors(v))
+            out << v << ' ' << u << '\n';
+    }
+}
+
+} // namespace graphite

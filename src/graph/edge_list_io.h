@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Plain-text edge-list persistence, so users can bring their own graphs.
+ *
+ * Format: one `src dst` pair per line; `#`-prefixed lines are comments.
+ * Vertex count is max id + 1 unless given explicitly.
+ */
+
+#pragma once
+
+#include <string>
+
+#include "graph/csr_graph.h"
+
+namespace graphite {
+
+/**
+ * Load a graph from an edge-list text file.
+ *
+ * @param path file to read; fatal() on open failure or malformed lines.
+ * @param numVertices vertex count, or 0 to infer max id + 1.
+ * @param undirected if true each listed edge is added in both directions.
+ */
+CsrGraph loadEdgeList(const std::string &path, VertexId numVertices = 0,
+                      bool undirected = false);
+
+/** Write @p graph as an edge-list text file. */
+void saveEdgeList(const CsrGraph &graph, const std::string &path);
+
+} // namespace graphite

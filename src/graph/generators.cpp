@@ -1,0 +1,197 @@
+#include "graph/generators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/assert.h"
+#include "common/rng.h"
+#include "graph/graph_builder.h"
+
+namespace graphite {
+
+void
+appendRmatEdges(GraphBuilder &builder, const RmatParams &params)
+{
+    GRAPHITE_ASSERT(params.scale > 0 && params.scale < 31,
+                    "rmat scale out of range");
+    const VertexId n = VertexId{1} << params.scale;
+    const auto target = static_cast<EdgeId>(params.avgDegree * n);
+    const double d = 1.0 - params.a - params.b - params.c;
+    GRAPHITE_ASSERT(d >= 0.0, "rmat quadrant probabilities exceed 1");
+
+    Rng rng(params.seed);
+    for (EdgeId e = 0; e < target; ++e) {
+        VertexId src = 0;
+        VertexId dst = 0;
+        for (unsigned level = 0; level < params.scale; ++level) {
+            // Perturb the quadrant probabilities slightly per level, the
+            // standard trick to avoid exact-degree staircases.
+            const double noise = 0.9 + 0.2 * rng.uniform();
+            double pa = params.a * noise;
+            double pb = params.b * noise;
+            double pc = params.c * noise;
+            const double sum = pa + pb + pc + d * noise;
+            pa /= sum;
+            pb /= sum;
+            pc /= sum;
+            const double r = rng.uniform();
+            src <<= 1;
+            dst <<= 1;
+            if (r < pa) {
+                // top-left quadrant: nothing set
+            } else if (r < pa + pb) {
+                dst |= 1;
+            } else if (r < pa + pb + pc) {
+                src |= 1;
+            } else {
+                src |= 1;
+                dst |= 1;
+            }
+        }
+        if (params.undirected)
+            builder.addUndirectedEdge(src, dst);
+        else
+            builder.addEdge(src, dst);
+    }
+}
+
+CsrGraph
+generateRmat(const RmatParams &params)
+{
+    GraphBuilder builder(VertexId{1} << params.scale);
+    appendRmatEdges(builder, params);
+    return builder.build();
+}
+
+CsrGraph
+generateErdosRenyi(VertexId numVertices, EdgeId numEdges, bool undirected,
+                   std::uint64_t seed)
+{
+    Rng rng(seed);
+    GraphBuilder builder(numVertices);
+    for (EdgeId e = 0; e < numEdges; ++e) {
+        auto u = static_cast<VertexId>(rng.uniformInt(numVertices));
+        auto v = static_cast<VertexId>(rng.uniformInt(numVertices));
+        if (undirected)
+            builder.addUndirectedEdge(u, v);
+        else
+            builder.addEdge(u, v);
+    }
+    return builder.build();
+}
+
+CsrGraph
+generateBarabasiAlbert(VertexId numVertices, VertexId edgesPerVertex,
+                       std::uint64_t seed)
+{
+    GRAPHITE_ASSERT(numVertices > edgesPerVertex,
+                    "need more vertices than attachment edges");
+    Rng rng(seed);
+    GraphBuilder builder(numVertices);
+    // Repeated-endpoint list: sampling uniformly from it realises
+    // preferential attachment.
+    std::vector<VertexId> endpoints;
+    endpoints.reserve(static_cast<std::size_t>(numVertices) *
+                      edgesPerVertex * 2);
+    // Seed clique over the first edgesPerVertex + 1 vertices.
+    for (VertexId v = 0; v <= edgesPerVertex; ++v) {
+        for (VertexId u = 0; u < v; ++u) {
+            builder.addUndirectedEdge(u, v);
+            endpoints.push_back(u);
+            endpoints.push_back(v);
+        }
+    }
+    for (VertexId v = edgesPerVertex + 1; v < numVertices; ++v) {
+        for (VertexId k = 0; k < edgesPerVertex; ++k) {
+            const VertexId u =
+                endpoints[rng.uniformInt(endpoints.size())];
+            builder.addUndirectedEdge(u, v);
+            endpoints.push_back(u);
+            endpoints.push_back(v);
+        }
+    }
+    return builder.build();
+}
+
+void
+appendCommunityEdges(GraphBuilder &builder, const CommunityParams &params)
+{
+    const VertexId n = params.numVertices;
+    GRAPHITE_ASSERT(params.communitySize >= 2,
+                    "communities need at least two members");
+    Rng rng(params.seed);
+    // Shuffle ids into communities so vertex ids carry no locality.
+    std::vector<VertexId> member(n);
+    for (VertexId v = 0; v < n; ++v)
+        member[v] = v;
+    for (std::size_t i = n; i > 1; --i)
+        std::swap(member[i - 1], member[rng.uniformInt(i)]);
+
+    const VertexId communitySize = params.communitySize;
+    for (VertexId slot = 0; slot < n; ++slot) {
+        const VertexId v = member[slot];
+        const VertexId communityBegin = slot / communitySize *
+            communitySize;
+        const VertexId communityEnd = std::min<VertexId>(
+            communityBegin + communitySize, n);
+        const VertexId span = communityEnd - communityBegin;
+        for (VertexId h = 0; h < params.hubsPerCommunity && h < span;
+             ++h) {
+            const VertexId hub = member[communityBegin + h];
+            if (hub != v)
+                builder.addUndirectedEdge(v, hub);
+        }
+        for (VertexId k = 0; k < params.intraDegree; ++k) {
+            const VertexId other = member[
+                communityBegin + rng.uniformInt(span)];
+            if (other != v)
+                builder.addUndirectedEdge(v, other);
+        }
+        for (VertexId k = 0; k < params.interDegree; ++k) {
+            const auto other =
+                static_cast<VertexId>(rng.uniformInt(n));
+            if (other != v)
+                builder.addUndirectedEdge(v, other);
+        }
+    }
+}
+
+CsrGraph
+generateCommunityGraph(const CommunityParams &params)
+{
+    GraphBuilder builder(params.numVertices);
+    appendCommunityEdges(builder, params);
+    return builder.build();
+}
+
+CsrGraph
+generateClusteredRmat(const RmatParams &rmat,
+                      const CommunityParams &community)
+{
+    const VertexId n = VertexId{1} << rmat.scale;
+    GRAPHITE_ASSERT(community.numVertices == n,
+                    "hybrid components must agree on the vertex count");
+    GraphBuilder builder(n);
+    appendRmatEdges(builder, rmat);
+    appendCommunityEdges(builder, community);
+    return builder.build();
+}
+
+CsrGraph
+generateRing(VertexId numVertices, VertexId extraHops)
+{
+    GRAPHITE_ASSERT(numVertices >= 3, "ring needs at least 3 vertices");
+    GraphBuilder builder(numVertices);
+    for (VertexId v = 0; v < numVertices; ++v) {
+        builder.addUndirectedEdge(v, (v + 1) % numVertices);
+        for (VertexId h = 0; h < extraHops; ++h) {
+            const VertexId skip = (v + 2 + h) % numVertices;
+            if (skip != v)
+                builder.addUndirectedEdge(v, skip);
+        }
+    }
+    return builder.build();
+}
+
+} // namespace graphite

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Synthetic graph generators.
+ *
+ * The paper evaluates on ogbn-products, wikipedia, ogbn-papers100M and
+ * twitter. Those datasets are not redistributable/downloadable in this
+ * environment, so we generate analogues whose first-order structural
+ * properties — average degree, degree skew (power law vs. flatter), and
+ * footprint relative to cache capacity — match each dataset's role in the
+ * evaluation (see DESIGN.md Section 2 for the substitution argument).
+ */
+
+#pragma once
+
+#include <cstdint>
+
+#include "graph/csr_graph.h"
+#include "graph/graph_builder.h"
+
+namespace graphite {
+
+/** Parameters for the recursive-matrix (R-MAT) generator. */
+struct RmatParams
+{
+    /** log2 of the vertex count. */
+    unsigned scale = 16;
+    /** Target average out-degree (edges generated = avgDegree * |V|). */
+    double avgDegree = 16.0;
+    /** Quadrant probabilities; d = 1 - a - b - c. Larger a = heavier skew. */
+    double a = 0.57;
+    double b = 0.19;
+    double c = 0.19;
+    /** If true, add both directions of every generated edge. */
+    bool undirected = false;
+    std::uint64_t seed = 1;
+};
+
+/**
+ * R-MAT / Kronecker generator producing power-law degree distributions
+ * (products/papers/twitter analogues).
+ */
+CsrGraph generateRmat(const RmatParams &params);
+
+/**
+ * Erdős–Rényi G(n, m): m directed edges chosen uniformly. Flat degree
+ * distribution (low variance), a useful contrast to R-MAT in locality
+ * experiments.
+ */
+CsrGraph generateErdosRenyi(VertexId numVertices, EdgeId numEdges,
+                            bool undirected = false, std::uint64_t seed = 1);
+
+/**
+ * Barabási–Albert preferential attachment: each new vertex attaches to
+ * @p edgesPerVertex existing vertices with probability proportional to
+ * degree. Produces power-law graphs with guaranteed connectivity.
+ */
+CsrGraph generateBarabasiAlbert(VertexId numVertices,
+                                VertexId edgesPerVertex,
+                                std::uint64_t seed = 1);
+
+/**
+ * Ring graph with @p extraHops additional skip edges per vertex —
+ * deterministic structure used by unit tests.
+ */
+CsrGraph generateRing(VertexId numVertices, VertexId extraHops = 0);
+
+/** Parameters of the planted-community generator. */
+struct CommunityParams
+{
+    VertexId numVertices = 1 << 14;
+    /** Vertices per community. */
+    VertexId communitySize = 64;
+    /** Undirected intra-community edges initiated per vertex. */
+    VertexId intraDegree = 20;
+    /** Undirected global (inter-community) edges per vertex. */
+    VertexId interDegree = 5;
+    /**
+     * Designated hub members per community every member links to.
+     * Hubs give the degree distribution the skew real co-purchase
+     * graphs have, and make each community a single high-degree
+     * bucket under the paper's Algorithm 3.
+     */
+    VertexId hubsPerCommunity = 2;
+    std::uint64_t seed = 1;
+};
+
+/**
+ * Planted-community graph: vertex ids are randomly shuffled into
+ * communities, each vertex connects mostly within its community plus a
+ * few global edges. Models highly-clustered networks (e.g. product
+ * co-purchase graphs) where community members share many neighbors but
+ * vertex ids carry no layout locality — exactly the structure the
+ * paper's temporal-locality reordering (Algorithm 3) exploits.
+ */
+CsrGraph generateCommunityGraph(const CommunityParams &params);
+
+/** Append R-MAT edges into an existing builder (for hybrid graphs). */
+void appendRmatEdges(GraphBuilder &builder, const RmatParams &params);
+
+/** Append planted-community edges into an existing builder. */
+void appendCommunityEdges(GraphBuilder &builder,
+                          const CommunityParams &params);
+
+/**
+ * Hybrid generator: R-MAT's power-law skew and id-embedded locality
+ * plus a planted-community overlay supplying the clustering real
+ * graphs have and pure R-MAT lacks.
+ */
+CsrGraph generateClusteredRmat(const RmatParams &rmat,
+                               const CommunityParams &community);
+
+} // namespace graphite

@@ -1,0 +1,55 @@
+#include "graph/graph_builder.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+
+namespace graphite {
+
+GraphBuilder::GraphBuilder(VertexId numVertices)
+    : numVertices_(numVertices)
+{
+}
+
+void
+GraphBuilder::addEdge(VertexId src, VertexId dst)
+{
+    GRAPHITE_ASSERT(src < numVertices_ && dst < numVertices_,
+                    "edge endpoint out of range");
+    edges_.emplace_back(src, dst);
+}
+
+void
+GraphBuilder::addUndirectedEdge(VertexId u, VertexId v)
+{
+    addEdge(u, v);
+    addEdge(v, u);
+}
+
+CsrGraph
+GraphBuilder::build()
+{
+    std::sort(edges_.begin(), edges_.end());
+    edges_.erase(std::unique(edges_.begin(), edges_.end()), edges_.end());
+    edges_.erase(std::remove_if(edges_.begin(), edges_.end(),
+                                [](const auto &e) {
+                                    return e.first == e.second;
+                                }),
+                 edges_.end());
+
+    std::vector<EdgeId> rowPtr(numVertices_ + 1, 0);
+    for (const auto &[src, dst] : edges_)
+        ++rowPtr[src + 1];
+    for (VertexId v = 0; v < numVertices_; ++v)
+        rowPtr[v + 1] += rowPtr[v];
+    std::vector<VertexId> colIdx(edges_.size());
+    std::vector<EdgeId> cursor(rowPtr.begin(), rowPtr.end() - 1);
+    for (const auto &[src, dst] : edges_)
+        colIdx[cursor[src]++] = dst;
+
+    edges_.clear();
+    edges_.shrink_to_fit();
+    return CsrGraph(std::move(rowPtr), std::move(colIdx));
+}
+
+} // namespace graphite

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Edge-list accumulation and CSR finalisation.
+ */
+
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "graph/csr_graph.h"
+
+namespace graphite {
+
+/**
+ * Mutable edge-list builder that finalises into an immutable CsrGraph.
+ *
+ * Duplicate edges and self-loops are removed at build time (the GNN
+ * formulation adds the self term explicitly via N(v) ∪ {v}, so storing
+ * self-loops in the adjacency would double-count it).
+ */
+class GraphBuilder
+{
+  public:
+    /** @param numVertices fixed vertex count of the graph under build. */
+    explicit GraphBuilder(VertexId numVertices);
+
+    /** Append a directed edge src → dst. Out-of-range ids are fatal. */
+    void addEdge(VertexId src, VertexId dst);
+
+    /** Append both directions of an undirected edge. */
+    void addUndirectedEdge(VertexId u, VertexId v);
+
+    /** Number of (pre-dedup) edges accumulated so far. */
+    EdgeId numPendingEdges() const { return edges_.size(); }
+
+    /**
+     * Sort, dedupe, strip self-loops and produce the CSR graph. The
+     * builder is left empty afterwards.
+     */
+    CsrGraph build();
+
+  private:
+    VertexId numVertices_;
+    std::vector<std::pair<VertexId, VertexId>> edges_;
+};
+
+} // namespace graphite

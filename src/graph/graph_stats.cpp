@@ -1,0 +1,48 @@
+#include "graph/graph_stats.h"
+
+#include <cstdio>
+
+namespace graphite {
+
+GraphStats
+computeGraphStats(const CsrGraph &graph)
+{
+    GraphStats stats;
+    stats.numVertices = graph.numVertices();
+    stats.numEdges = graph.numEdges();
+    if (stats.numVertices == 0)
+        return stats;
+
+    double sum = 0.0;
+    double sumSq = 0.0;
+    for (VertexId v = 0; v < stats.numVertices; ++v) {
+        const double deg = graph.degree(v);
+        sum += deg;
+        sumSq += deg * deg;
+        if (graph.degree(v) > stats.maxDegree)
+            stats.maxDegree = graph.degree(v);
+    }
+    const double n = stats.numVertices;
+    stats.avgDegree = sum / n;
+    stats.degreeVariance = sumSq / n - stats.avgDegree * stats.avgDegree;
+    stats.adjacencySparsity =
+        1.0 - static_cast<double>(stats.numEdges) / (n * n);
+    return stats;
+}
+
+std::string
+formatGraphStats(const std::string &name, const GraphStats &stats,
+                 std::size_t inputFeatures)
+{
+    char line[256];
+    std::snprintf(line, sizeof(line),
+                  "%-10s |V|=%-9u |E|=%-11llu avgDeg=%-7.1f maxDeg=%-8u "
+                  "varDeg=%-11.1f F_in=%zu",
+                  name.c_str(), stats.numVertices,
+                  static_cast<unsigned long long>(stats.numEdges),
+                  stats.avgDegree, stats.maxDegree, stats.degreeVariance,
+                  inputFeatures);
+    return line;
+}
+
+} // namespace graphite

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Degree statistics — the columns of the paper's Table 3.
+ */
+
+#pragma once
+
+#include <string>
+
+#include "graph/csr_graph.h"
+
+namespace graphite {
+
+/** Summary statistics of a graph's degree distribution. */
+struct GraphStats
+{
+    VertexId numVertices = 0;
+    EdgeId numEdges = 0;
+    double avgDegree = 0.0;
+    VertexId maxDegree = 0;
+    /** Population variance of the out-degree. */
+    double degreeVariance = 0.0;
+    /** Fraction of adjacency-matrix entries that are zero. */
+    double adjacencySparsity = 0.0;
+};
+
+/** Compute GraphStats for @p graph in one pass. */
+GraphStats computeGraphStats(const CsrGraph &graph);
+
+/** Human-readable one-line rendering (Table 3 row format). */
+std::string formatGraphStats(const std::string &name,
+                             const GraphStats &stats,
+                             std::size_t inputFeatures);
+
+} // namespace graphite

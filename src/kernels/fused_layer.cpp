@@ -1,0 +1,265 @@
+#include "kernels/fused_layer.h"
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+#include "common/assert.h"
+#include "parallel/thread_pool.h"
+#include "tensor/gemm.h"
+#include "tensor/row_ops.h"
+
+namespace graphite {
+
+namespace {
+
+/** Apply bias and ReLU to @p rows block rows in place. */
+void
+finishUpdateBlock(Feature *rows, std::size_t numRows, std::size_t stride,
+                  std::size_t cols, const UpdateOp &update)
+{
+    for (std::size_t r = 0; r < numRows; ++r) {
+        Feature *row = rows + r * stride;
+        if (!update.bias.empty()) {
+            #pragma omp simd
+            for (std::size_t c = 0; c < cols; ++c)
+                row[c] += update.bias[c];
+        }
+        if (update.relu) {
+            #pragma omp simd
+            for (std::size_t c = 0; c < cols; ++c)
+                row[c] = std::max(row[c], 0.0f);
+        }
+    }
+}
+
+/** Single-vertex aggregation from compressed input into @p dst. */
+void
+aggregateVertexCompressed(const CsrGraph &graph, const CompressedMatrix &in,
+                          VertexId v, const AggregationSpec &spec,
+                          Feature *dst, std::size_t stride)
+{
+    GRAPHITE_ASSERT(spec.reduce == ReduceOp::Sum,
+                    "compressed aggregation supports sum reduction");
+    std::fill(dst, dst + stride, 0.0f);
+    in.accumulateRow(v, spec.selfFactor(v), dst);
+    for (EdgeId e = graph.rowBegin(v); e < graph.rowEnd(v); ++e)
+        in.accumulateRow(graph.colIdx()[e], spec.edgeFactor(e), dst);
+}
+
+/**
+ * Shared driver for all fused variants. @p aggregateOne fills one block
+ * row; @p emitAgg (optional) persists the aggregation row for backprop;
+ * @p emitOut persists one finished output row.
+ */
+template <typename AggregateFn, typename PrefetchFn>
+void
+fusedDriver(const CsrGraph &graph, std::size_t inCols,
+            const UpdateOp &update, DenseMatrix &out,
+            std::span<const VertexId> order, const FusedConfig &config,
+            AggregateFn &&aggregateOne, PrefetchFn &&prefetchFor,
+            DenseMatrix *aggOut, CompressedMatrix *outCompressed)
+{
+    GRAPHITE_ASSERT(update.weights != nullptr, "update weights required");
+    GRAPHITE_ASSERT(update.weights->rows() == inCols,
+                    "weight rows must equal input feature width");
+    GRAPHITE_ASSERT(update.weights->cols() == out.cols(),
+                    "weight cols must equal output feature width");
+    const VertexId n = graph.numVertices();
+    GRAPHITE_ASSERT(order.empty() || order.size() == n,
+                    "order must cover all vertices");
+
+    const std::size_t blockSize = std::max<std::size_t>(1,
+                                                        config.blockSize);
+    const std::size_t taskVertices =
+        blockSize * std::max<std::size_t>(1, config.blocksPerTask);
+    // Padded strides of the block-local buffers match the matrices so
+    // rows can be memcpy'd wholesale.
+    const std::size_t aggStride =
+        (inCols + kFloatsPerLine - 1) / kFloatsPerLine * kFloatsPerLine;
+    const std::size_t outStride = out.rowStride();
+
+    const std::size_t numThreads = ThreadPool::global().numThreads();
+    // Reusable per-thread block buffers (Figure 5c's single buffer).
+    std::vector<AlignedBuffer<Feature>> aggBuf;
+    std::vector<AlignedBuffer<Feature>> outBuf;
+    aggBuf.reserve(numThreads);
+    outBuf.reserve(numThreads);
+    for (std::size_t t = 0; t < numThreads; ++t) {
+        aggBuf.emplace_back(blockSize * aggStride);
+        outBuf.emplace_back(blockSize * outStride);
+    }
+
+    parallelFor(0, n, taskVertices,
+                [&](std::size_t begin, std::size_t end, std::size_t tid) {
+        Feature *agg = aggBuf[tid].data();
+        Feature *upd = outBuf[tid].data();
+        for (std::size_t j = begin; j < end; j += blockSize) {
+            const std::size_t blockEnd = std::min(j + blockSize, end);
+            const std::size_t rows = blockEnd - j;
+            // Aggregation phase of the block (Algorithm 2 lines 3-7).
+            for (std::size_t m = 0; m < rows; ++m) {
+                const std::size_t i = j + m;
+                const VertexId v =
+                    order.empty() ? static_cast<VertexId>(i) : order[i];
+                aggregateOne(v, agg + m * aggStride);
+                if (config.agg.prefetchDistance > 0 &&
+                    i + config.agg.prefetchDistance < end) {
+                    const std::size_t ahead =
+                        i + config.agg.prefetchDistance;
+                    prefetchFor(order.empty()
+                                    ? static_cast<VertexId>(ahead)
+                                    : order[ahead]);
+                }
+            }
+            if (aggOut) {
+                // Training keeps the whole a^k for back-propagation
+                // (Figure 5b): write the block out, indexed by vertex.
+                for (std::size_t m = 0; m < rows; ++m) {
+                    const std::size_t i = j + m;
+                    const VertexId v = order.empty()
+                        ? static_cast<VertexId>(i) : order[i];
+                    std::memcpy(aggOut->row(v), agg + m * aggStride,
+                                aggStride * sizeof(Feature));
+                }
+            }
+            // Update phase of the block (Algorithm 2 lines 8-10).
+            gemmBlockSerial(agg, rows, aggStride, *update.weights, upd,
+                            outStride, inCols);
+            finishUpdateBlock(upd, rows, outStride, out.cols(), update);
+            for (std::size_t m = 0; m < rows; ++m) {
+                const std::size_t i = j + m;
+                const VertexId v =
+                    order.empty() ? static_cast<VertexId>(i) : order[i];
+                std::memcpy(out.row(v), upd + m * outStride,
+                            outStride * sizeof(Feature));
+                if (outCompressed)
+                    outCompressed->compressRowFrom(v, upd + m * outStride);
+            }
+        }
+    });
+}
+
+} // namespace
+
+void
+fusedLayerTraining(const CsrGraph &graph, const DenseMatrix &in,
+                   const AggregationSpec &spec, const UpdateOp &update,
+                   DenseMatrix &aggOut, DenseMatrix &out,
+                   std::span<const VertexId> order,
+                   const FusedConfig &config)
+{
+    GRAPHITE_ASSERT(in.rows() == graph.numVertices(), "row mismatch");
+    GRAPHITE_ASSERT(aggOut.rows() == in.rows() &&
+                        aggOut.cols() == in.cols(),
+                    "aggOut shape mismatch");
+    fusedDriver(
+        graph, in.cols(), update, out, order, config,
+        [&](VertexId v, Feature *dst) {
+            aggregateVertex(graph, in, v, spec, dst);
+        },
+        [&](VertexId next) {
+            for (VertexId u : graph.neighbors(next)) {
+                __builtin_prefetch(in.row(u), 0, 3);
+                __builtin_prefetch(reinterpret_cast<const char *>(
+                                       in.row(u)) + kCacheLineBytes,
+                                   0, 3);
+            }
+        },
+        &aggOut, nullptr);
+}
+
+void
+fusedLayerInference(const CsrGraph &graph, const DenseMatrix &in,
+                    const AggregationSpec &spec, const UpdateOp &update,
+                    DenseMatrix &out, std::span<const VertexId> order,
+                    const FusedConfig &config)
+{
+    GRAPHITE_ASSERT(in.rows() == graph.numVertices(), "row mismatch");
+    fusedDriver(
+        graph, in.cols(), update, out, order, config,
+        [&](VertexId v, Feature *dst) {
+            aggregateVertex(graph, in, v, spec, dst);
+        },
+        [&](VertexId next) {
+            for (VertexId u : graph.neighbors(next)) {
+                __builtin_prefetch(in.row(u), 0, 3);
+                __builtin_prefetch(reinterpret_cast<const char *>(
+                                       in.row(u)) + kCacheLineBytes,
+                                   0, 3);
+            }
+        },
+        nullptr, nullptr);
+}
+
+void
+fusedLayerTrainingCompressed(const CsrGraph &graph,
+                             const CompressedMatrix &in,
+                             const AggregationSpec &spec,
+                             const UpdateOp &update, DenseMatrix &aggOut,
+                             DenseMatrix &out,
+                             CompressedMatrix *outCompressed,
+                             std::span<const VertexId> order,
+                             const FusedConfig &config)
+{
+    GRAPHITE_ASSERT(in.rows() == graph.numVertices(), "row mismatch");
+    GRAPHITE_ASSERT(aggOut.rows() == in.rows() &&
+                        aggOut.cols() == in.cols(),
+                    "aggOut shape mismatch");
+    const std::size_t stride = in.rowStride();
+    fusedDriver(
+        graph, in.cols(), update, out, order, config,
+        [&](VertexId v, Feature *dst) {
+            aggregateVertexCompressed(graph, in, v, spec, dst, stride);
+        },
+        [&](VertexId next) {
+            for (VertexId u : graph.neighbors(next)) {
+                __builtin_prefetch(in.values(u), 0, 3);
+                __builtin_prefetch(in.mask(u), 0, 3);
+            }
+        },
+        &aggOut, outCompressed);
+}
+
+void
+fusedLayerInferenceCompressed(const CsrGraph &graph,
+                              const CompressedMatrix &in,
+                              const AggregationSpec &spec,
+                              const UpdateOp &update, DenseMatrix &out,
+                              CompressedMatrix *outCompressed,
+                              std::span<const VertexId> order,
+                              const FusedConfig &config)
+{
+    GRAPHITE_ASSERT(in.rows() == graph.numVertices(), "row mismatch");
+    const std::size_t stride = in.rowStride();
+    fusedDriver(
+        graph, in.cols(), update, out, order, config,
+        [&](VertexId v, Feature *dst) {
+            aggregateVertexCompressed(graph, in, v, spec, dst, stride);
+        },
+        [&](VertexId next) {
+            for (VertexId u : graph.neighbors(next)) {
+                __builtin_prefetch(in.values(u), 0, 3);
+                __builtin_prefetch(in.mask(u), 0, 3);
+            }
+        },
+        nullptr, outCompressed);
+}
+
+void
+unfusedLayer(const CsrGraph &graph, const DenseMatrix &in,
+             const AggregationSpec &spec, const UpdateOp &update,
+             DenseMatrix &aggOut, DenseMatrix &out,
+             std::span<const VertexId> order,
+             const AggregationConfig &config)
+{
+    GRAPHITE_ASSERT(update.weights != nullptr, "update weights required");
+    aggregateBasic(graph, in, aggOut, spec, order, config);
+    gemm(GemmMode::NN, aggOut, *update.weights, out);
+    if (!update.bias.empty())
+        addBias(out, update.bias);
+    if (update.relu)
+        reluForward(out);
+}
+
+} // namespace graphite

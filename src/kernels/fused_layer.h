@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Layer fusion — paper Algorithm 2 and Figure 5.
+ *
+ * A GNN layer's aggregation is memory-bound and its update (an FC layer)
+ * is compute-bound. Running them back-to-back over the whole graph makes
+ * the phases alternate between starving the FPUs and starving the memory
+ * system, and round-trips the full aggregation matrix a^k through DRAM.
+ * The fused kernel instead alternates per *block* of B vertices:
+ * aggregate B vertices into a cache-resident block buffer, immediately
+ * update that block, move on. Threads drift out of phase naturally (no
+ * barrier), so one core's aggregation overlaps another's update
+ * (Figure 4), and in inference a^k is never materialised at all
+ * (Figure 5c) — a single reusable buffer per thread suffices.
+ */
+
+#pragma once
+
+#include <span>
+
+#include "compress/compressed_matrix.h"
+#include "kernels/aggregation.h"
+#include "tensor/dense_matrix.h"
+
+namespace graphite {
+
+/** The update phase: h = act(W·a + b) (paper Table 2's FC + ReLU). */
+struct UpdateOp
+{
+    /** F_in x F_out weight matrix. */
+    const DenseMatrix *weights = nullptr;
+    /** Optional bias of length F_out. */
+    std::span<const Feature> bias = {};
+    /** Apply ReLU after the affine transform. */
+    bool relu = true;
+};
+
+/** Tuning knobs of the fused kernel (Algorithm 2's constants). */
+struct FusedConfig
+{
+    /** Vertices per block (B): sized so B aggregation rows fit in L2. */
+    std::size_t blockSize = 16;
+    /** Blocks per dynamically-scheduled task (T). */
+    std::size_t blocksPerTask = 4;
+    /** Aggregation prefetch knobs (shared with Algorithm 1). */
+    AggregationConfig agg;
+};
+
+/**
+ * Fused aggregation + update for training (Figure 5b): the aggregation
+ * block is consumed by the update while cache-resident, but the whole
+ * a^k matrix is still written out because back-propagation needs it.
+ *
+ * @param aggOut   full |V| x F_in aggregation matrix (kept for backprop).
+ * @param out      |V| x F_out output features h^k.
+ * @param order    processing order or empty for identity.
+ */
+void fusedLayerTraining(const CsrGraph &graph, const DenseMatrix &in,
+                        const AggregationSpec &spec, const UpdateOp &update,
+                        DenseMatrix &aggOut, DenseMatrix &out,
+                        std::span<const VertexId> order = {},
+                        const FusedConfig &config = {});
+
+/**
+ * Fused aggregation + update for inference (Figure 5c): a^k lives only
+ * in a per-thread reusable block buffer and is never written to memory.
+ */
+void fusedLayerInference(const CsrGraph &graph, const DenseMatrix &in,
+                         const AggregationSpec &spec, const UpdateOp &update,
+                         DenseMatrix &out,
+                         std::span<const VertexId> order = {},
+                         const FusedConfig &config = {});
+
+/**
+ * Compressed-input variants (Section 4.3 combined with fusion): gathered
+ * rows are expanded on the fly from @p in's packed form. When
+ * @p outCompressed is non-null the produced h^k rows are also compressed
+ * so the *next* layer reads packed data — that write-side compression is
+ * where training's ReLU/dropout sparsity pays off.
+ * @{
+ */
+void fusedLayerTrainingCompressed(const CsrGraph &graph,
+                                  const CompressedMatrix &in,
+                                  const AggregationSpec &spec,
+                                  const UpdateOp &update,
+                                  DenseMatrix &aggOut, DenseMatrix &out,
+                                  CompressedMatrix *outCompressed = nullptr,
+                                  std::span<const VertexId> order = {},
+                                  const FusedConfig &config = {});
+
+void fusedLayerInferenceCompressed(const CsrGraph &graph,
+                                   const CompressedMatrix &in,
+                                   const AggregationSpec &spec,
+                                   const UpdateOp &update, DenseMatrix &out,
+                                   CompressedMatrix *outCompressed = nullptr,
+                                   std::span<const VertexId> order = {},
+                                   const FusedConfig &config = {});
+/** @} */
+
+/**
+ * Unfused reference layer: aggregateBasic over the full graph, then a
+ * whole-matrix GEMM update. The `basic` configuration of Figure 11.
+ */
+void unfusedLayer(const CsrGraph &graph, const DenseMatrix &in,
+                  const AggregationSpec &spec, const UpdateOp &update,
+                  DenseMatrix &aggOut, DenseMatrix &out,
+                  std::span<const VertexId> order = {},
+                  const AggregationConfig &config = {});
+
+} // namespace graphite

@@ -1,0 +1,133 @@
+#include "parallel/thread_pool.h"
+
+#include <memory>
+
+#include "common/assert.h"
+
+namespace graphite {
+
+ThreadPool::ThreadPool(std::size_t numThreads)
+{
+    if (numThreads == 0) {
+        numThreads = std::thread::hardware_concurrency();
+        if (numThreads == 0)
+            numThreads = 1;
+    }
+    numThreads_ = numThreads;
+    // Worker 0 is the calling thread, so spawn numThreads - 1 helpers.
+    for (std::size_t t = 1; t < numThreads_; ++t)
+        workers_.emplace_back(&ThreadPool::workerLoop, this, t);
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        shuttingDown_ = true;
+    }
+    wakeWorkers_.notify_all();
+    for (auto &worker : workers_)
+        worker.join();
+}
+
+void
+ThreadPool::runOnAll(const std::function<void(std::size_t)> &body)
+{
+    if (numThreads_ == 1) {
+        body(0);
+        return;
+    }
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        GRAPHITE_ASSERT(activeWorkers_ == 0, "nested runOnAll");
+        job_ = body;
+        ++jobGeneration_;
+        activeWorkers_ = numThreads_ - 1;
+    }
+    wakeWorkers_.notify_all();
+
+    body(0);
+
+    std::unique_lock<std::mutex> lock(mutex_);
+    jobDone_.wait(lock, [this] { return activeWorkers_ == 0; });
+    job_ = nullptr;
+}
+
+void
+ThreadPool::parallelForChunked(
+    std::size_t begin, std::size_t end, std::size_t chunk,
+    const std::function<void(std::size_t, std::size_t, std::size_t)> &body)
+{
+    GRAPHITE_ASSERT(chunk > 0, "chunk must be positive");
+    if (begin >= end)
+        return;
+    auto cursor = std::make_shared<std::atomic<std::size_t>>(begin);
+    runOnAll([&, cursor](std::size_t threadId) {
+        for (;;) {
+            std::size_t chunkBegin =
+                cursor->fetch_add(chunk, std::memory_order_relaxed);
+            if (chunkBegin >= end)
+                break;
+            std::size_t chunkEnd = chunkBegin + chunk;
+            if (chunkEnd > end)
+                chunkEnd = end;
+            body(chunkBegin, chunkEnd, threadId);
+        }
+    });
+}
+
+void
+ThreadPool::workerLoop(std::size_t threadId)
+{
+    std::uint64_t seenGeneration = 0;
+    for (;;) {
+        std::function<void(std::size_t)> job;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            wakeWorkers_.wait(lock, [&] {
+                return shuttingDown_ || jobGeneration_ != seenGeneration;
+            });
+            if (shuttingDown_)
+                return;
+            seenGeneration = jobGeneration_;
+            job = job_;
+        }
+        job(threadId);
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            --activeWorkers_;
+        }
+        jobDone_.notify_one();
+    }
+}
+
+namespace {
+std::unique_ptr<ThreadPool> g_pool;
+std::mutex g_poolMutex;
+} // namespace
+
+ThreadPool &
+ThreadPool::global()
+{
+    std::lock_guard<std::mutex> lock(g_poolMutex);
+    if (!g_pool)
+        g_pool = std::make_unique<ThreadPool>();
+    return *g_pool;
+}
+
+void
+ThreadPool::setGlobalThreads(std::size_t numThreads)
+{
+    std::lock_guard<std::mutex> lock(g_poolMutex);
+    g_pool = std::make_unique<ThreadPool>(numThreads);
+}
+
+void
+parallelFor(std::size_t begin, std::size_t end, std::size_t chunk,
+            const std::function<void(std::size_t, std::size_t,
+                                     std::size_t)> &body)
+{
+    ThreadPool::global().parallelForChunked(begin, end, chunk, body);
+}
+
+} // namespace graphite

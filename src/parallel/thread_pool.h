@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Persistent worker pool with dynamically-scheduled parallel loops.
+ *
+ * The paper schedules aggregation chunks with OpenMP's dynamic scheduler to
+ * balance power-law degree skew (Section 4.1). We implement the equivalent
+ * here: a shared atomic chunk cursor that idle workers pull from, so a
+ * worker that drew a heavy chunk (high-degree vertices) does not stall the
+ * others. The pool is reused across calls to avoid thread spawn cost in the
+ * per-layer hot path.
+ */
+
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace graphite {
+
+/** Reusable fork-join thread pool. */
+class ThreadPool
+{
+  public:
+    /**
+     * @param numThreads worker count; 0 means hardware_concurrency().
+     */
+    explicit ThreadPool(std::size_t numThreads = 0);
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    ~ThreadPool();
+
+    /** Number of workers (including the calling thread). */
+    std::size_t numThreads() const { return numThreads_; }
+
+    /**
+     * Run @p body(threadId) once on every worker and block until all
+     * finish. threadId ranges over [0, numThreads()).
+     */
+    void runOnAll(const std::function<void(std::size_t)> &body);
+
+    /**
+     * Dynamically-scheduled parallel loop over [begin, end) in steps of
+     * @p chunk. Each worker repeatedly claims the next chunk from a shared
+     * cursor and invokes @p body(chunkBegin, chunkEnd, threadId).
+     */
+    void parallelForChunked(
+        std::size_t begin, std::size_t end, std::size_t chunk,
+        const std::function<void(std::size_t, std::size_t,
+                                 std::size_t)> &body);
+
+    /** Process-wide default pool (lazily constructed). */
+    static ThreadPool &global();
+
+    /**
+     * Reconfigure the global pool's size. Affects subsequent global()
+     * callers; intended for benches that sweep thread counts.
+     */
+    static void setGlobalThreads(std::size_t numThreads);
+
+  private:
+    void workerLoop(std::size_t threadId);
+
+    std::size_t numThreads_;
+    std::vector<std::thread> workers_;
+
+    std::mutex mutex_;
+    std::condition_variable wakeWorkers_;
+    std::condition_variable jobDone_;
+    std::function<void(std::size_t)> job_;
+    std::uint64_t jobGeneration_ = 0;
+    std::size_t activeWorkers_ = 0;
+    bool shuttingDown_ = false;
+};
+
+/**
+ * Convenience wrapper: dynamically-scheduled loop over [begin, end) on the
+ * global pool. @p body receives (index range begin, range end, threadId).
+ */
+void parallelFor(std::size_t begin, std::size_t end, std::size_t chunk,
+                 const std::function<void(std::size_t, std::size_t,
+                                          std::size_t)> &body);
+
+} // namespace graphite

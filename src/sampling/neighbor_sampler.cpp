@@ -1,0 +1,124 @@
+#include "sampling/neighbor_sampler.h"
+
+#include <algorithm>
+#include <cstring>
+#include <unordered_map>
+
+#include "common/assert.h"
+
+namespace graphite {
+
+namespace {
+
+/**
+ * Sample one bipartite block: destinations @p dst, per-destination up to
+ * @p fanout sampled neighbors, compact source indexing.
+ */
+SampledBlock
+sampleBlock(const CsrGraph &graph, std::vector<VertexId> dst,
+            VertexId fanout, Rng &rng)
+{
+    SampledBlock out;
+    // Local source index map: destinations occupy [0, |dst|) so the
+    // self term needs no extra lookup.
+    std::unordered_map<VertexId, VertexId> localIndex;
+    localIndex.reserve(dst.size() * (fanout + 1));
+    out.srcVertices.reserve(dst.size() * (fanout + 1));
+    for (VertexId v : dst) {
+        localIndex.emplace(v, static_cast<VertexId>(
+            out.srcVertices.size()));
+        out.srcVertices.push_back(v);
+    }
+
+    std::vector<EdgeId> rowPtr(dst.size() + 1, 0);
+    std::vector<VertexId> colIdx;
+    colIdx.reserve(dst.size() * fanout);
+    std::vector<VertexId> reservoir(fanout);
+    for (std::size_t i = 0; i < dst.size(); ++i) {
+        const VertexId v = dst[i];
+        const auto neighbors = graph.neighbors(v);
+        std::size_t sampled = 0;
+        if (neighbors.size() <= fanout) {
+            for (VertexId u : neighbors)
+                reservoir[sampled++] = u;
+        } else {
+            // Reservoir sampling of `fanout` neighbors without
+            // replacement.
+            for (std::size_t j = 0; j < fanout; ++j)
+                reservoir[j] = neighbors[j];
+            sampled = fanout;
+            for (std::size_t j = fanout; j < neighbors.size(); ++j) {
+                const std::size_t slot = rng.uniformInt(j + 1);
+                if (slot < fanout)
+                    reservoir[slot] = neighbors[j];
+            }
+        }
+        for (std::size_t j = 0; j < sampled; ++j) {
+            const VertexId u = reservoir[j];
+            auto [it, inserted] = localIndex.emplace(
+                u, static_cast<VertexId>(out.srcVertices.size()));
+            if (inserted)
+                out.srcVertices.push_back(u);
+            colIdx.push_back(it->second);
+        }
+        rowPtr[i + 1] = colIdx.size();
+    }
+    // The block is bipartite: columns index the (larger) source set, so
+    // pad the row pointers with empty rows for source-only vertices to
+    // make the CSR well-formed over |src| vertices.
+    rowPtr.resize(out.srcVertices.size() + 1, colIdx.size());
+    out.dstVertices = std::move(dst);
+    out.block = CsrGraph(std::move(rowPtr), std::move(colIdx));
+    return out;
+}
+
+} // namespace
+
+MiniBatch
+sampleMiniBatch(const CsrGraph &graph, std::vector<VertexId> seeds,
+                const std::vector<VertexId> &fanouts, Rng &rng)
+{
+    GRAPHITE_ASSERT(!fanouts.empty(), "need at least one layer fanout");
+    MiniBatch batch;
+    batch.blocks.resize(fanouts.size());
+    // Build outermost-first: layer K's destinations are the seeds, each
+    // inner layer's destinations are the outer layer's sources.
+    std::vector<VertexId> dst = std::move(seeds);
+    for (std::size_t k = fanouts.size(); k-- > 0;) {
+        batch.blocks[k] = sampleBlock(graph, std::move(dst), fanouts[k],
+                                      rng);
+        dst = batch.blocks[k].srcVertices;
+    }
+    return batch;
+}
+
+DenseMatrix
+gatherBatchFeatures(const DenseMatrix &features,
+                    const std::vector<VertexId> &vertices)
+{
+    DenseMatrix out(vertices.size(), features.cols());
+    for (std::size_t i = 0; i < vertices.size(); ++i) {
+        std::memcpy(out.row(i), features.row(vertices[i]),
+                    features.rowStride() * sizeof(Feature));
+    }
+    return out;
+}
+
+std::vector<std::vector<VertexId>>
+makeEpochBatches(const CsrGraph &graph, std::size_t batchSize, Rng &rng)
+{
+    GRAPHITE_ASSERT(batchSize > 0, "batch size must be positive");
+    std::vector<VertexId> all(graph.numVertices());
+    for (VertexId v = 0; v < graph.numVertices(); ++v)
+        all[v] = v;
+    for (std::size_t i = all.size(); i > 1; --i)
+        std::swap(all[i - 1], all[rng.uniformInt(i)]);
+    std::vector<std::vector<VertexId>> batches;
+    for (std::size_t begin = 0; begin < all.size(); begin += batchSize) {
+        const std::size_t end = std::min(begin + batchSize, all.size());
+        batches.emplace_back(all.begin() + begin, all.begin() + end);
+    }
+    return batches;
+}
+
+} // namespace graphite

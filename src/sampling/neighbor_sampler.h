@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Neighborhood sampling and mini-batch block construction (paper
+ * Section 2.1, Eq. 3) — the GPU-era workaround whose CPU-side overhead
+ * motivates full-batch CPU execution (paper Figure 2).
+ *
+ * For a mini-batch of seed vertices and per-layer fan-outs, we build the
+ * K-hop sampled neighborhood bottom-up the way DGL does: layer K's
+ * destination set is the seeds; each layer's source set is its
+ * destination set plus up-to-fanout sampled neighbors per destination;
+ * the per-layer bipartite block stores the sampled edges re-indexed into
+ * the compact source set. Finally the input features of the innermost
+ * source set are gathered into a dense batch matrix (the
+ * "mini-batching" copy cost).
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "graph/csr_graph.h"
+#include "tensor/dense_matrix.h"
+
+namespace graphite {
+
+/** One sampled bipartite layer block. */
+struct SampledBlock
+{
+    /**
+     * Edges of the block in CSR over local destination indices; column
+     * ids are local *source* indices.
+     */
+    CsrGraph block;
+    /** Global vertex id of each local destination. */
+    std::vector<VertexId> dstVertices;
+    /** Global vertex id of each local source (dst set comes first). */
+    std::vector<VertexId> srcVertices;
+};
+
+/** A K-layer mini-batch: blocks[0] is the input-most layer. */
+struct MiniBatch
+{
+    std::vector<SampledBlock> blocks;
+    /** Global ids whose input features the batch needs (innermost srcs). */
+    const std::vector<VertexId> &inputVertices() const
+    {
+        return blocks.front().srcVertices;
+    }
+};
+
+/**
+ * SAMPLE_k over all K layers for one mini-batch.
+ *
+ * @param seeds    destination vertices of the outermost layer.
+ * @param fanouts  per-layer sample sizes, innermost first; a vertex with
+ *                 degree <= fanout keeps all neighbors.
+ */
+MiniBatch sampleMiniBatch(const CsrGraph &graph,
+                          std::vector<VertexId> seeds,
+                          const std::vector<VertexId> &fanouts, Rng &rng);
+
+/**
+ * Gather the batch's input feature rows into a dense contiguous matrix
+ * (the host-to-device staging copy in a CPU-GPU pipeline).
+ */
+DenseMatrix gatherBatchFeatures(const DenseMatrix &features,
+                                const std::vector<VertexId> &vertices);
+
+/**
+ * Partition [0, |V|) into shuffled mini-batches of @p batchSize seeds.
+ */
+std::vector<std::vector<VertexId>> makeEpochBatches(const CsrGraph &graph,
+                                                    std::size_t batchSize,
+                                                    Rng &rng);
+
+} // namespace graphite

@@ -1,0 +1,74 @@
+#include "sim/cache_model.h"
+
+#include "common/assert.h"
+
+namespace graphite::sim {
+
+CacheModel::CacheModel(const CacheParams &params) : ways_(params.ways)
+{
+    GRAPHITE_ASSERT(params.capacity % (kCacheLineBytes * params.ways) == 0,
+                    "capacity must be a multiple of ways * line size");
+    numSets_ = params.capacity / (kCacheLineBytes * params.ways);
+    GRAPHITE_ASSERT(numSets_ > 0, "cache must have at least one set");
+    entries_.resize(numSets_ * ways_);
+}
+
+bool
+CacheModel::access(LineAddr line, bool isWrite)
+{
+    ++stats_.accesses;
+    Way *set = &entries_[setOf(line) * ways_];
+    for (unsigned w = 0; w < ways_; ++w) {
+        if (set[w].valid && set[w].tag == line) {
+            set[w].lastUse = ++useClock_;
+            set[w].dirty |= isWrite;
+            ++stats_.hits;
+            return true;
+        }
+    }
+    ++stats_.misses;
+    return false;
+}
+
+bool
+CacheModel::insert(LineAddr line, bool isWrite)
+{
+    Way *set = &entries_[setOf(line) * ways_];
+    Way *victim = &set[0];
+    for (unsigned w = 0; w < ways_; ++w) {
+        if (!set[w].valid) {
+            victim = &set[w];
+            break;
+        }
+        if (set[w].lastUse < victim->lastUse)
+            victim = &set[w];
+    }
+    const bool writeback = victim->valid && victim->dirty;
+    stats_.writebacks += writeback;
+    victim->tag = line;
+    victim->valid = true;
+    victim->dirty = isWrite;
+    victim->lastUse = ++useClock_;
+    return writeback;
+}
+
+bool
+CacheModel::contains(LineAddr line) const
+{
+    const Way *set = &entries_[setOf(line) * ways_];
+    for (unsigned w = 0; w < ways_; ++w) {
+        if (set[w].valid && set[w].tag == line)
+            return true;
+    }
+    return false;
+}
+
+void
+CacheModel::reset()
+{
+    for (auto &way : entries_)
+        way = Way{};
+    useClock_ = 0;
+}
+
+} // namespace graphite::sim

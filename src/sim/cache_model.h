@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Functional set-associative cache model (LRU, write-back,
+ * write-allocate) operating on 64-byte line addresses.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "sim/sim_params.h"
+
+namespace graphite::sim {
+
+/** Line-granular address (byte address >> 6). */
+using LineAddr = std::uint64_t;
+
+/** Convert a byte address to its line address. */
+inline LineAddr
+lineOf(std::uint64_t byteAddr)
+{
+    return byteAddr / kCacheLineBytes;
+}
+
+/** Access statistics of one cache instance. */
+struct CacheStats
+{
+    std::uint64_t accesses = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t writebacks = 0;
+
+    double
+    missRate() const
+    {
+        return accesses ? static_cast<double>(misses) / accesses : 0.0;
+    }
+};
+
+/** One set-associative LRU cache. */
+class CacheModel
+{
+  public:
+    /** @param params geometry; capacity/ways/linesize define the sets. */
+    explicit CacheModel(const CacheParams &params);
+
+    /**
+     * Look up @p line; on hit, refresh LRU (and set dirty if @p isWrite).
+     * @return true on hit.
+     */
+    bool access(LineAddr line, bool isWrite);
+
+    /**
+     * Insert @p line (after a miss was serviced below). May evict;
+     * @return true if the victim was dirty (a writeback happened).
+     */
+    bool insert(LineAddr line, bool isWrite);
+
+    /** Probe without updating LRU or stats. */
+    bool contains(LineAddr line) const;
+
+    /** Invalidate every line (between experiment phases). */
+    void reset();
+
+    const CacheStats &stats() const { return stats_; }
+    void clearStats() { stats_ = CacheStats{}; }
+
+    std::size_t numSets() const { return numSets_; }
+
+  private:
+    struct Way
+    {
+        LineAddr tag = ~LineAddr{0};
+        std::uint64_t lastUse = 0;
+        bool valid = false;
+        bool dirty = false;
+    };
+
+    std::size_t setOf(LineAddr line) const { return line % numSets_; }
+
+    unsigned ways_;
+    std::size_t numSets_;
+    std::vector<Way> entries_;
+    std::uint64_t useClock_ = 0;
+    CacheStats stats_;
+};
+
+} // namespace graphite::sim

@@ -1,0 +1,175 @@
+#include "sim/core_model.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+#include "sim/dma_runner.h"
+
+namespace graphite::sim {
+
+CoreRunner::CoreRunner(unsigned id, MemorySystem &mem,
+                       WorkloadSource &source)
+    : id_(id), mem_(mem), source_(source)
+{
+    fillBuffers_.reserve(mem.params().fillBuffers);
+}
+
+void
+CoreRunner::retireFillBuffers()
+{
+    std::erase_if(fillBuffers_, [this](const FillBuffer &fb) {
+        return fb.completion <= now_;
+    });
+}
+
+void
+CoreRunner::attributeStall(Cycles cycles, ServiceLevel level)
+{
+    stats_.stallCycles += cycles;
+    switch (level) {
+      case ServiceLevel::L1:
+        break;
+      case ServiceLevel::L2:
+        stats_.stallL2 += cycles;
+        break;
+      case ServiceLevel::L3:
+        stats_.stallL3 += cycles;
+        break;
+      case ServiceLevel::DramBandwidth:
+        stats_.stallDramBandwidth += cycles;
+        break;
+      case ServiceLevel::DramLatency:
+        stats_.stallDramLatency += cycles;
+        break;
+    }
+}
+
+void
+CoreRunner::waitForFreeFillBuffer()
+{
+    auto soonest = std::min_element(
+        fillBuffers_.begin(), fillBuffers_.end(),
+        [](const FillBuffer &a, const FillBuffer &b) {
+            return a.completion < b.completion;
+        });
+    GRAPHITE_ASSERT(soonest != fillBuffers_.end(), "no buffer to wait on");
+    const Cycles delta = soonest->completion - now_;
+    attributeStall(delta, soonest->level);
+    stats_.fillBufferFullCycles += delta;
+    now_ = soonest->completion;
+    retireFillBuffers();
+}
+
+void
+CoreRunner::doMemOp(std::uint64_t addr, bool isWrite)
+{
+    retireFillBuffers();
+    // Probe first: L1 hits are pipelined and effectively free here (the
+    // workload generators fold load-issue cost into compute cycles).
+    if (mem_.l1(id_).contains(lineOf(addr))) {
+        mem_.access(id_, lineOf(addr), isWrite, now_);
+        return;
+    }
+    if (fillBuffers_.size() >= mem_.params().fillBuffers)
+        waitForFreeFillBuffer();
+    const AccessOutcome outcome =
+        mem_.access(id_, lineOf(addr), isWrite, now_);
+    if (outcome.level == ServiceLevel::L1)
+        return;
+    fillBuffers_.push_back({outcome.completion, outcome.level});
+}
+
+CoreRunner::StepResult
+CoreRunner::step()
+{
+    // A pending Alg. 5 WAIT blocks the core; drive the engine forward
+    // one descriptor per machine step so engine traffic interleaves
+    // with the other cores' in global-time order rather than bursting.
+    if (waiting_) {
+        if (!dma_->batchComplete(waitBatch_)) {
+            dma_->processOneDescriptor();
+            now_ = std::max(now_, dma_->engineClock());
+            stats_.totalCycles = now_;
+            return StepResult::Progress;
+        }
+        const Cycles done = dma_->completionOf(waitBatch_);
+        now_ = std::max(now_, done);
+        if (now_ > waitStart_) {
+            const Cycles delta = now_ - waitStart_;
+            // Waiting on the DMA engine is memory-system time (the
+            // engine is fetching from DRAM on the core's behalf).
+            stats_.dmaWaitCycles += delta;
+            attributeStall(delta, ServiceLevel::DramBandwidth);
+        }
+        waiting_ = false;
+    }
+    // Keep the paired engine's clock abreast of the core's so its
+    // traffic enters the shared DRAM model in near global-time order.
+    if (dma_ && dma_->hasPendingWork())
+        dma_->processUntil(now_);
+    TraceOp op;
+    if (!source_.next(op)) {
+        drain();
+        finished_ = true;
+        stats_.totalCycles = now_;
+        return StepResult::Finished;
+    }
+    switch (op.kind) {
+      case TraceOp::Kind::Compute:
+        now_ += op.cycles;
+        stats_.computeCycles += op.cycles;
+        break;
+      case TraceOp::Kind::Load:
+        ++stats_.loads;
+        doMemOp(op.addr, false);
+        break;
+      case TraceOp::Kind::Store:
+        ++stats_.stores;
+        doMemOp(op.addr, true);
+        break;
+      case TraceOp::Kind::Prefetch: {
+        retireFillBuffers();
+        // Prefetches never stall: dropped when the fill buffers are
+        // saturated (exactly why the paper limits prefetch to the first
+        // two lines of each feature vector).
+        if (fillBuffers_.size() >= mem_.params().fillBuffers) {
+            ++stats_.prefetchesDropped;
+            break;
+        }
+        if (mem_.l1(id_).contains(lineOf(op.addr)))
+            break;
+        const AccessOutcome outcome =
+            mem_.access(id_, lineOf(op.addr), false, now_);
+        if (outcome.level != ServiceLevel::L1)
+            fillBuffers_.push_back({outcome.completion, outcome.level});
+        ++stats_.prefetchesIssued;
+        break;
+      }
+      case TraceOp::Kind::IssueBatch:
+        GRAPHITE_ASSERT(dma_ != nullptr, "IssueBatch without DMA engine");
+        // The workload source staged the batch's vertices before
+        // emitting this op; issuing here binds the engine start time to
+        // the core's clock, which is what creates the Alg. 5 overlap.
+        dma_->issueStaged(op.batch, now_);
+        break;
+      case TraceOp::Kind::WaitBatch:
+        GRAPHITE_ASSERT(dma_ != nullptr, "WaitBatch without DMA engine");
+        // Resolved incrementally at the top of subsequent step() calls.
+        waiting_ = true;
+        waitBatch_ = op.batch;
+        waitStart_ = now_;
+        break;
+    }
+    stats_.totalCycles = now_;
+    return StepResult::Progress;
+}
+
+void
+CoreRunner::drain()
+{
+    while (!fillBuffers_.empty())
+        waitForFreeFillBuffer();
+    stats_.totalCycles = now_;
+}
+
+} // namespace graphite::sim

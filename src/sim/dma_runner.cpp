@@ -1,0 +1,230 @@
+#include "sim/dma_runner.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+
+namespace graphite::sim {
+
+DmaRunner::DmaRunner(unsigned core, MemorySystem &mem,
+                     const DmaParams &params, DmaWorkloadInfo info)
+    : core_(core), mem_(mem), params_(params), info_(std::move(info))
+{
+    GRAPHITE_ASSERT(info_.graph != nullptr, "DMA workload needs a graph");
+    GRAPHITE_ASSERT(params_.trackingEntries > 0,
+                    "tracking table must have entries");
+}
+
+Cycles
+DmaRunner::issueFetch(std::uint64_t byteAddr, Cycles earliest)
+{
+    Cycles issueTime = std::max(engineClock_, earliest);
+    if (tracking_.size() >= params_.trackingEntries) {
+        // All tracking entries busy: wait for the earliest to retire.
+        auto soonest = std::min_element(tracking_.begin(), tracking_.end());
+        issueTime = std::max(issueTime, *soonest);
+        tracking_.erase(soonest);
+    }
+    // Retire any other entries that completed by the issue time.
+    std::erase_if(tracking_,
+                  [issueTime](Cycles t) { return t <= issueTime; });
+    // One cycle of control occupancy per request.
+    engineClock_ = issueTime + 1;
+    const AccessOutcome outcome = mem_.access(
+        core_, lineOf(byteAddr), false, issueTime, /*bypassPrivate=*/true);
+    tracking_.push_back(outcome.completion);
+    return outcome.completion;
+}
+
+Cycles
+DmaRunner::fetchIndices(VertexId v)
+{
+    const CsrGraph &graph = *info_.graph;
+    const EdgeId rowBegin = graph.rowBegin(v);
+    const EdgeId rowEnd = graph.rowEnd(v);
+
+    // Index fetches first (they gate everything, Figure 10). Indices are
+    // 4-byte vertex ids packed in the CSR column array.
+    Cycles idxReady = engineClock_;
+    const std::uint64_t idxFirst =
+        info_.addresses.colIdxBase + rowBegin * sizeof(VertexId);
+    const std::uint64_t idxLast =
+        rowEnd > rowBegin
+            ? info_.addresses.colIdxBase + (rowEnd - 1) * sizeof(VertexId)
+            : idxFirst;
+    for (std::uint64_t line = lineOf(idxFirst); line <= lineOf(idxLast);
+         ++line) {
+        ++stats_.indexLineFetches;
+        idxReady = std::max(idxReady,
+                            issueFetch(line * kCacheLineBytes, 0));
+    }
+    // Factor fetches are indexed by edge offset, not by the gathered
+    // indices, so they issue alongside the indices.
+    if (info_.useFactors && rowEnd > rowBegin) {
+        const std::uint64_t facFirst =
+            info_.addresses.edgeFactorBase + rowBegin * sizeof(float);
+        const std::uint64_t facLast =
+            info_.addresses.edgeFactorBase + (rowEnd - 1) * sizeof(float);
+        for (std::uint64_t line = lineOf(facFirst);
+             line <= lineOf(facLast); ++line) {
+            ++stats_.factorLineFetches;
+            idxReady = std::max(idxReady,
+                                issueFetch(line * kCacheLineBytes, 0));
+        }
+    }
+    return idxReady;
+}
+
+Cycles
+DmaRunner::processDescriptorBody(VertexId v, Cycles idxReady)
+{
+    ++stats_.descriptors;
+    const Cycles start = engineClock_;
+    const CsrGraph &graph = *info_.graph;
+    const EdgeId rowBegin = graph.rowBegin(v);
+    const EdgeId rowEnd = graph.rowEnd(v);
+    const std::uint64_t numInputs = (rowEnd - rowBegin) + 1; // + self
+
+    Cycles lastFetch = engineClock_;
+
+    // Input feature rows: the self row plus one row per gathered index.
+    // Their issue is gated on the index data (dependences, Figure 10).
+    auto fetchRow = [&](VertexId u) {
+        const std::uint64_t rowBase = info_.addresses.featureBase +
+            static_cast<std::uint64_t>(u) *
+                info_.addresses.featureStrideBytes;
+        for (std::size_t l = 0; l < info_.featureLines; ++l) {
+            ++stats_.inputLineFetches;
+            lastFetch = std::max(
+                lastFetch,
+                issueFetch(rowBase + l * kCacheLineBytes, idxReady));
+        }
+    };
+    fetchRow(v);
+    for (EdgeId e = rowBegin; e < rowEnd; ++e)
+        fetchRow(graph.colIdx()[e]);
+
+    // Vector-unit reduction: E elements per input, `vectorLanes` floats
+    // per cycle, overlapped with the fetch stream.
+    const std::uint64_t elements = info_.featureLines *
+        (kCacheLineBytes / sizeof(float));
+    const Cycles compute = numInputs * elements / params_.vectorLanes;
+    computeClock_ = std::max(computeClock_, engineClock_) + compute;
+
+    // Flush the output buffer to L2 (Section 5.2): these lines become
+    // L2-resident so the core's update phase hits them.
+    const std::uint64_t outBase = info_.addresses.aggBase +
+        static_cast<std::uint64_t>(v) * info_.addresses.aggStrideBytes;
+    for (std::size_t l = 0; l < info_.aggLines; ++l) {
+        mem_.installIntoL2(core_, lineOf(outBase + l * kCacheLineBytes));
+        ++stats_.outputLinesWritten;
+    }
+
+    const Cycles done = std::max(lastFetch, computeClock_);
+    engineClock_ = std::max(engineClock_, done);
+    stats_.busyCycles += engineClock_ - start;
+    return done;
+}
+
+void
+DmaRunner::stageBatch(std::uint32_t batchId, std::vector<VertexId> vertices)
+{
+    staged_.emplace(batchId, std::move(vertices));
+}
+
+void
+DmaRunner::issueStaged(std::uint32_t batchId, Cycles issueTime)
+{
+    auto it = staged_.find(batchId);
+    GRAPHITE_ASSERT(it != staged_.end(), "issuing a batch never staged");
+    PendingBatch batch;
+    batch.id = batchId;
+    batch.vertices = std::move(it->second);
+    staged_.erase(it);
+    // The engine cannot start this batch before the core issued it.
+    engineClock_ = std::max(engineClock_, issueTime);
+    batch.lastCompletion = engineClock_;
+    pending_.push_back(std::move(batch));
+}
+
+void
+DmaRunner::enqueueBatch(std::uint32_t batchId,
+                        std::vector<VertexId> vertices, Cycles issueTime)
+{
+    stageBatch(batchId, std::move(vertices));
+    issueStaged(batchId, issueTime);
+}
+
+bool
+DmaRunner::processOne()
+{
+    if (pending_.empty())
+        return false;
+    PendingBatch &batch = pending_.front();
+    if (batch.nextVertex < batch.vertices.size()) {
+        const VertexId v = batch.vertices[batch.nextVertex];
+        // This descriptor's indices may already be in flight from the
+        // previous iteration's descriptor overlap.
+        const Cycles idxReady =
+            batch.idxStaged ? batch.stagedIdxReady : fetchIndices(v);
+        // Prefetch the next descriptor's indices before streaming this
+        // one's inputs, so their latency hides behind the input
+        // stream (Section 5.2's concurrent second descriptor).
+        if (batch.nextVertex + 1 < batch.vertices.size()) {
+            batch.stagedIdxReady =
+                fetchIndices(batch.vertices[batch.nextVertex + 1]);
+            batch.idxStaged = true;
+        } else {
+            batch.idxStaged = false;
+        }
+        batch.lastCompletion = std::max(
+            batch.lastCompletion, processDescriptorBody(v, idxReady));
+        ++batch.nextVertex;
+    }
+    if (batch.nextVertex == batch.vertices.size()) {
+        completions_[batch.id] = batch.lastCompletion;
+        pending_.pop_front();
+    }
+    return true;
+}
+
+void
+DmaRunner::processUntil(Cycles time)
+{
+    while (!pending_.empty() && engineClock_ < time)
+        processOne();
+}
+
+bool
+DmaRunner::processOneDescriptor()
+{
+    return processOne();
+}
+
+Cycles
+DmaRunner::runBatchToCompletion(std::uint32_t batchId)
+{
+    while (!batchComplete(batchId)) {
+        const bool progressed = processOne();
+        GRAPHITE_ASSERT(progressed,
+                        "waiting on a batch that was never issued");
+    }
+    return completions_.at(batchId);
+}
+
+bool
+DmaRunner::batchComplete(std::uint32_t batchId) const
+{
+    return completions_.count(batchId) != 0;
+}
+
+Cycles
+DmaRunner::completionOf(std::uint32_t batchId) const
+{
+    auto it = completions_.find(batchId);
+    GRAPHITE_ASSERT(it != completions_.end(),
+                    "querying completion of an unfinished batch");
+    return it->second;
+}
+
+} // namespace graphite::sim

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Timing model of the enhanced DMA engine (paper Section 5, Figure 7).
+ *
+ * One engine sits next to each core's L2. The core enqueues aggregation
+ * descriptors (Figure 8); the engine fetches index lines first (they
+ * gate the input addresses, Figure 10), fetches input feature lines with
+ * concurrency bounded by the Memory Request Tracking Table, reduces them
+ * in a narrow vector unit, and flushes results to the core's L2 so the
+ * update phase hits there. Input fetches bypass the private caches
+ * entirely — the inputs are read-only, so no coherence hazard arises
+ * (Section 5.2) and the private caches stop being polluted (Table 5).
+ *
+ * The engine runs on its own clock, interleaved with its core: batches
+ * are *staged* when the core issues them and *processed* incrementally
+ * as the core's clock advances (or on demand when the core blocks in
+ * WAIT, Algorithm 5), so engine memory traffic reaches the shared DRAM
+ * model in near global-time order alongside every core's traffic.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/csr_graph.h"
+#include "sim/memory_system.h"
+
+namespace graphite::sim {
+
+/** Addresses the DMA aggregation touches (one layer's operands). */
+struct DmaAddressMap
+{
+    std::uint64_t colIdxBase = 0;
+    std::uint64_t edgeFactorBase = 0;
+    std::uint64_t featureBase = 0;
+    /** Bytes between consecutive feature rows (the descriptor S field). */
+    std::uint64_t featureStrideBytes = 0;
+    std::uint64_t aggBase = 0;
+    std::uint64_t aggStrideBytes = 0;
+};
+
+/** One layer's DMA aggregation workload parameters. */
+struct DmaWorkloadInfo
+{
+    const CsrGraph *graph = nullptr;
+    DmaAddressMap addresses;
+    /** Cache lines per gathered input feature row. */
+    std::size_t featureLines = 0;
+    /** Cache lines per output aggregation row. */
+    std::size_t aggLines = 0;
+    /** True when ψ uses a factor array (GCN/SAGE do). */
+    bool useFactors = true;
+};
+
+/** Accounting of one DMA engine. */
+struct DmaStats
+{
+    std::uint64_t descriptors = 0;
+    std::uint64_t indexLineFetches = 0;
+    std::uint64_t inputLineFetches = 0;
+    std::uint64_t factorLineFetches = 0;
+    std::uint64_t outputLinesWritten = 0;
+    Cycles busyCycles = 0;
+};
+
+/** Per-core DMA engine timing model. */
+class DmaRunner
+{
+  public:
+    DmaRunner(unsigned core, MemorySystem &mem, const DmaParams &params,
+              DmaWorkloadInfo info);
+
+    /**
+     * Stage a batch of aggregation descriptors (one per vertex); the
+     * workload source calls this while generating ops, before the
+     * core's IssueBatch op executes.
+     */
+    void stageBatch(std::uint32_t batchId, std::vector<VertexId> vertices);
+
+    /**
+     * Bind a staged batch's start time to the issuing core's clock
+     * (the IssueBatch op). Work is processed lazily from here on.
+     */
+    void issueStaged(std::uint32_t batchId, Cycles issueTime);
+
+    /** Convenience for tests: stage + issue in one call. */
+    void enqueueBatch(std::uint32_t batchId,
+                      std::vector<VertexId> vertices, Cycles issueTime);
+
+    /**
+     * Advance the engine while its clock lags @p time (called as the
+     * paired core's clock advances, keeping engine traffic in global
+     * time order).
+     */
+    void processUntil(Cycles time);
+
+    /** Process until @p batchId completes; returns its completion. */
+    Cycles runBatchToCompletion(std::uint32_t batchId);
+
+    /**
+     * Process a single queued descriptor (one engine scheduling
+     * quantum). @return false when no work is pending.
+     */
+    bool processOneDescriptor();
+
+    /** True once @p batchId has fully executed. */
+    bool batchComplete(std::uint32_t batchId) const;
+
+    /** Completion time of a finished batch. */
+    Cycles completionOf(std::uint32_t batchId) const;
+
+    /** Any issued-but-unfinished work left? */
+    bool hasPendingWork() const { return !pending_.empty(); }
+
+    const DmaStats &stats() const { return stats_; }
+    Cycles engineClock() const { return engineClock_; }
+
+  private:
+    struct PendingBatch
+    {
+        std::uint32_t id = 0;
+        std::vector<VertexId> vertices;
+        std::size_t nextVertex = 0;
+        Cycles lastCompletion = 0;
+        /**
+         * Descriptor-overlap state (Section 5.2: the engine processes
+         * a second descriptor rather than idling on dependences): the
+         * next descriptor's index/factor fetches are issued while the
+         * current one's inputs stream, so their latency is hidden.
+         */
+        bool idxStaged = false;
+        Cycles stagedIdxReady = 0;
+    };
+
+    /**
+     * Issue one line fetch honoring the tracking-table bound; returns
+     * the fetch's completion time.
+     *
+     * @param earliest dependence gate (e.g. inputs wait for indices).
+     */
+    Cycles issueFetch(std::uint64_t byteAddr, Cycles earliest);
+
+    /** Fetch vertex @p v's index + factor lines; returns idx-ready. */
+    Cycles fetchIndices(VertexId v);
+
+    /** Simulate one vertex's gather/reduce given its idx-ready time. */
+    Cycles processDescriptorBody(VertexId v, Cycles idxReady);
+
+    /** Process the next queued descriptor, if any. */
+    bool processOne();
+
+    unsigned core_;
+    MemorySystem &mem_;
+    DmaParams params_;
+    DmaWorkloadInfo info_;
+    Cycles engineClock_ = 0;
+    Cycles computeClock_ = 0;
+    /** Outstanding tracking-table entry completion times. */
+    std::vector<Cycles> tracking_;
+    std::unordered_map<std::uint32_t, std::vector<VertexId>> staged_;
+    std::deque<PendingBatch> pending_;
+    std::unordered_map<std::uint32_t, Cycles> completions_;
+    DmaStats stats_;
+};
+
+} // namespace graphite::sim

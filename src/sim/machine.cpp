@@ -1,0 +1,174 @@
+#include "sim/machine.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+
+namespace graphite::sim {
+
+namespace {
+
+double
+fractionOf(const std::vector<CoreStats> &stats,
+           Cycles CoreStats::*numerator)
+{
+    std::uint64_t num = 0;
+    std::uint64_t den = 0;
+    for (const CoreStats &core : stats) {
+        num += core.*numerator;
+        den += core.totalCycles;
+    }
+    return den ? static_cast<double>(num) / static_cast<double>(den) : 0.0;
+}
+
+} // namespace
+
+double
+RunResult::retiringFraction() const
+{
+    return fractionOf(coreStats, &CoreStats::computeCycles);
+}
+
+double
+RunResult::memoryBoundFraction() const
+{
+    return fractionOf(coreStats, &CoreStats::stallCycles);
+}
+
+double
+RunResult::stallL2Fraction() const
+{
+    return fractionOf(coreStats, &CoreStats::stallL2);
+}
+
+double
+RunResult::stallL3Fraction() const
+{
+    return fractionOf(coreStats, &CoreStats::stallL3);
+}
+
+double
+RunResult::stallDramBandwidthFraction() const
+{
+    return fractionOf(coreStats, &CoreStats::stallDramBandwidth);
+}
+
+double
+RunResult::stallDramLatencyFraction() const
+{
+    return fractionOf(coreStats, &CoreStats::stallDramLatency);
+}
+
+double
+RunResult::fillBufferFullFraction() const
+{
+    return fractionOf(coreStats, &CoreStats::fillBufferFullCycles);
+}
+
+double
+RunResult::seconds(const MachineParams &params) const
+{
+    return static_cast<double>(makespan) / (params.coreGhz * 1e9);
+}
+
+Machine::Machine(const MachineParams &params)
+    : params_(params), mem_(params)
+{
+}
+
+RunResult
+Machine::run(const SourceFactory &makeSource, const DmaWorkloadInfo *dmaInfo,
+             const DmaParams &dmaParams)
+{
+    std::vector<std::unique_ptr<WorkloadSource>> sources;
+    std::vector<std::unique_ptr<CoreRunner>> cores;
+    dmaEngines_.clear();
+    // Engines first: workload factories may capture their core's engine.
+    if (dmaInfo) {
+        for (unsigned c = 0; c < params_.numCores; ++c) {
+            dmaEngines_.push_back(std::make_unique<DmaRunner>(
+                c, mem_, dmaParams, *dmaInfo));
+        }
+    }
+    for (unsigned c = 0; c < params_.numCores; ++c) {
+        sources.push_back(makeSource(c));
+        cores.push_back(std::make_unique<CoreRunner>(c, mem_,
+                                                     *sources.back()));
+        if (dmaInfo)
+            cores.back()->attachDma(dmaEngines_[c].get());
+    }
+
+    // Interleave cores in global-time order so shared-resource
+    // contention (the DRAM token bucket, the shared L3) is seen in
+    // roughly the order real accesses would arrive: always step the
+    // core whose clock is furthest behind, and only until it passes
+    // the next-slowest core's clock. Letting one core run far ahead
+    // would charge laggards fictitious queueing delay against the
+    // monotonic DRAM-channel clock.
+    std::size_t running = cores.size();
+    while (running > 0) {
+        CoreRunner *laggard = nullptr;
+        Cycles secondNow = ~Cycles{0};
+        for (auto &core : cores) {
+            if (core->finished())
+                continue;
+            if (!laggard) {
+                laggard = core.get();
+            } else if (core->now() < laggard->now()) {
+                secondNow = laggard->now();
+                laggard = core.get();
+            } else if (core->now() < secondNow) {
+                secondNow = core->now();
+            }
+        }
+        GRAPHITE_ASSERT(laggard != nullptr, "running count out of sync");
+        do {
+            if (laggard->step() == CoreRunner::StepResult::Finished) {
+                --running;
+                break;
+            }
+        } while (laggard->now() <= secondNow);
+    }
+
+    RunResult result;
+    for (auto &core : cores) {
+        result.coreStats.push_back(core->stats());
+        result.makespan = std::max(result.makespan, core->now());
+    }
+    for (unsigned c = 0; c < params_.numCores; ++c) {
+        const CacheStats &l1 = mem_.l1(c).stats();
+        result.l1Total.accesses += l1.accesses;
+        result.l1Total.hits += l1.hits;
+        result.l1Total.misses += l1.misses;
+        result.l1Total.writebacks += l1.writebacks;
+        const CacheStats &l2 = mem_.l2(c).stats();
+        result.l2Total.accesses += l2.accesses;
+        result.l2Total.hits += l2.hits;
+        result.l2Total.misses += l2.misses;
+        result.l2Total.writebacks += l2.writebacks;
+    }
+    result.l3Stats = mem_.l3().stats();
+    result.dram = mem_.dramStats();
+    for (auto &engine : dmaEngines_)
+        result.dmaStats.push_back(engine->stats());
+    return result;
+}
+
+MachineParams
+paperMachine(unsigned cacheShrink)
+{
+    GRAPHITE_ASSERT(cacheShrink >= 1, "cacheShrink must be >= 1");
+    MachineParams params;
+    // L2 and L3 shrink together so the machine's hierarchy keeps its
+    // shape (28 private L2s must stay smaller than the shared L3, or
+    // locality reuse lands in private caches the DMA engine bypasses —
+    // the opposite of the paper's machine). The benches shrink the
+    // weight matrices by the same class of factor so the weights:L2
+    // ratio matches the paper's 256 KB : 1 MB. L1 keeps its size: one
+    // feature row must still fit.
+    params.l2.capacity /= cacheShrink;
+    params.l3.capacity /= cacheShrink;
+    return params;
+}
+
+} // namespace graphite::sim

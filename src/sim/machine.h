@@ -1,0 +1,94 @@
+/**
+ * @file
+ * The simulated multi-core machine: owns the memory system, one
+ * CoreRunner per hardware thread (plus optionally one DmaRunner per
+ * core) and interleaves core execution in global-time order so that
+ * DRAM-bandwidth contention between cores is captured.
+ */
+
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "sim/core_model.h"
+#include "sim/dma_runner.h"
+
+namespace graphite::sim {
+
+/** Aggregated result of one simulated run. */
+struct RunResult
+{
+    /** Wall time of the phase = slowest core's finish time. */
+    Cycles makespan = 0;
+    std::vector<CoreStats> coreStats;
+    /** Private cache stats summed over cores. */
+    CacheStats l1Total;
+    CacheStats l2Total;
+    CacheStats l3Stats;
+    DramStats dram;
+    std::vector<DmaStats> dmaStats;
+
+    /** Machine-wide top-down fractions (Figure 3 / Table 4 rows). @{ */
+    double retiringFraction() const;
+    double memoryBoundFraction() const;
+    double stallL2Fraction() const;
+    double stallL3Fraction() const;
+    double stallDramBandwidthFraction() const;
+    double stallDramLatencyFraction() const;
+    double fillBufferFullFraction() const;
+    /** @} */
+
+    /** Seconds at the configured core frequency. */
+    double seconds(const MachineParams &params) const;
+};
+
+/** Factory producing core @p i's workload source. */
+using SourceFactory =
+    std::function<std::unique_ptr<WorkloadSource>(unsigned core)>;
+
+/** Multi-core trace-driven machine. */
+class Machine
+{
+  public:
+    explicit Machine(const MachineParams &params);
+
+    MemorySystem &memory() { return mem_; }
+    const MachineParams &params() const { return params_; }
+
+    /**
+     * Run one phase: every core executes its source to completion,
+     * interleaved in global time order.
+     *
+     * @param makeSource  per-core workload factory.
+     * @param dmaInfo     when non-null, attach one DMA engine per core
+     *                    with this workload description.
+     * @param dmaParams   engine sizing (tracking table etc.).
+     */
+    RunResult run(const SourceFactory &makeSource,
+                  const DmaWorkloadInfo *dmaInfo = nullptr,
+                  const DmaParams &dmaParams = {});
+
+    /** Per-core DMA engines of the last run (empty if none). */
+    const std::vector<std::unique_ptr<DmaRunner>> &dmaEngines() const
+    {
+        return dmaEngines_;
+    }
+
+  private:
+    MachineParams params_;
+    MemorySystem mem_;
+    std::vector<std::unique_ptr<DmaRunner>> dmaEngines_;
+};
+
+/**
+ * The paper's evaluation machine scaled for simulation: identical core
+ * count, private caches, bandwidth and latencies, with the shared L3
+ * shrunk by @p cacheShrink so the (scaled-down) synthetic graphs keep
+ * the same footprint-to-LLC ratio as the paper's graphs have against a
+ * 38.5 MB LLC. cacheShrink = 1 is the literal paper machine.
+ */
+MachineParams paperMachine(unsigned cacheShrink = 8);
+
+} // namespace graphite::sim

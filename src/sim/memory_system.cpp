@@ -1,0 +1,148 @@
+#include "sim/memory_system.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+
+namespace graphite::sim {
+
+MemorySystem::MemorySystem(const MachineParams &params) : params_(params)
+{
+    for (unsigned c = 0; c < params.numCores; ++c) {
+        l1_.push_back(std::make_unique<CacheModel>(params.l1));
+        l2_.push_back(std::make_unique<CacheModel>(params.l2));
+    }
+    l3_ = std::make_unique<CacheModel>(params.l3);
+    epochCapacity_ = static_cast<std::uint32_t>(
+        static_cast<double>(kDramEpoch) / params.dramCyclesPerLine());
+    GRAPHITE_ASSERT(epochCapacity_ > 0, "DRAM epoch capacity is zero");
+}
+
+Cycles
+MemorySystem::dramAccess(Cycles now, Cycles &queueing)
+{
+    // Find the first epoch window at or after `now` with spare line
+    // capacity; the distance to it is the queueing delay.
+    std::size_t epoch = now / kDramEpoch;
+    if (epoch >= epochUse_.size())
+        epochUse_.resize(epoch + 64, 0);
+    while (epochUse_[epoch] >= epochCapacity_) {
+        ++epoch;
+        if (epoch >= epochUse_.size())
+            epochUse_.resize(epoch + 64, 0);
+    }
+    ++epochUse_[epoch];
+    const Cycles start = std::max<Cycles>(now, epoch * kDramEpoch);
+    queueing = start - now;
+    ++dramStats_.lineTransfers;
+    dramStats_.totalQueueing += queueing;
+    return start + params_.dramLatency;
+}
+
+AccessOutcome
+MemorySystem::access(unsigned core, LineAddr line, bool isWrite, Cycles now,
+                     bool bypassPrivate)
+{
+    GRAPHITE_ASSERT(core < l1_.size(), "core id out of range");
+    AccessOutcome outcome;
+
+    if (!bypassPrivate) {
+        if (l1_[core]->access(line, isWrite)) {
+            outcome.level = ServiceLevel::L1;
+            outcome.completion = now + params_.l1.latency;
+            return outcome;
+        }
+        if (l2_[core]->access(line, isWrite)) {
+            // Fill upward into L1.
+            l1_[core]->insert(line, isWrite);
+            outcome.level = ServiceLevel::L2;
+            outcome.completion = now + params_.l2.latency;
+            return outcome;
+        }
+    }
+    if (l3_->access(line, isWrite)) {
+        if (!bypassPrivate) {
+            l1_[core]->insert(line, isWrite);
+            l2_[core]->insert(line, false);
+        }
+        outcome.level = ServiceLevel::L3;
+        outcome.completion = now + params_.l3.latency +
+            (bypassPrivate ? params_.bypassExtraLatency / 2 : 0);
+        return outcome;
+    }
+
+    // Miss everywhere: fetch from DRAM. Dirty L3 victims cost an extra
+    // writeback line transfer.
+    Cycles queueing = 0;
+    outcome.completion = dramAccess(now, queueing);
+    if (bypassPrivate)
+        outcome.completion += params_.bypassExtraLatency;
+    outcome.dramQueueing = queueing;
+    // Classify: if queueing dominates the fixed latency contribution the
+    // access was bandwidth-bound; the core model aggregates this.
+    outcome.level = queueing * 2 >= params_.dramLatency
+                        ? ServiceLevel::DramBandwidth
+                        : ServiceLevel::DramLatency;
+    if (l3_->insert(line, isWrite)) {
+        Cycles wbQueue = 0;
+        dramAccess(outcome.completion, wbQueue);
+    }
+    if (!bypassPrivate) {
+        l1_[core]->insert(line, isWrite);
+        l2_[core]->insert(line, false);
+        // L2 hardware stream prefetcher: fetch the next lines of the
+        // run into L2 off the critical path. This is what lets ~10
+        // demand fill buffers drive DRAM to its bandwidth limit on
+        // sequential feature rows.
+        for (unsigned d = 1; d <= params_.l2StreamPrefetch; ++d) {
+            const LineAddr next = line + d;
+            if (l2_[core]->contains(next))
+                continue;
+            if (!l3_->access(next, false)) {
+                Cycles pfQueue = 0;
+                dramAccess(now, pfQueue);
+                ++dramStats_.prefetchTransfers;
+                l3_->insert(next, false);
+            }
+            l2_[core]->insert(next, false);
+        }
+    }
+    return outcome;
+}
+
+void
+MemorySystem::installIntoL2(unsigned core, LineAddr line)
+{
+    GRAPHITE_ASSERT(core < l2_.size(), "core id out of range");
+    if (!l2_[core]->contains(line))
+        l2_[core]->insert(line, true);
+    else
+        l2_[core]->access(line, true);
+}
+
+void
+MemorySystem::reset()
+{
+    for (auto &cache : l1_)
+        cache->reset();
+    for (auto &cache : l2_)
+        cache->reset();
+    l3_->reset();
+    clearStats();
+}
+
+void
+MemorySystem::clearStats()
+{
+    for (auto &cache : l1_)
+        cache->clearStats();
+    for (auto &cache : l2_)
+        cache->clearStats();
+    l3_->clearStats();
+    dramStats_ = DramStats{};
+    // Each measured phase restarts simulated time at cycle 0, so the
+    // channel-occupancy windows must restart with it.
+    epochUse_.clear();
+}
+
+} // namespace graphite::sim

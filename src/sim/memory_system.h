@@ -1,0 +1,101 @@
+/**
+ * @file
+ * The simulated memory hierarchy: per-core private L1D/L2, one shared
+ * non-inclusive L3, and a bandwidth-limited DRAM behind it.
+ *
+ * DRAM is modelled as shared channels with a fixed round-trip latency
+ * plus a token-bucket occupancy: each line transfer holds the channel
+ * for dramCyclesPerLine(), so when aggregate demand exceeds 140.8 GB/s a
+ * queueing delay builds up — the mechanism behind every "DRAM bandwidth
+ * bound" row in the paper's Table 4.
+ */
+
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "sim/cache_model.h"
+
+namespace graphite::sim {
+
+/** Where an access was serviced from. */
+enum class ServiceLevel { L1, L2, L3, DramBandwidth, DramLatency };
+
+/** Outcome of one memory access through the hierarchy. */
+struct AccessOutcome
+{
+    ServiceLevel level = ServiceLevel::L1;
+    /** Absolute cycle at which the data is available. */
+    Cycles completion = 0;
+    /** Queueing delay suffered at DRAM (0 if not DRAM-serviced). */
+    Cycles dramQueueing = 0;
+};
+
+/** DRAM accounting shared by all cores. */
+struct DramStats
+{
+    std::uint64_t lineTransfers = 0;
+    Cycles totalQueueing = 0;
+    /** Lines fetched by the L2 hardware stream prefetcher. */
+    std::uint64_t prefetchTransfers = 0;
+
+    Bytes bytes() const { return lineTransfers * kCacheLineBytes; }
+};
+
+/** The full memory system of the simulated machine. */
+class MemorySystem
+{
+  public:
+    explicit MemorySystem(const MachineParams &params);
+
+    /**
+     * Demand access from @p core at time @p now.
+     *
+     * @param bypassPrivate model a DMA-engine access that skips the
+     *        private L1/L2 and goes straight to the L3/directory
+     *        (Section 5.2: DMA inputs never enter private caches).
+     */
+    AccessOutcome access(unsigned core, LineAddr line, bool isWrite,
+                         Cycles now, bool bypassPrivate = false);
+
+    /**
+     * Install a line directly into a core's L2 (the DMA engine flushing
+     * aggregation outputs to L2, Section 5.2).
+     */
+    void installIntoL2(unsigned core, LineAddr line);
+
+    CacheModel &l1(unsigned core) { return *l1_[core]; }
+    CacheModel &l2(unsigned core) { return *l2_[core]; }
+    CacheModel &l3() { return *l3_; }
+    const DramStats &dramStats() const { return dramStats_; }
+
+    /** Drop all cached state and stats (between experiments). */
+    void reset();
+
+    /** Clear stats but keep cache contents (after a warm-up pass). */
+    void clearStats();
+
+    const MachineParams &params() const { return params_; }
+
+  private:
+    Cycles dramAccess(Cycles now, Cycles &queueing);
+
+    MachineParams params_;
+    std::vector<std::unique_ptr<CacheModel>> l1_;
+    std::vector<std::unique_ptr<CacheModel>> l2_;
+    std::unique_ptr<CacheModel> l3_;
+    /**
+     * Epoch-bucketed channel occupancy: each kDramEpoch-cycle window
+     * can carry a bounded number of line transfers. Accesses that find
+     * their window full spill into later windows — queueing delay —
+     * regardless of the order the simulator happened to visit cores
+     * in, which keeps contention accounting order-insensitive.
+     */
+    static constexpr Cycles kDramEpoch = 256;
+    std::uint32_t epochCapacity_ = 0;
+    std::vector<std::uint32_t> epochUse_;
+    DramStats dramStats_;
+};
+
+} // namespace graphite::sim

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * The trace abstraction between workload generators and the timing
+ * model: a per-core stream of micro-operations (loads, stores, software
+ * prefetches, lumped compute, and DMA batch issue/wait markers).
+ * Traces are generated lazily — graph-scale traces are far too large to
+ * materialise.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+#include "common/types.h"
+
+namespace graphite::sim {
+
+/** One simulated micro-operation. */
+struct TraceOp
+{
+    enum class Kind : std::uint8_t {
+        Load,       ///< demand load of one cache line (addr)
+        Store,      ///< store to one cache line (write-allocate)
+        Prefetch,   ///< software prefetch hint: never stalls, droppable
+        Compute,    ///< `cycles` cycles of pure compute
+        IssueBatch, ///< enqueue DMA descriptor batch `batch` (Alg. 5)
+        WaitBatch,  ///< block until DMA batch `batch` completes
+    };
+
+    Kind kind = Kind::Compute;
+    std::uint64_t addr = 0;
+    std::uint32_t cycles = 0;
+    std::uint32_t batch = 0;
+
+    static TraceOp
+    load(std::uint64_t addr)
+    {
+        return {Kind::Load, addr, 0, 0};
+    }
+
+    static TraceOp
+    store(std::uint64_t addr)
+    {
+        return {Kind::Store, addr, 0, 0};
+    }
+
+    static TraceOp
+    prefetch(std::uint64_t addr)
+    {
+        return {Kind::Prefetch, addr, 0, 0};
+    }
+
+    static TraceOp
+    compute(std::uint32_t cycles)
+    {
+        return {Kind::Compute, 0, cycles, 0};
+    }
+
+    static TraceOp
+    issueBatch(std::uint32_t batch)
+    {
+        return {Kind::IssueBatch, 0, 0, batch};
+    }
+
+    static TraceOp
+    waitBatch(std::uint32_t batch)
+    {
+        return {Kind::WaitBatch, 0, 0, batch};
+    }
+};
+
+/** Lazily-evaluated per-core op stream. */
+class WorkloadSource
+{
+  public:
+    virtual ~WorkloadSource() = default;
+
+    /** Produce the next op; false when the stream is exhausted. */
+    virtual bool next(TraceOp &op) = 0;
+};
+
+/**
+ * Convenience base: subclasses refill an op buffer one work unit (e.g.
+ * one vertex or one block) at a time.
+ */
+class BufferedSource : public WorkloadSource
+{
+  public:
+    bool
+    next(TraceOp &op) override
+    {
+        while (buffer_.empty()) {
+            if (!refill())
+                return false;
+        }
+        op = buffer_.front();
+        buffer_.pop_front();
+        return true;
+    }
+
+  protected:
+    /** Push the ops of the next work unit; false when no work remains. */
+    virtual bool refill() = 0;
+
+    void push(const TraceOp &op) { buffer_.push_back(op); }
+
+    std::deque<TraceOp> buffer_;
+};
+
+} // namespace graphite::sim

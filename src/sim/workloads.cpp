@@ -1,0 +1,714 @@
+#include "sim/workloads.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.h"
+
+namespace graphite::sim {
+
+namespace {
+
+/** Synthetic virtual-address regions for one layer's operands. */
+struct LayerAddresses
+{
+    std::uint64_t colIdx = 0x0001'0000'0000ull;
+    std::uint64_t edgeFactors = 0x0002'0000'0000ull;
+    std::uint64_t inFeatures = 0x0010'0000'0000ull;
+    std::uint64_t inMasks = 0x0014'0000'0000ull;
+    std::uint64_t agg = 0x0020'0000'0000ull;
+    std::uint64_t outFeatures = 0x0030'0000'0000ull;
+    std::uint64_t outMasks = 0x0034'0000'0000ull;
+    std::uint64_t weights = 0x0040'0000'0000ull;
+    /** Per-core scratch (block buffers, descriptors): disjoint 1 MB. */
+    std::uint64_t
+    coreScratch(unsigned core) const
+    {
+        return 0x0050'0000'0000ull + core * (1ull << 20);
+    }
+};
+
+/**
+ * Two feature regions that layers ping-pong between, so layer k+1 reads
+ * exactly the lines layer k wrote (warm-cache chaining).
+ */
+std::uint64_t
+featureRegion(unsigned parity)
+{
+    return parity == 0 ? 0x0010'0000'0000ull : 0x0030'0000'0000ull;
+}
+
+std::uint64_t
+maskRegion(unsigned parity)
+{
+    return parity == 0 ? 0x0014'0000'0000ull : 0x0034'0000'0000ull;
+}
+
+/** Shared dynamic-schedule cursor (single-threaded simulation host). */
+struct SharedCursor
+{
+    std::size_t next = 0;
+    std::size_t end = 0;
+
+    /** Claim up to @p chunk indices; false when exhausted. */
+    bool
+    claim(std::size_t chunk, std::size_t &begin, std::size_t &endOut)
+    {
+        if (next >= end)
+            return false;
+        begin = next;
+        endOut = std::min(next + chunk, end);
+        next = endOut;
+        return true;
+    }
+};
+
+std::uint64_t
+rowStrideBytes(std::size_t f)
+{
+    return featureRowLines(f) * kCacheLineBytes;
+}
+
+/** Common context shared by all of one phase's per-core sources. */
+struct PhaseContext
+{
+    const LayerWorkload *w = nullptr;
+    LayerAddresses addr;
+    SharedCursor cursor;
+    std::size_t inLines = 0;     ///< lines loaded per gathered row
+    std::size_t inFullLines = 0; ///< dense lines per input row
+    std::size_t aggLines = 0;
+    std::size_t outLines = 0;        ///< lines stored per output row
+    std::size_t weightLines = 0;
+    /**
+     * Compute charged per gathered row, in line-equivalents. For
+     * compressed input this exceeds the traffic lines: the expand
+     * operates over the full dense width and vexpandloadu chains cost
+     * more than plain FMA (Section 4.3's overhead, the reason
+     * compression loses below ~10-30% sparsity in Figure 14).
+     */
+    double aggComputeLines = 0.0;
+    std::uint32_t updateComputePerRow = 0;
+
+    VertexId
+    vertexAt(std::size_t i) const
+    {
+        return w->order ? (*w->order)[i] : static_cast<VertexId>(i);
+    }
+};
+
+PhaseContext
+makeContext(const LayerWorkload &w)
+{
+    PhaseContext ctx;
+    ctx.w = &w;
+    ctx.addr.inFeatures = featureRegion(w.addrParity);
+    ctx.addr.inMasks = maskRegion(w.addrParity);
+    ctx.addr.outFeatures = featureRegion(w.addrParity ^ 1u);
+    ctx.addr.outMasks = maskRegion(w.addrParity ^ 1u);
+    ctx.cursor.end = w.graph->numVertices();
+    ctx.inFullLines = featureRowLines(w.fIn);
+    ctx.inLines = w.compressedIn
+        ? compressedRowLines(w.fIn, w.sparsity) : ctx.inFullLines;
+    ctx.aggLines = featureRowLines(w.fIn);
+    ctx.outLines = w.compressedOut
+        ? compressedRowLines(w.fOut, w.sparsity) : featureRowLines(w.fOut);
+    ctx.weightLines =
+        (w.fIn * w.fOut * sizeof(float) + kCacheLineBytes - 1) /
+        kCacheLineBytes;
+    ctx.aggComputeLines = w.compressedIn
+        ? static_cast<double>(ctx.inFullLines) * 1.4
+        : static_cast<double>(ctx.inLines);
+    ctx.updateComputePerRow = static_cast<std::uint32_t>(
+        static_cast<double>(w.fIn) * w.fOut / w.macsPerCycle);
+    if (w.compressedOut) {
+        // Mask generation + bubble-collapse of the produced row.
+        ctx.updateComputePerRow += static_cast<std::uint32_t>(
+            featureRowLines(w.fOut) * w.computePerLine);
+    }
+    return ctx;
+}
+
+/** Base class with the shared emission helpers. */
+class LayerSourceBase : public BufferedSource
+{
+  public:
+    LayerSourceBase(PhaseContext &ctx, unsigned core)
+        : ctx_(ctx), core_(core)
+    {
+    }
+
+  protected:
+    const LayerWorkload &w() const { return *ctx_.w; }
+
+    /** Loads of the CSR index/factor lines of vertex @p v's row. */
+    void
+    emitIndexLoads(VertexId v)
+    {
+        const CsrGraph &graph = *w().graph;
+        const EdgeId rowBegin = graph.rowBegin(v);
+        const EdgeId rowEnd = graph.rowEnd(v);
+        if (rowEnd == rowBegin)
+            return;
+        const std::uint64_t first =
+            ctx_.addr.colIdx + rowBegin * sizeof(VertexId);
+        const std::uint64_t last =
+            ctx_.addr.colIdx + (rowEnd - 1) * sizeof(VertexId);
+        for (std::uint64_t line = lineOf(first); line <= lineOf(last);
+             ++line) {
+            push(TraceOp::load(line * kCacheLineBytes));
+        }
+        // ψ factor array: one float per edge, streamed alongside.
+        const std::uint64_t facFirst =
+            ctx_.addr.edgeFactors + rowBegin * sizeof(float);
+        const std::uint64_t facLast =
+            ctx_.addr.edgeFactors + (rowEnd - 1) * sizeof(float);
+        for (std::uint64_t line = lineOf(facFirst);
+             line <= lineOf(facLast); ++line) {
+            push(TraceOp::load(line * kCacheLineBytes));
+        }
+    }
+
+    /** Loads of one gathered input feature row. */
+    void
+    emitRowLoads(VertexId u)
+    {
+        const std::uint64_t base = ctx_.addr.inFeatures +
+            static_cast<std::uint64_t>(u) * rowStrideBytes(w().fIn);
+        for (std::size_t l = 0; l < ctx_.inLines; ++l)
+            push(TraceOp::load(base + l * kCacheLineBytes));
+        if (w().compressedIn) {
+            // One mask load; masks of many rows share lines, the cache
+            // model captures the reuse.
+            const std::uint64_t mask = ctx_.addr.inMasks +
+                static_cast<std::uint64_t>(u) * (w().fIn / 8);
+            push(TraceOp::load(mask));
+        }
+    }
+
+    /** Software prefetch of the row gathered @p distance ahead. */
+    void
+    emitPrefetch(std::size_t index, std::size_t end)
+    {
+        if (w().prefetchDistance == 0 ||
+            index + w().prefetchDistance >= end) {
+            return;
+        }
+        const VertexId next = ctx_.vertexAt(index + w().prefetchDistance);
+        for (VertexId u : w().graph->neighbors(next)) {
+            const std::uint64_t base = ctx_.addr.inFeatures +
+                static_cast<std::uint64_t>(u) * rowStrideBytes(w().fIn);
+            const std::size_t lines =
+                std::min(w().prefetchLines, ctx_.inLines);
+            for (std::size_t l = 0; l < lines; ++l)
+                push(TraceOp::prefetch(base + l * kCacheLineBytes));
+        }
+    }
+
+    /** Aggregation of vertex @p v: index + gathers + compute. */
+    void
+    emitAggregation(VertexId v)
+    {
+        emitIndexLoads(v);
+        emitRowLoads(v); // self term
+        std::size_t gathered = 1;
+        for (VertexId u : w().graph->neighbors(v)) {
+            emitRowLoads(u);
+            ++gathered;
+        }
+        const auto cycles = static_cast<std::uint32_t>(
+            std::ceil(static_cast<double>(gathered) *
+                      ctx_.aggComputeLines * w().computePerLine));
+        push(TraceOp::compute(cycles));
+    }
+
+    /** Store a^k row of @p v to its home location. */
+    void
+    emitAggStore(VertexId v)
+    {
+        const std::uint64_t base = ctx_.addr.agg +
+            static_cast<std::uint64_t>(v) * rowStrideBytes(w().fIn);
+        for (std::size_t l = 0; l < ctx_.aggLines; ++l)
+            push(TraceOp::store(base + l * kCacheLineBytes));
+    }
+
+    /** Store the finished h^k row of @p v (packed when compressedOut). */
+    void
+    emitOutputStore(VertexId v)
+    {
+        const std::uint64_t base = ctx_.addr.outFeatures +
+            static_cast<std::uint64_t>(v) * rowStrideBytes(w().fOut);
+        for (std::size_t l = 0; l < ctx_.outLines; ++l)
+            push(TraceOp::store(base + l * kCacheLineBytes));
+        if (w().compressedOut) {
+            const std::uint64_t mask = ctx_.addr.outMasks +
+                static_cast<std::uint64_t>(v) * (w().fOut / 8);
+            push(TraceOp::store(mask));
+        }
+    }
+
+    /** Touch the whole weight matrix once (per block GEMM panel walk). */
+    void
+    emitWeightLoads()
+    {
+        for (std::size_t l = 0; l < ctx_.weightLines; ++l)
+            push(TraceOp::load(ctx_.addr.weights + l * kCacheLineBytes));
+    }
+
+    PhaseContext &ctx_;
+    unsigned core_;
+};
+
+/** Aggregation-only phase (Algorithm 1 and both unfused baselines). */
+class AggPhaseSource : public LayerSourceBase
+{
+  public:
+    using LayerSourceBase::LayerSourceBase;
+
+  protected:
+    bool
+    refill() override
+    {
+        if (i_ >= end_ && !ctx_.cursor.claim(w().taskSize, i_, end_))
+            return false;
+        const VertexId v = ctx_.vertexAt(i_);
+        emitAggregation(v);
+        if (w().writeAgg)
+            emitAggStore(v);
+        emitPrefetch(i_, end_);
+        ++i_;
+        return true;
+    }
+
+  private:
+    std::size_t i_ = 0;
+    std::size_t end_ = 0;
+};
+
+/** Streaming update phase of the unfused implementations. */
+class UpdatePhaseSource : public LayerSourceBase
+{
+  public:
+    using LayerSourceBase::LayerSourceBase;
+
+    static constexpr std::size_t kRowBlock = 32;
+
+  protected:
+    bool
+    refill() override
+    {
+        std::size_t begin = 0;
+        std::size_t end = 0;
+        if (!ctx_.cursor.claim(kRowBlock, begin, end))
+            return false;
+        emitWeightLoads();
+        for (std::size_t i = begin; i < end; ++i) {
+            const VertexId v = ctx_.vertexAt(i);
+            const std::uint64_t base = ctx_.addr.agg +
+                static_cast<std::uint64_t>(v) * rowStrideBytes(w().fIn);
+            for (std::size_t l = 0; l < ctx_.aggLines; ++l)
+                push(TraceOp::load(base + l * kCacheLineBytes));
+            push(TraceOp::compute(ctx_.updateComputePerRow));
+            emitOutputStore(v);
+        }
+        return true;
+    }
+};
+
+/** Fused aggregation+update (Algorithm 2). */
+class FusedPhaseSource : public LayerSourceBase
+{
+  public:
+    using LayerSourceBase::LayerSourceBase;
+
+  protected:
+    bool
+    refill() override
+    {
+        const std::size_t task = w().blockSize * w().blocksPerTask;
+        std::size_t begin = 0;
+        std::size_t end = 0;
+        if (!ctx_.cursor.claim(task, begin, end))
+            return false;
+        const std::uint64_t blockBuf = ctx_.addr.coreScratch(core_);
+        for (std::size_t j = begin; j < end; j += w().blockSize) {
+            const std::size_t blockEnd = std::min(j + w().blockSize, end);
+            // Aggregation into the reusable block buffer (Figure 5c).
+            for (std::size_t i = j; i < blockEnd; ++i) {
+                const VertexId v = ctx_.vertexAt(i);
+                emitAggregation(v);
+                const std::uint64_t bufRow = blockBuf +
+                    (i - j) * rowStrideBytes(w().fIn);
+                for (std::size_t l = 0; l < ctx_.aggLines; ++l)
+                    push(TraceOp::store(bufRow + l * kCacheLineBytes));
+                if (w().writeAgg)
+                    emitAggStore(v); // training keeps a^k (Figure 5b)
+                emitPrefetch(i, end);
+            }
+            // Update of the block while it is cache-resident.
+            emitWeightLoads();
+            for (std::size_t i = j; i < blockEnd; ++i) {
+                const VertexId v = ctx_.vertexAt(i);
+                const std::uint64_t bufRow = blockBuf +
+                    (i - j) * rowStrideBytes(w().fIn);
+                for (std::size_t l = 0; l < ctx_.aggLines; ++l)
+                    push(TraceOp::load(bufRow + l * kCacheLineBytes));
+                push(TraceOp::compute(ctx_.updateComputePerRow));
+                emitOutputStore(v);
+            }
+        }
+        return true;
+    }
+};
+
+/** Core side of the DMA-offloaded fused pipeline (Algorithm 5). */
+class DmaPhaseSource : public LayerSourceBase
+{
+  public:
+    DmaPhaseSource(PhaseContext &ctx, unsigned core, DmaRunner *dma)
+        : LayerSourceBase(ctx, core), dma_(dma)
+    {
+        GRAPHITE_ASSERT(dma_ != nullptr, "DMA source needs an engine");
+    }
+
+  protected:
+    bool
+    refill() override
+    {
+        const std::size_t task = w().blockSize * w().blocksPerTask;
+        std::size_t begin = 0;
+        std::size_t end = 0;
+        if (!ctx_.cursor.claim(task, begin, end)) {
+            if (!pending_.empty()) {
+                // Trailing update (Algorithm 5 lines 15-20).
+                push(TraceOp::waitBatch(pendingBatch_));
+                if (w().doUpdate)
+                    emitUpdate(pendingBatch_, pending_);
+                pending_.clear();
+                return true;
+            }
+            return false;
+        }
+        for (std::size_t j = begin; j < end; j += w().blockSize) {
+            const std::size_t blockEnd = std::min(j + w().blockSize, end);
+            std::vector<VertexId> block;
+            block.reserve(blockEnd - j);
+            for (std::size_t i = j; i < blockEnd; ++i)
+                block.push_back(ctx_.vertexAt(i));
+            // Build + enqueue one descriptor per vertex: one 64-B store
+            // and a few cycles of control work each (Alg. 5 lines 5-7).
+            const std::uint64_t desc = ctx_.addr.coreScratch(core_) +
+                (1u << 19); // descriptor ring above the block buffer
+            for (std::size_t m = 0; m < block.size(); ++m) {
+                push(TraceOp::store(desc + (m % 64) * kCacheLineBytes));
+                push(TraceOp::compute(4));
+            }
+            const std::uint32_t batch = nextBatch_++;
+            dma_->stageBatch(batch, block);
+            push(TraceOp::issueBatch(batch));
+            // Ping-pong: wait for and update the *previous* batch while
+            // the engine aggregates this one (Alg. 5 lines 8-13).
+            if (!pending_.empty()) {
+                push(TraceOp::waitBatch(pendingBatch_));
+                if (w().doUpdate)
+                    emitUpdate(pendingBatch_, pending_);
+            }
+            pending_ = std::move(block);
+            pendingBatch_ = batch;
+        }
+        return true;
+    }
+
+  private:
+    void
+    emitUpdate(std::uint32_t batch, const std::vector<VertexId> &block)
+    {
+        (void)batch;
+        emitWeightLoads();
+        for (VertexId v : block) {
+            // a^k rows were flushed into our L2 by the engine.
+            const std::uint64_t base = ctx_.addr.agg +
+                static_cast<std::uint64_t>(v) * rowStrideBytes(w().fIn);
+            for (std::size_t l = 0; l < ctx_.aggLines; ++l)
+                push(TraceOp::load(base + l * kCacheLineBytes));
+            push(TraceOp::compute(ctx_.updateComputePerRow));
+            emitOutputStore(v);
+        }
+    }
+
+    DmaRunner *dma_;
+    std::vector<VertexId> pending_;
+    std::uint32_t pendingBatch_ = 0;
+    std::uint32_t nextBatch_ = 1;
+};
+
+/** Merge phase stats into an accumulating result. */
+void
+accumulate(RunResult &total, const RunResult &phase)
+{
+    total.makespan += phase.makespan;
+    if (total.coreStats.size() < phase.coreStats.size())
+        total.coreStats.resize(phase.coreStats.size());
+    for (std::size_t c = 0; c < phase.coreStats.size(); ++c) {
+        CoreStats &dst = total.coreStats[c];
+        const CoreStats &src = phase.coreStats[c];
+        dst.totalCycles += src.totalCycles;
+        dst.computeCycles += src.computeCycles;
+        dst.stallCycles += src.stallCycles;
+        dst.stallL2 += src.stallL2;
+        dst.stallL3 += src.stallL3;
+        dst.stallDramBandwidth += src.stallDramBandwidth;
+        dst.stallDramLatency += src.stallDramLatency;
+        dst.fillBufferFullCycles += src.fillBufferFullCycles;
+        dst.dmaWaitCycles += src.dmaWaitCycles;
+        dst.loads += src.loads;
+        dst.stores += src.stores;
+        dst.prefetchesIssued += src.prefetchesIssued;
+        dst.prefetchesDropped += src.prefetchesDropped;
+    }
+    auto addCache = [](CacheStats &dst, const CacheStats &src) {
+        dst.accesses += src.accesses;
+        dst.hits += src.hits;
+        dst.misses += src.misses;
+        dst.writebacks += src.writebacks;
+    };
+    addCache(total.l1Total, phase.l1Total);
+    addCache(total.l2Total, phase.l2Total);
+    addCache(total.l3Stats, phase.l3Stats);
+    total.dram.lineTransfers += phase.dram.lineTransfers;
+    total.dram.totalQueueing += phase.dram.totalQueueing;
+    if (total.dmaStats.size() < phase.dmaStats.size())
+        total.dmaStats.resize(phase.dmaStats.size());
+    for (std::size_t c = 0; c < phase.dmaStats.size(); ++c) {
+        DmaStats &dst = total.dmaStats[c];
+        const DmaStats &src = phase.dmaStats[c];
+        dst.descriptors += src.descriptors;
+        dst.indexLineFetches += src.indexLineFetches;
+        dst.inputLineFetches += src.inputLineFetches;
+        dst.factorLineFetches += src.factorLineFetches;
+        dst.outputLinesWritten += src.outputLinesWritten;
+        dst.busyCycles += src.busyCycles;
+    }
+}
+
+} // namespace
+
+std::size_t
+featureRowLines(std::size_t f)
+{
+    return (f * sizeof(float) + kCacheLineBytes - 1) / kCacheLineBytes;
+}
+
+std::size_t
+compressedRowLines(std::size_t f, double sparsity)
+{
+    const auto nonZeros = static_cast<std::size_t>(
+        std::ceil(static_cast<double>(f) * (1.0 - sparsity)));
+    const std::size_t lines =
+        (nonZeros * sizeof(float) + kCacheLineBytes - 1) / kCacheLineBytes;
+    return std::max<std::size_t>(lines, 1);
+}
+
+RunResult
+simulateLayer(Machine &machine, const LayerWorkload &workload,
+              const DmaParams &dmaParams)
+{
+    GRAPHITE_ASSERT(workload.graph != nullptr, "workload needs a graph");
+    GRAPHITE_ASSERT(!workload.order ||
+                        workload.order->size() ==
+                            workload.graph->numVertices(),
+                    "order size mismatch");
+
+    PhaseContext ctx = makeContext(workload);
+
+    switch (workload.impl) {
+      case LayerImpl::DistGnn:
+      case LayerImpl::Mkl:
+      case LayerImpl::Basic: {
+        machine.memory().clearStats();
+        RunResult total;
+        RunResult agg = machine.run([&](unsigned core) {
+            return std::make_unique<AggPhaseSource>(ctx, core);
+        });
+        accumulate(total, agg);
+        if (workload.doUpdate) {
+            ctx.cursor = SharedCursor{0, workload.graph->numVertices()};
+            machine.memory().clearStats();
+            RunResult update = machine.run([&](unsigned core) {
+                return std::make_unique<UpdatePhaseSource>(ctx, core);
+            });
+            accumulate(total, update);
+        }
+        return total;
+      }
+      case LayerImpl::Fused: {
+        machine.memory().clearStats();
+        return machine.run([&](unsigned core) {
+            return std::make_unique<FusedPhaseSource>(ctx, core);
+        });
+      }
+      case LayerImpl::DmaFused: {
+        machine.memory().clearStats();
+        DmaWorkloadInfo info;
+        info.graph = workload.graph;
+        info.addresses.colIdxBase = ctx.addr.colIdx;
+        info.addresses.edgeFactorBase = ctx.addr.edgeFactors;
+        info.addresses.featureBase = ctx.addr.inFeatures;
+        info.addresses.featureStrideBytes = rowStrideBytes(workload.fIn);
+        info.addresses.aggBase = ctx.addr.agg;
+        info.addresses.aggStrideBytes = rowStrideBytes(workload.fIn);
+        info.featureLines = ctx.inFullLines; // DMA reads dense rows (§5)
+        info.aggLines = ctx.aggLines;
+        info.useFactors = true;
+        return machine.run(
+            [&](unsigned core) -> std::unique_ptr<WorkloadSource> {
+                // The machine attaches engines before sources run; the
+                // source needs its engine, so fetch it lazily via the
+                // machine after construction. Here we rely on the
+                // factory being called after the engine for `core` is
+                // created (see Machine::run ordering).
+                return std::make_unique<DmaPhaseSource>(
+                    ctx, core, machine.dmaEngines()[core].get());
+            },
+            &info, dmaParams);
+      }
+    }
+    panic("unknown layer implementation");
+}
+
+void
+CompositeResult::add(const RunResult &phase)
+{
+    totalCycles += phase.makespan;
+    accumulate(aggregate, phase);
+}
+
+namespace {
+
+/** Layer widths of the simulated network. */
+std::vector<std::pair<std::size_t, std::size_t>>
+layerShapes(const NetworkWorkload &net)
+{
+    std::vector<std::pair<std::size_t, std::size_t>> shapes;
+    std::size_t in = net.fInput;
+    for (std::size_t k = 0; k < net.numLayers; ++k) {
+        shapes.emplace_back(in, net.fHidden);
+        in = net.fHidden;
+    }
+    return shapes;
+}
+
+LayerWorkload
+baseLayer(const NetworkWorkload &net, std::size_t fIn, std::size_t fOut)
+{
+    LayerWorkload w;
+    w.graph = net.graph;
+    w.order = net.locality ? net.order : nullptr;
+    w.fIn = fIn;
+    w.fOut = fOut;
+    w.impl = net.impl;
+    w.sparsity = net.sparsity;
+    // Fused blocks of 32 rows amortise the weight-panel walk at the
+    // same rate as the unfused update's row blocks.
+    w.blockSize = 32;
+    w.blocksPerTask = 2;
+    // The baselines are themselves optimized libraries: they prefetch
+    // too. What distinguishes `basic` is the JIT-specialised kernel
+    // (paper Section 4.1) — lower per-line compute cost — and dynamic
+    // fine-grained task scheduling.
+    if (net.impl == LayerImpl::DistGnn) {
+        w.computePerLine = 2.2; // generic-kernel overhead vs JIT
+    } else if (net.impl == LayerImpl::Mkl) {
+        w.computePerLine = 2.4;
+        w.prefetchDistance = 2; // SpMM library prefetches less deeply
+    }
+    return w;
+}
+
+} // namespace
+
+CompositeResult
+simulateInference(Machine &machine, const NetworkWorkload &net)
+{
+    CompositeResult result;
+    const auto shapes = layerShapes(net);
+    for (std::size_t k = 0; k < shapes.size(); ++k) {
+        LayerWorkload w = baseLayer(net, shapes[k].first,
+                                    shapes[k].second);
+        w.addrParity = static_cast<unsigned>(k % 2);
+        // Inference never materialises a^k when fused (Figure 5c).
+        w.writeAgg = net.impl != LayerImpl::Fused &&
+                     net.impl != LayerImpl::DmaFused;
+        w.compressedIn = net.compression;
+        w.compressedOut = net.compression && k + 1 < shapes.size();
+        result.add(simulateLayer(machine, w, net.dma));
+    }
+    return result;
+}
+
+CompositeResult
+simulateTraining(Machine &machine, const NetworkWorkload &net,
+                 const CsrGraph &transposedGraph)
+{
+    CompositeResult result;
+    const auto shapes = layerShapes(net);
+
+    // Forward: identical to inference except a^k is kept (Figure 5b).
+    for (std::size_t k = 0; k < shapes.size(); ++k) {
+        LayerWorkload w = baseLayer(net, shapes[k].first,
+                                    shapes[k].second);
+        w.addrParity = static_cast<unsigned>(k % 2);
+        w.writeAgg = true;
+        w.compressedIn = net.compression;
+        w.compressedOut = net.compression && k + 1 < shapes.size();
+        result.add(simulateLayer(machine, w, net.dma));
+    }
+
+    // Backward, outermost layer first. Per layer (Section 7.1.1):
+    //   dz = dh ⊙ ReLU'  (elementwise, folded into the GEMM stream)
+    //   dW = aᵀ·dz, da = dz·Wᵀ   — one extra GEMM vs forward
+    //   dh_prev = Aggᵀ(da)       — aggregation over the transposed graph
+    //
+    // The techniques apply here exactly as they do forward: fusion
+    // overlaps the da GEMM with the transposed gather, compression
+    // exploits the gradients' sparsity (ReLU backward zeroes the same
+    // positions the forward zeroed, Section 2.2), and the locality
+    // order — amortised over epochs — covers both edge directions.
+    const bool fusedImpl = net.impl == LayerImpl::Fused ||
+                           net.impl == LayerImpl::DmaFused;
+    for (std::size_t k = shapes.size(); k-- > 0;) {
+        // Standalone GEMM stream: dW (plus da when unfused).
+        LayerWorkload gemms = baseLayer(net, shapes[k].first,
+                                        shapes[k].second);
+        gemms.writeAgg = false;
+        gemms.doUpdate = true;
+        if (!fusedImpl)
+            gemms.macsPerCycle = gemms.macsPerCycle / 2.0; // dW and da
+        PhaseContext ctx = makeContext(gemms);
+        machine.memory().clearStats();
+        RunResult gemmPhase = machine.run([&](unsigned core) {
+            return std::make_unique<UpdatePhaseSource>(ctx, core);
+        });
+        result.add(gemmPhase);
+
+        // Transposed aggregation of the (sparse) feature gradients;
+        // fused implementations overlap the da GEMM with this gather
+        // block-by-block, mirroring Algorithm 2 in reverse.
+        if (k > 0) {
+            LayerWorkload bwdAgg = baseLayer(net, shapes[k].first,
+                                             shapes[k].first);
+            bwdAgg.graph = &transposedGraph;
+            bwdAgg.order = net.locality ? net.transposedOrder : nullptr;
+            bwdAgg.compressedIn = net.compression;
+            bwdAgg.compressedOut = false; // dh_prev feeds a GEMM next
+            bwdAgg.writeAgg = true;
+            bwdAgg.doUpdate = fusedImpl; // the fused-in da GEMM
+            if (fusedImpl)
+                bwdAgg.impl = net.impl;
+            result.add(simulateLayer(machine, bwdAgg, net.dma));
+        }
+    }
+    return result;
+}
+
+} // namespace graphite::sim

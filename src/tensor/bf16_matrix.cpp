@@ -1,0 +1,73 @@
+#include "tensor/bf16_matrix.h"
+
+#include <cstring>
+
+#include "common/assert.h"
+#include "parallel/thread_pool.h"
+
+namespace graphite {
+
+void
+convertRowToBf16(const Feature *src, std::size_t n, std::uint16_t *dst)
+{
+    for (std::size_t i = 0; i < n; ++i) {
+        std::uint32_t bits;
+        std::memcpy(&bits, &src[i], sizeof(bits));
+        // Round to nearest even: add half-ulp plus the sticky lsb.
+        const std::uint32_t rounded =
+            bits + 0x7fffu + ((bits >> 16) & 1u);
+        dst[i] = static_cast<std::uint16_t>(rounded >> 16);
+    }
+}
+
+void
+convertRowFromBf16(const std::uint16_t *src, std::size_t n, Feature *dst)
+{
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::uint32_t bits = static_cast<std::uint32_t>(src[i])
+                                   << 16;
+        std::memcpy(&dst[i], &bits, sizeof(bits));
+    }
+}
+
+namespace {
+std::size_t
+paddedStride(std::size_t cols)
+{
+    // 64-byte lines hold 32 bf16 elements.
+    constexpr std::size_t kPerLine = kCacheLineBytes / sizeof(std::uint16_t);
+    return (cols + kPerLine - 1) / kPerLine * kPerLine;
+}
+} // namespace
+
+Bf16Matrix::Bf16Matrix(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols), rowStride_(paddedStride(cols)),
+      storage_(rows * paddedStride(cols))
+{
+}
+
+void
+Bf16Matrix::fromDense(const DenseMatrix &dense)
+{
+    GRAPHITE_ASSERT(dense.rows() == rows_ && dense.cols() == cols_,
+                    "bf16 conversion shape mismatch");
+    parallelFor(0, rows_, 256,
+                [&](std::size_t begin, std::size_t end, std::size_t) {
+        for (std::size_t r = begin; r < end; ++r)
+            convertRowToBf16(dense.row(r), cols_, row(r));
+    });
+}
+
+void
+Bf16Matrix::toDense(DenseMatrix &dense) const
+{
+    GRAPHITE_ASSERT(dense.rows() == rows_ && dense.cols() == cols_,
+                    "bf16 expansion shape mismatch");
+    parallelFor(0, rows_, 256,
+                [&](std::size_t begin, std::size_t end, std::size_t) {
+        for (std::size_t r = begin; r < end; ++r)
+            convertRowFromBf16(row(r), cols_, dense.row(r));
+    });
+}
+
+} // namespace graphite

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * BF16 feature storage — an alternative DRAM-traffic reducer to the
+ * paper's mask compression (Section 4.3). Where mask compression
+ * exploits *sparsity* at full precision, bf16 halves the traffic of
+ * *dense* features at reduced precision (8 mantissa bits). The two are
+ * complementary regimes: low-sparsity layers favour bf16, high-sparsity
+ * layers favour the mask scheme; `bench/micro_kernels` compares them on
+ * real hardware.
+ *
+ * Storage keeps the fixed-stride row layout of DenseMatrix (O(1) random
+ * row access) with 2 bytes per element. Values are rounded to nearest
+ * even on conversion.
+ */
+
+#pragma once
+
+#include <cstdint>
+
+#include "common/aligned_buffer.h"
+#include "tensor/dense_matrix.h"
+
+namespace graphite {
+
+/** Convert @p n floats to bf16 with round-to-nearest-even. */
+void convertRowToBf16(const Feature *src, std::size_t n,
+                      std::uint16_t *dst);
+
+/** Expand @p n bf16 values back to floats. */
+void convertRowFromBf16(const std::uint16_t *src, std::size_t n,
+                        Feature *dst);
+
+/** Fixed-stride bf16 matrix mirroring DenseMatrix's layout. */
+class Bf16Matrix
+{
+  public:
+    Bf16Matrix() = default;
+
+    /** Allocate rows x cols (stride padded to 32 elements = 64 B). */
+    Bf16Matrix(std::size_t rows, std::size_t cols);
+
+    std::size_t rows() const { return rows_; }
+    std::size_t cols() const { return cols_; }
+    std::size_t rowStride() const { return rowStride_; }
+
+    std::uint16_t *row(std::size_t r)
+    {
+        return storage_.data() + r * rowStride_;
+    }
+    const std::uint16_t *
+    row(std::size_t r) const
+    {
+        return storage_.data() + r * rowStride_;
+    }
+
+    /** Convert every row of @p dense into this matrix (parallel). */
+    void fromDense(const DenseMatrix &dense);
+
+    /** Expand every row into @p dense (parallel). */
+    void toDense(DenseMatrix &dense) const;
+
+    /** Bytes a streaming reader of the whole matrix transfers. */
+    Bytes trafficBytes() const
+    {
+        return static_cast<Bytes>(rows_) * rowStride_ *
+               sizeof(std::uint16_t);
+    }
+
+  private:
+    std::size_t rows_ = 0;
+    std::size_t cols_ = 0;
+    std::size_t rowStride_ = 0;
+    AlignedBuffer<std::uint16_t> storage_;
+};
+
+} // namespace graphite

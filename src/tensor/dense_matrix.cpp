@@ -1,0 +1,89 @@
+#include "tensor/dense_matrix.h"
+
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace graphite {
+
+namespace {
+std::size_t
+paddedStride(std::size_t cols)
+{
+    return (cols + kFloatsPerLine - 1) / kFloatsPerLine * kFloatsPerLine;
+}
+} // namespace
+
+DenseMatrix::DenseMatrix(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols), rowStride_(paddedStride(cols)),
+      storage_(rows * paddedStride(cols))
+{
+}
+
+void
+DenseMatrix::resize(std::size_t rows, std::size_t cols)
+{
+    rows_ = rows;
+    cols_ = cols;
+    rowStride_ = paddedStride(cols);
+    storage_.resize(rows * rowStride_);
+}
+
+double
+DenseMatrix::sparsity() const
+{
+    if (rows_ == 0 || cols_ == 0)
+        return 0.0;
+    std::size_t zeros = 0;
+    for (std::size_t r = 0; r < rows_; ++r) {
+        const Feature *rowData = row(r);
+        for (std::size_t c = 0; c < cols_; ++c)
+            zeros += rowData[c] == 0.0f;
+    }
+    return static_cast<double>(zeros) /
+           (static_cast<double>(rows_) * cols_);
+}
+
+void
+DenseMatrix::fillUniform(float lo, float hi, std::uint64_t seed)
+{
+    Rng rng(seed);
+    for (std::size_t r = 0; r < rows_; ++r) {
+        Feature *rowData = row(r);
+        for (std::size_t c = 0; c < cols_; ++c)
+            rowData[c] = lo + (hi - lo) * rng.uniformFloat();
+    }
+}
+
+void
+DenseMatrix::sparsify(double rate, std::uint64_t seed)
+{
+    Rng rng(seed);
+    for (std::size_t r = 0; r < rows_; ++r) {
+        Feature *rowData = row(r);
+        for (std::size_t c = 0; c < cols_; ++c) {
+            if (rng.uniform() < rate)
+                rowData[c] = 0.0f;
+        }
+    }
+}
+
+double
+DenseMatrix::maxAbsDiff(const DenseMatrix &other) const
+{
+    GRAPHITE_ASSERT(rows_ == other.rows_ && cols_ == other.cols_,
+                    "shape mismatch");
+    double maxDiff = 0.0;
+    for (std::size_t r = 0; r < rows_; ++r) {
+        const Feature *a = row(r);
+        const Feature *b = other.row(r);
+        for (std::size_t c = 0; c < cols_; ++c) {
+            const double diff = std::fabs(double{a[c]} - double{b[c]});
+            if (diff > maxDiff)
+                maxDiff = diff;
+        }
+    }
+    return maxDiff;
+}
+
+} // namespace graphite

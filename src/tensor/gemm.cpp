@@ -1,0 +1,173 @@
+#include "tensor/gemm.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+#include "parallel/thread_pool.h"
+
+namespace graphite {
+
+namespace {
+
+/** Rows of C processed per parallel task. */
+constexpr std::size_t kRowBlock = 32;
+/** Inner-dimension tile to keep the B panel in L1/L2. */
+constexpr std::size_t kInnerBlock = 256;
+
+void
+checkShapes(GemmMode mode, const DenseMatrix &a, const DenseMatrix &b,
+            const DenseMatrix &c)
+{
+    switch (mode) {
+      case GemmMode::NN:
+        GRAPHITE_ASSERT(a.rows() == c.rows() && a.cols() == b.rows() &&
+                            b.cols() == c.cols(),
+                        "GEMM NN shape mismatch");
+        break;
+      case GemmMode::NT:
+        GRAPHITE_ASSERT(a.rows() == c.rows() && a.cols() == b.cols() &&
+                            b.rows() == c.cols(),
+                        "GEMM NT shape mismatch");
+        break;
+      case GemmMode::TN:
+        GRAPHITE_ASSERT(a.cols() == c.rows() && a.rows() == b.rows() &&
+                            b.cols() == c.cols(),
+                        "GEMM TN shape mismatch");
+        break;
+    }
+}
+
+/**
+ * Inner kernel for NN: c[r, :] += a[r, kBegin:kEnd] * b[kBegin:kEnd, :].
+ * The j-loop over N is contiguous and vectorises into FMA chains.
+ */
+void
+kernelRowNN(const Feature *aRow, const DenseMatrix &b, Feature *cRow,
+            std::size_t n, std::size_t kBegin, std::size_t kEnd)
+{
+    for (std::size_t k = kBegin; k < kEnd; ++k) {
+        const Feature av = aRow[k];
+        if (av == 0.0f)
+            continue;
+        const Feature *bRow = b.row(k);
+        #pragma omp simd
+        for (std::size_t j = 0; j < n; ++j)
+            cRow[j] += av * bRow[j];
+    }
+}
+
+/** Inner kernel for NT: c[r, j] += dot(a[r, :], b[j, :]). */
+void
+kernelRowNT(const Feature *aRow, const DenseMatrix &b, Feature *cRow,
+            std::size_t n, std::size_t kDim)
+{
+    for (std::size_t j = 0; j < n; ++j) {
+        const Feature *bRow = b.row(j);
+        Feature sum = 0.0f;
+        #pragma omp simd reduction(+ : sum)
+        for (std::size_t k = 0; k < kDim; ++k)
+            sum += aRow[k] * bRow[k];
+        cRow[j] += sum;
+    }
+}
+
+} // namespace
+
+void
+gemm(GemmMode mode, const DenseMatrix &a, const DenseMatrix &b,
+     DenseMatrix &c, GemmAccumulate acc)
+{
+    checkShapes(mode, a, b, c);
+    const std::size_t m = c.rows();
+    const std::size_t n = c.cols();
+
+    if (acc == GemmAccumulate::Overwrite)
+        c.zero();
+
+    if (mode == GemmMode::TN) {
+        // C(M x N) += A(K x M)^T * B(K x N). Parallelise over output rows;
+        // each output row r reads column r of A, i.e. a[k, r] across k.
+        const std::size_t kDim = a.rows();
+        parallelFor(0, m, kRowBlock,
+                    [&](std::size_t rBegin, std::size_t rEnd, std::size_t) {
+            for (std::size_t kBlock = 0; kBlock < kDim;
+                 kBlock += kInnerBlock) {
+                const std::size_t kEnd =
+                    std::min(kBlock + kInnerBlock, kDim);
+                for (std::size_t k = kBlock; k < kEnd; ++k) {
+                    const Feature *aRow = a.row(k);
+                    const Feature *bRow = b.row(k);
+                    for (std::size_t r = rBegin; r < rEnd; ++r) {
+                        const Feature av = aRow[r];
+                        if (av == 0.0f)
+                            continue;
+                        Feature *cRow = c.row(r);
+                        #pragma omp simd
+                        for (std::size_t j = 0; j < n; ++j)
+                            cRow[j] += av * bRow[j];
+                    }
+                }
+            }
+        });
+        return;
+    }
+
+    const std::size_t kDim = a.cols();
+    parallelFor(0, m, kRowBlock,
+                [&](std::size_t rBegin, std::size_t rEnd, std::size_t) {
+        if (mode == GemmMode::NN) {
+            for (std::size_t kBlock = 0; kBlock < kDim;
+                 kBlock += kInnerBlock) {
+                const std::size_t kEnd =
+                    std::min(kBlock + kInnerBlock, kDim);
+                for (std::size_t r = rBegin; r < rEnd; ++r)
+                    kernelRowNN(a.row(r), b, c.row(r), n, kBlock, kEnd);
+            }
+        } else {
+            for (std::size_t r = rBegin; r < rEnd; ++r)
+                kernelRowNT(a.row(r), b, c.row(r), n, kDim);
+        }
+    });
+}
+
+void
+gemmBlockSerial(const Feature *aRows, std::size_t rows, std::size_t aStride,
+                const DenseMatrix &b, Feature *cRows, std::size_t cStride,
+                std::size_t k)
+{
+    GRAPHITE_ASSERT(b.rows() == k, "block GEMM inner dim mismatch");
+    const std::size_t n = b.cols();
+    for (std::size_t r = 0; r < rows; ++r) {
+        const Feature *aRow = aRows + r * aStride;
+        Feature *cRow = cRows + r * cStride;
+        std::fill(cRow, cRow + n, 0.0f);
+        kernelRowNN(aRow, b, cRow, n, 0, k);
+    }
+}
+
+void
+gemmReference(GemmMode mode, const DenseMatrix &a, const DenseMatrix &b,
+              DenseMatrix &c, GemmAccumulate acc)
+{
+    checkShapes(mode, a, b, c);
+    if (acc == GemmAccumulate::Overwrite)
+        c.zero();
+    const std::size_t m = c.rows();
+    const std::size_t n = c.cols();
+    const std::size_t kDim = (mode == GemmMode::TN) ? a.rows() : a.cols();
+    for (std::size_t r = 0; r < m; ++r) {
+        for (std::size_t j = 0; j < n; ++j) {
+            double sum = 0.0;
+            for (std::size_t k = 0; k < kDim; ++k) {
+                const Feature av =
+                    (mode == GemmMode::TN) ? a.at(k, r) : a.at(r, k);
+                const Feature bv =
+                    (mode == GemmMode::NT) ? b.at(j, k) : b.at(k, j);
+                sum += double{av} * double{bv};
+            }
+            c.at(r, j) += static_cast<Feature>(sum);
+        }
+    }
+}
+
+} // namespace graphite

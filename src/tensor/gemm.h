@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Dense matrix multiplication — the update phase's compute engine.
+ *
+ * The paper uses MKL GEMM for the unfused update and libxsmm for the small
+ * per-block GEMMs inside layer fusion. Neither is available offline, so we
+ * provide a blocked, vectorised GEMM with the two call shapes both roles
+ * need: a parallel whole-matrix multiply, and a single-thread small-block
+ * multiply invoked from inside a fused task (gemmBlockSerial).
+ *
+ * Supported forms (C is M x N):
+ *   NN: C (+)= A(MxK)   * B(KxN)
+ *   NT: C (+)= A(MxK)   * B(NxK)^T
+ *   TN: C (+)= A(KxM)^T * B(KxN)
+ * NT and TN are what the backward pass needs (dX = dY * W^T and
+ * dW = X^T * dY).
+ */
+
+#pragma once
+
+#include "tensor/dense_matrix.h"
+
+namespace graphite {
+
+/** Transposition mode of a GEMM operand pair. */
+enum class GemmMode { NN, NT, TN };
+
+/** Accumulate behaviour. */
+enum class GemmAccumulate { Overwrite, Add };
+
+/**
+ * Parallel blocked GEMM over the global thread pool.
+ *
+ * @param mode operand transposition (see file comment).
+ * @param acc  overwrite C or accumulate into it.
+ */
+void gemm(GemmMode mode, const DenseMatrix &a, const DenseMatrix &b,
+          DenseMatrix &c, GemmAccumulate acc = GemmAccumulate::Overwrite);
+
+/**
+ * Serial small-block GEMM: c[0..rows) (+)= aRows * b, where aRows points
+ * at @p rows consecutive padded rows of an activation matrix and @p b is
+ * a KxN weight matrix. This is the libxsmm-role kernel the fused
+ * aggregation-update calls per vertex block, so it must not spawn
+ * parallel work itself.
+ *
+ * @param aRows   first input row (padded stride = aStride floats).
+ * @param rows    number of input/output rows in the block.
+ * @param aStride padded stride of the input rows.
+ * @param b       K x N weights.
+ * @param cRows   first output row (padded stride = cStride floats).
+ * @param cStride padded stride of the output rows.
+ * @param k       inner dimension (logical columns of the input rows).
+ */
+void gemmBlockSerial(const Feature *aRows, std::size_t rows,
+                     std::size_t aStride, const DenseMatrix &b,
+                     Feature *cRows, std::size_t cStride, std::size_t k);
+
+/** Reference (naive triple loop) GEMM used by tests as ground truth. */
+void gemmReference(GemmMode mode, const DenseMatrix &a, const DenseMatrix &b,
+                   DenseMatrix &c,
+                   GemmAccumulate acc = GemmAccumulate::Overwrite);
+
+} // namespace graphite

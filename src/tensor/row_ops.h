@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Element-wise and row-wise tensor operators used by the update phase:
+ * bias add, ReLU forward/backward, dropout, and the softmax
+ * cross-entropy loss head used by the training examples.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "tensor/dense_matrix.h"
+
+namespace graphite {
+
+/** out[r, :] += bias for every row. */
+void addBias(DenseMatrix &out, std::span<const Feature> bias);
+
+/** In-place ReLU: x = max(x, 0). The paper's activation (Table 2). */
+void reluForward(DenseMatrix &x);
+
+/**
+ * ReLU backward: grad[r, c] = 0 wherever activated[r, c] == 0.
+ * @p activated is the *post*-ReLU forward output.
+ */
+void reluBackward(const DenseMatrix &activated, DenseMatrix &grad);
+
+/**
+ * Inverted dropout: zero each element with probability @p rate and scale
+ * survivors by 1/(1-rate). Writes the survival mask (1 bit per element,
+ * row-major, rowStride-padded) into @p mask for the backward pass.
+ */
+void dropoutForward(DenseMatrix &x, double rate, std::uint64_t seed,
+                    std::vector<std::uint64_t> &mask);
+
+/** Dropout backward: apply the saved mask and the 1/(1-rate) scale. */
+void dropoutBackward(DenseMatrix &grad, double rate,
+                     const std::vector<std::uint64_t> &mask);
+
+/**
+ * Softmax + cross-entropy over rows.
+ *
+ * @param logits   |V| x numClasses scores.
+ * @param labels   per-row class ids.
+ * @param gradOut  filled with d(loss)/d(logits) (softmax - onehot) / |V|.
+ * @return mean loss.
+ */
+double softmaxCrossEntropy(const DenseMatrix &logits,
+                           std::span<const std::int32_t> labels,
+                           DenseMatrix &gradOut);
+
+/**
+ * Masked softmax cross-entropy: only rows with mask[r] != 0 contribute
+ * to the loss and receive gradient (the train-split regime of
+ * node-classification benchmarks; labelled vertices are a subset).
+ * Unmasked rows' gradients are zero. Normalised by the masked count.
+ *
+ * @return mean loss over the masked rows (0 if none are masked).
+ */
+double softmaxCrossEntropyMasked(const DenseMatrix &logits,
+                                 std::span<const std::int32_t> labels,
+                                 std::span<const std::uint8_t> mask,
+                                 DenseMatrix &gradOut);
+
+/** Fraction of rows whose argmax equals the label. */
+double accuracy(const DenseMatrix &logits,
+                std::span<const std::int32_t> labels);
+
+/** Accuracy over the rows with mask[r] != 0 (1.0 if none). */
+double accuracyMasked(const DenseMatrix &logits,
+                      std::span<const std::int32_t> labels,
+                      std::span<const std::uint8_t> mask);
+
+} // namespace graphite

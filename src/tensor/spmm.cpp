@@ -1,0 +1,51 @@
+#include "tensor/spmm.h"
+
+#include "common/assert.h"
+#include "parallel/thread_pool.h"
+
+namespace graphite {
+
+void
+spmm(const CsrGraph &graph, const DenseMatrix &in, DenseMatrix &out,
+     std::span<const Feature> edgeWeights,
+     std::span<const Feature> selfWeights)
+{
+    const VertexId n = graph.numVertices();
+    GRAPHITE_ASSERT(in.rows() == n && out.rows() == n,
+                    "feature row count mismatch");
+    GRAPHITE_ASSERT(in.cols() == out.cols(), "feature width mismatch");
+    GRAPHITE_ASSERT(edgeWeights.empty() ||
+                        edgeWeights.size() == graph.numEdges(),
+                    "edge weight count mismatch");
+    GRAPHITE_ASSERT(selfWeights.empty() || selfWeights.size() == n,
+                    "self weight count mismatch");
+    // SpMM is, by definition, a sum reduction; max-style aggregators
+    // go through the kernels in kernels/aggregation.h instead.
+
+    const std::size_t f = in.cols();
+    parallelFor(0, n, 64,
+                [&](std::size_t begin, std::size_t end, std::size_t) {
+        for (std::size_t vi = begin; vi < end; ++vi) {
+            const auto v = static_cast<VertexId>(vi);
+            Feature *dst = out.row(v);
+            const Feature *self = in.row(v);
+            const Feature sw =
+                selfWeights.empty() ? 1.0f : selfWeights[v];
+            #pragma omp simd
+            for (std::size_t c = 0; c < f; ++c)
+                dst[c] = sw * self[c];
+            const EdgeId rowBegin = graph.rowBegin(v);
+            const EdgeId rowEnd = graph.rowEnd(v);
+            for (EdgeId e = rowBegin; e < rowEnd; ++e) {
+                const Feature *src = in.row(graph.colIdx()[e]);
+                const Feature ew =
+                    edgeWeights.empty() ? 1.0f : edgeWeights[e];
+                #pragma omp simd
+                for (std::size_t c = 0; c < f; ++c)
+                    dst[c] += ew * src[c];
+            }
+        }
+    });
+}
+
+} // namespace graphite

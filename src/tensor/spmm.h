@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Sparse-dense matrix multiplication over the CSR adjacency.
+ *
+ * A GNN aggregation is an SpMM: A_hat * H, where A_hat is the (optionally
+ * normalised) adjacency with self-loops. This kernel is the paper's "MKL"
+ * comparison point (MKL SpMM aggregation + GEMM update) and is also
+ * reused wherever an un-fused, un-prefetched aggregation is convenient.
+ */
+
+#pragma once
+
+#include <span>
+
+#include "graph/csr_graph.h"
+#include "tensor/dense_matrix.h"
+
+namespace graphite {
+
+/**
+ * out[v, :] = selfWeight(v) * in[v, :]
+ *           + sum over u in N(v) of edgeWeight(v, u) * in[u, :]
+ *
+ * @param edgeWeights per-edge coefficients aligned with graph.colIdx(),
+ *        or empty for all-ones.
+ * @param selfWeights per-vertex self-loop coefficients, or empty for
+ *        all-ones.
+ */
+void spmm(const CsrGraph &graph, const DenseMatrix &in, DenseMatrix &out,
+          std::span<const Feature> edgeWeights = {},
+          std::span<const Feature> selfWeights = {});
+
+} // namespace graphite

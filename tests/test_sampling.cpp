@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Tests of neighborhood sampling and mini-batch construction (paper
+ * Section 2.1, the Figure 2 workload).
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/generators.h"
+#include "sampling/neighbor_sampler.h"
+
+namespace graphite {
+namespace {
+
+TEST(Sampler, FanoutBoundsSampledDegree)
+{
+    CsrGraph g = generateBarabasiAlbert(500, 6, 61);
+    Rng rng(1);
+    std::vector<VertexId> seeds = {0, 1, 2, 3, 4};
+    MiniBatch batch = sampleMiniBatch(g, seeds, {5, 5}, rng);
+    ASSERT_EQ(batch.blocks.size(), 2u);
+    for (const SampledBlock &block : batch.blocks) {
+        for (VertexId d = 0; d < block.block.numVertices(); ++d)
+            EXPECT_LE(block.block.degree(d), 5u);
+    }
+}
+
+TEST(Sampler, LowDegreeVerticesKeepAllNeighbors)
+{
+    CsrGraph g = generateRing(32); // degree 2 everywhere
+    Rng rng(2);
+    MiniBatch batch = sampleMiniBatch(g, {7}, {10}, rng);
+    const SampledBlock &block = batch.blocks[0];
+    ASSERT_EQ(block.dstVertices.size(), 1u);
+    EXPECT_EQ(block.block.degree(0), 2u);
+}
+
+TEST(Sampler, OutermostDstsAreTheSeeds)
+{
+    CsrGraph g = generateErdosRenyi(200, 2000, false, 62);
+    Rng rng(3);
+    std::vector<VertexId> seeds = {10, 20, 30};
+    MiniBatch batch = sampleMiniBatch(g, seeds, {4, 4, 4}, rng);
+    EXPECT_EQ(batch.blocks.back().dstVertices, seeds);
+}
+
+TEST(Sampler, LayersChainSrcToDst)
+{
+    CsrGraph g = generateErdosRenyi(300, 4000, false, 63);
+    Rng rng(4);
+    MiniBatch batch = sampleMiniBatch(g, {1, 2}, {3, 3}, rng);
+    // Inner layer's destination set == outer layer's source set.
+    EXPECT_EQ(batch.blocks[0].dstVertices, batch.blocks[1].srcVertices);
+}
+
+TEST(Sampler, LocalIndicesAreConsistent)
+{
+    CsrGraph g = generateErdosRenyi(100, 1500, false, 64);
+    Rng rng(5);
+    MiniBatch batch = sampleMiniBatch(g, {5, 6, 7}, {4}, rng);
+    const SampledBlock &block = batch.blocks[0];
+    // Every sampled edge must point at a valid local source, and the
+    // global edge (dst -> src) must exist in the original graph.
+    for (VertexId d = 0; d < block.block.numVertices(); ++d) {
+        const VertexId globalDst = block.dstVertices[d];
+        for (VertexId localSrc : block.block.neighbors(d)) {
+            ASSERT_LT(localSrc, block.srcVertices.size());
+            const VertexId globalSrc = block.srcVertices[localSrc];
+            auto neighbors = g.neighbors(globalDst);
+            EXPECT_TRUE(std::find(neighbors.begin(), neighbors.end(),
+                                  globalSrc) != neighbors.end());
+        }
+    }
+}
+
+TEST(Sampler, SampledNeighborsAreDistinct)
+{
+    CsrGraph g = generateBarabasiAlbert(200, 8, 65);
+    Rng rng(6);
+    MiniBatch batch = sampleMiniBatch(g, {0}, {6}, rng);
+    const SampledBlock &block = batch.blocks[0];
+    std::set<VertexId> seen(block.block.neighbors(0).begin(),
+                            block.block.neighbors(0).end());
+    EXPECT_EQ(seen.size(), block.block.neighbors(0).size());
+}
+
+TEST(Sampler, GatherBatchFeaturesCopiesRows)
+{
+    CsrGraph g = generateRing(16);
+    DenseMatrix features(16, 32);
+    features.fillUniform(-1.0f, 1.0f, 66);
+    std::vector<VertexId> vertices = {3, 9, 15};
+    DenseMatrix gathered = gatherBatchFeatures(features, vertices);
+    ASSERT_EQ(gathered.rows(), 3u);
+    for (std::size_t i = 0; i < vertices.size(); ++i) {
+        for (std::size_t c = 0; c < 32; ++c)
+            EXPECT_EQ(gathered.at(i, c), features.at(vertices[i], c));
+    }
+}
+
+TEST(Sampler, EpochBatchesPartitionAllVertices)
+{
+    CsrGraph g = generateErdosRenyi(1000, 5000, false, 67);
+    Rng rng(7);
+    auto batches = makeEpochBatches(g, 128, rng);
+    std::set<VertexId> seen;
+    for (const auto &batch : batches) {
+        EXPECT_LE(batch.size(), 128u);
+        for (VertexId v : batch) {
+            EXPECT_TRUE(seen.insert(v).second) << "duplicate " << v;
+        }
+    }
+    EXPECT_EQ(seen.size(), 1000u);
+}
+
+TEST(Sampler, SamplingIsSeedDeterministic)
+{
+    CsrGraph g = generateBarabasiAlbert(300, 5, 68);
+    Rng rngA(9);
+    Rng rngB(9);
+    MiniBatch a = sampleMiniBatch(g, {1, 2, 3}, {4, 4}, rngA);
+    MiniBatch b = sampleMiniBatch(g, {1, 2, 3}, {4, 4}, rngB);
+    ASSERT_EQ(a.blocks.size(), b.blocks.size());
+    for (std::size_t k = 0; k < a.blocks.size(); ++k) {
+        EXPECT_EQ(a.blocks[k].srcVertices, b.blocks[k].srcVertices);
+    }
+}
+
+} // namespace
+} // namespace graphite

@@ -1,0 +1,351 @@
+/**
+ * @file
+ * Tests of the timing simulator: cache model semantics, memory system
+ * level classification, DRAM bandwidth queueing, core fill-buffer
+ * behavior, machine interleaving, DMA tracking-table scaling, and
+ * directional sanity of the workload models (fusion helps, compression
+ * helps, DMA helps).
+ */
+
+#include <gtest/gtest.h>
+
+#include "graph/datasets.h"
+#include "graph/generators.h"
+#include "sim/cache_model.h"
+#include "sim/machine.h"
+#include "sim/workloads.h"
+
+namespace graphite::sim {
+namespace {
+
+TEST(CacheModel, HitsAfterInsert)
+{
+    CacheModel cache({1024, 4, 4}); // 16 lines, 4 ways, 4 sets
+    EXPECT_FALSE(cache.access(5, false));
+    cache.insert(5, false);
+    EXPECT_TRUE(cache.access(5, false));
+    EXPECT_EQ(cache.stats().hits, 1u);
+    EXPECT_EQ(cache.stats().misses, 1u);
+}
+
+TEST(CacheModel, LruEvictsOldest)
+{
+    CacheModel cache({4 * 64, 4, 4}); // one set, 4 ways
+    for (LineAddr line = 0; line < 4; ++line)
+        cache.insert(line * cache.numSets(), false);
+    // Touch lines 1-3 so line 0 becomes LRU, then insert a 5th.
+    for (LineAddr line = 1; line < 4; ++line)
+        cache.access(line * cache.numSets(), false);
+    cache.insert(4 * cache.numSets(), false);
+    EXPECT_FALSE(cache.contains(0));
+    EXPECT_TRUE(cache.contains(4 * cache.numSets()));
+}
+
+TEST(CacheModel, DirtyEvictionReportsWriteback)
+{
+    CacheModel cache({4 * 64, 4, 4});
+    cache.insert(0, true); // dirty
+    for (LineAddr line = 1; line < 4; ++line)
+        cache.insert(line * cache.numSets(), false);
+    EXPECT_TRUE(cache.insert(4 * cache.numSets(), false));
+    EXPECT_EQ(cache.stats().writebacks, 1u);
+}
+
+TEST(MemorySystem, ClassifiesServiceLevels)
+{
+    MachineParams params;
+    params.numCores = 1;
+    MemorySystem mem(params);
+    // Cold: DRAM.
+    AccessOutcome first = mem.access(0, 100, false, 0);
+    EXPECT_TRUE(first.level == ServiceLevel::DramLatency ||
+                first.level == ServiceLevel::DramBandwidth);
+    // Warm: L1.
+    AccessOutcome second = mem.access(0, 100, false, 1000);
+    EXPECT_EQ(second.level, ServiceLevel::L1);
+}
+
+TEST(MemorySystem, BandwidthQueueingGrowsUnderBurst)
+{
+    MachineParams params;
+    params.numCores = 1;
+    params.l2StreamPrefetch = 0; // isolate demand traffic
+    MemorySystem mem(params);
+    // Fire many DRAM accesses at the same instant: once the epoch's
+    // line capacity is exhausted, later ones spill into future epochs.
+    Cycles maxQueue = 0;
+    for (int i = 0; i < 2000; ++i) {
+        AccessOutcome out = mem.access(0, 100000 + i * 1000, false, 0);
+        maxQueue = std::max(maxQueue, out.dramQueueing);
+    }
+    EXPECT_GT(maxQueue, 100u);
+    EXPECT_EQ(mem.dramStats().lineTransfers, 2000u);
+}
+
+TEST(MemorySystem, StreamPrefetcherFillsFollowingLines)
+{
+    MachineParams params;
+    params.numCores = 1;
+    params.l2StreamPrefetch = 2;
+    MemorySystem mem(params);
+    mem.access(0, 500, false, 0);
+    EXPECT_TRUE(mem.l2(0).contains(501));
+    EXPECT_TRUE(mem.l2(0).contains(502));
+    EXPECT_EQ(mem.dramStats().prefetchTransfers, 2u);
+}
+
+TEST(MemorySystem, BypassSkipsPrivateCaches)
+{
+    MachineParams params;
+    params.numCores = 1;
+    MemorySystem mem(params);
+    mem.access(0, 777, false, 0, /*bypassPrivate=*/true);
+    EXPECT_FALSE(mem.l1(0).contains(777));
+    EXPECT_FALSE(mem.l2(0).contains(777));
+    EXPECT_TRUE(mem.l3().contains(777));
+}
+
+TEST(MemorySystem, InstallIntoL2MakesUpdateHit)
+{
+    MachineParams params;
+    params.numCores = 1;
+    MemorySystem mem(params);
+    mem.installIntoL2(0, 123);
+    AccessOutcome out = mem.access(0, 123, false, 0);
+    EXPECT_EQ(out.level, ServiceLevel::L2);
+}
+
+namespace {
+
+/** Fixed list of ops for driving a single core. */
+class ListSource : public WorkloadSource
+{
+  public:
+    explicit ListSource(std::vector<TraceOp> ops) : ops_(std::move(ops)) {}
+
+    bool
+    next(TraceOp &op) override
+    {
+        if (index_ >= ops_.size())
+            return false;
+        op = ops_[index_++];
+        return true;
+    }
+
+  private:
+    std::vector<TraceOp> ops_;
+    std::size_t index_ = 0;
+};
+
+} // namespace
+
+TEST(CoreModel, ComputeAdvancesClock)
+{
+    MachineParams params;
+    params.numCores = 1;
+    Machine machine(params);
+    RunResult result = machine.run([&](unsigned) {
+        return std::make_unique<ListSource>(std::vector<TraceOp>{
+            TraceOp::compute(100), TraceOp::compute(50)});
+    });
+    EXPECT_EQ(result.makespan, 150u);
+    EXPECT_EQ(result.coreStats[0].computeCycles, 150u);
+    EXPECT_EQ(result.coreStats[0].stallCycles, 0u);
+}
+
+TEST(CoreModel, FillBufferExhaustionStalls)
+{
+    MachineParams params;
+    params.numCores = 1;
+    params.fillBuffers = 2;
+    Machine machine(params);
+    // 20 distinct-line loads back to back: with only 2 MSHRs the core
+    // must stall repeatedly.
+    std::vector<TraceOp> ops;
+    for (int i = 0; i < 20; ++i)
+        ops.push_back(TraceOp::load(0x100000ull + i * 4096));
+    RunResult result = machine.run([&](unsigned) {
+        return std::make_unique<ListSource>(ops);
+    });
+    EXPECT_GT(result.coreStats[0].stallCycles, 0u);
+    EXPECT_GT(result.coreStats[0].fillBufferFullCycles, 0u);
+    EXPECT_GT(result.makespan, params.dramLatency * 5);
+}
+
+TEST(CoreModel, MlpOverlapsMisses)
+{
+    // Same 8 misses: 8 fill buffers should finish far faster than 1.
+    auto timeWith = [](unsigned buffers) {
+        MachineParams params;
+        params.numCores = 1;
+        params.fillBuffers = buffers;
+        Machine machine(params);
+        std::vector<TraceOp> ops;
+        for (int i = 0; i < 8; ++i)
+            ops.push_back(TraceOp::load(0x200000ull + i * 4096));
+        return machine
+            .run([&](unsigned) { return std::make_unique<ListSource>(ops); })
+            .makespan;
+    };
+    EXPECT_LT(timeWith(8) * 3, timeWith(1));
+}
+
+TEST(CoreModel, PrefetchHidesLatency)
+{
+    MachineParams params;
+    params.numCores = 1;
+    Machine machine(params);
+    // Prefetch then compute longer than the DRAM latency, then load:
+    // the load should hit L1 and add no stall.
+    std::vector<TraceOp> ops = {
+        TraceOp::prefetch(0x300000),
+        TraceOp::compute(2000),
+        TraceOp::load(0x300000),
+    };
+    RunResult result = machine.run([&](unsigned) {
+        return std::make_unique<ListSource>(ops);
+    });
+    EXPECT_EQ(result.coreStats[0].stallCycles, 0u);
+    EXPECT_EQ(result.makespan, 2000u);
+}
+
+TEST(Machine, CoresShareDramBandwidth)
+{
+    // The same per-core workload suffers queueing delay with 28 cores
+    // that a single core never sees: DRAM is a shared resource.
+    auto queueingWith = [](unsigned cores) {
+        MachineParams params;
+        params.numCores = cores;
+        Machine machine(params);
+        RunResult result = machine.run([&](unsigned core) {
+            std::vector<TraceOp> ops;
+            for (int i = 0; i < 3000; ++i) {
+                ops.push_back(TraceOp::load(
+                    0x10000000ull * (core + 1) + i * 4096));
+            }
+            return std::make_unique<ListSource>(ops);
+        });
+        return static_cast<double>(result.dram.totalQueueing) /
+               static_cast<double>(result.dram.lineTransfers);
+    };
+    EXPECT_GT(queueingWith(28), 10.0 * (queueingWith(1) + 1.0));
+}
+
+TEST(DmaRunner, TrackingTableBoundsParallelism)
+{
+    // A single engine aggregating a fixed workload: more tracking
+    // entries -> more overlapped fetches -> shorter engine time, with
+    // diminishing returns (the Figure 16 shape).
+    CsrGraph graph = generateErdosRenyi(512, 8192, false, 91);
+    auto engineTime = [&](unsigned entries) {
+        MachineParams params;
+        params.numCores = 1;
+        MemorySystem mem(params);
+        DmaParams dparams;
+        dparams.trackingEntries = entries;
+        DmaWorkloadInfo info;
+        info.graph = &graph;
+        info.addresses.featureBase = 0x40'0000'0000ull;
+        info.addresses.featureStrideBytes = 512;
+        info.addresses.aggBase = 0x50'0000'0000ull;
+        info.addresses.aggStrideBytes = 512;
+        info.featureLines = 8;
+        info.aggLines = 8;
+        DmaRunner runner(0, mem, dparams, info);
+        std::vector<VertexId> all(graph.numVertices());
+        for (VertexId v = 0; v < graph.numVertices(); ++v)
+            all[v] = v;
+        runner.enqueueBatch(0, all, 0);
+        return runner.runBatchToCompletion(0);
+    };
+    const Cycles t8 = engineTime(8);
+    const Cycles t16 = engineTime(16);
+    const Cycles t32 = engineTime(32);
+    EXPECT_LT(t16, t8);
+    EXPECT_LT(t32, t16);
+    EXPECT_GT(t16 * 2, t8); // sub-linear: diminishing returns
+}
+
+class DatasetSim : public testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        // Large enough that the feature matrices dwarf the (shrunken)
+        // simulated LLC — the memory-bound regime the paper targets.
+        RmatParams params;
+        params.scale = 15;
+        params.avgDegree = 16.0;
+        graph_ = generateRmat(params);
+    }
+
+    CompositeResult
+    runInference(LayerImpl impl, bool compression = false)
+    {
+        // Bench-scale conventions: L2/L3 shrunk together, hidden width
+        // scaled so the weight panel keeps the paper's weights:L2
+        // ratio (see bench/bench_common.h).
+        Machine machine(paperMachine(8));
+        NetworkWorkload net;
+        net.graph = &graph_;
+        net.fInput = 128;
+        net.fHidden = 128;
+        net.numLayers = 2;
+        net.impl = impl;
+        net.compression = compression;
+        return simulateInference(machine, net);
+    }
+
+    CsrGraph graph_;
+};
+
+TEST_F(DatasetSim, WorkloadsAreMemoryBound)
+{
+    CompositeResult result = runInference(LayerImpl::DistGnn);
+    EXPECT_GT(result.aggregate.memoryBoundFraction(), 0.3);
+    EXPECT_LT(result.aggregate.retiringFraction(), 0.5);
+}
+
+TEST_F(DatasetSim, FusionBeatsBasic)
+{
+    const Cycles basic = runInference(LayerImpl::Basic).totalCycles;
+    const Cycles fused = runInference(LayerImpl::Fused).totalCycles;
+    EXPECT_LT(fused, basic);
+}
+
+TEST_F(DatasetSim, CompressionReducesDramTraffic)
+{
+    CompositeResult dense = runInference(LayerImpl::Basic, false);
+    CompositeResult packed = runInference(LayerImpl::Basic, true);
+    EXPECT_LT(packed.aggregate.dram.bytes(),
+              dense.aggregate.dram.bytes());
+    EXPECT_LT(packed.totalCycles, dense.totalCycles);
+}
+
+TEST_F(DatasetSim, DmaBeatsSoftwareFusion)
+{
+    const Cycles fused = runInference(LayerImpl::Fused).totalCycles;
+    const Cycles dmaTime = runInference(LayerImpl::DmaFused).totalCycles;
+    EXPECT_LT(dmaTime, fused);
+}
+
+TEST_F(DatasetSim, DmaReducesPrivateCacheAccesses)
+{
+    CompositeResult fused = runInference(LayerImpl::Fused);
+    CompositeResult dmaRun = runInference(LayerImpl::DmaFused);
+    EXPECT_LT(dmaRun.aggregate.l1Total.accesses,
+              fused.aggregate.l1Total.accesses);
+}
+
+TEST(Workloads, FeatureRowLineMath)
+{
+    EXPECT_EQ(featureRowLines(256), 16u);
+    EXPECT_EQ(featureRowLines(100), 7u);
+    EXPECT_EQ(compressedRowLines(256, 0.5), 8u);
+    EXPECT_EQ(compressedRowLines(256, 0.0), 16u);
+    EXPECT_EQ(compressedRowLines(256, 1.0), 1u);
+}
+
+} // namespace
+} // namespace graphite::sim

@@ -1,0 +1,235 @@
+/**
+ * @file
+ * Property tests of the whole-network simulation harness: directional
+ * invariants every calibration of the cost model must preserve, run on
+ * small graphs so the suite stays fast.
+ */
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "graph/reorder.h"
+#include "sim/machine.h"
+#include "sim/workloads.h"
+
+namespace graphite::sim {
+namespace {
+
+class NetworkSim : public testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        CommunityParams params;
+        params.numVertices = 1 << 13;
+        params.communitySize = 64;
+        params.intraDegree = 10;
+        params.interDegree = 2;
+        graph_ = generateCommunityGraph(params);
+        transposed_ = graph_.transposed();
+        locality_ = localityOrder(graph_);
+    }
+
+    NetworkWorkload
+    network(LayerImpl impl) const
+    {
+        NetworkWorkload net;
+        net.graph = &graph_;
+        net.order = &locality_;
+        net.transposedOrder = &locality_; // undirected: same graph
+        net.fInput = 64;
+        net.fHidden = 128;
+        net.numLayers = 2;
+        net.impl = impl;
+        return net;
+    }
+
+    Cycles
+    inferCycles(const NetworkWorkload &net) const
+    {
+        Machine machine(paperMachine(8));
+        return simulateInference(machine, net).totalCycles;
+    }
+
+    Cycles
+    trainCycles(const NetworkWorkload &net) const
+    {
+        Machine machine(paperMachine(8));
+        return simulateTraining(machine, net, transposed_).totalCycles;
+    }
+
+    CsrGraph graph_;
+    CsrGraph transposed_;
+    ProcessingOrder locality_;
+};
+
+TEST_F(NetworkSim, TrainingCostsMoreThanInference)
+{
+    // Training adds the backward GEMMs and the transposed aggregation.
+    const NetworkWorkload net = network(LayerImpl::Basic);
+    EXPECT_GT(trainCycles(net), inferCycles(net));
+}
+
+TEST_F(NetworkSim, CompressionSpeedupGrowsWithSparsity)
+{
+    NetworkWorkload net = network(LayerImpl::Basic);
+    net.compression = true;
+    net.sparsity = 0.3;
+    const Cycles at30 = inferCycles(net);
+    net.sparsity = 0.9;
+    const Cycles at90 = inferCycles(net);
+    EXPECT_LT(at90, at30);
+}
+
+TEST_F(NetworkSim, LocalityOrderHelpsOnClusteredGraph)
+{
+    NetworkWorkload net = network(LayerImpl::Fused);
+    const Cycles identity = trainCycles(net);
+    net.locality = true;
+    const Cycles ordered = trainCycles(net);
+    EXPECT_LT(ordered, identity);
+}
+
+TEST_F(NetworkSim, MoreLayersCostMore)
+{
+    NetworkWorkload net = network(LayerImpl::Basic);
+    const Cycles two = inferCycles(net);
+    net.numLayers = 4;
+    const Cycles four = inferCycles(net);
+    EXPECT_GT(four, two * 3 / 2);
+}
+
+TEST_F(NetworkSim, DmaTrackingEntriesNeverHurt)
+{
+    NetworkWorkload net = network(LayerImpl::DmaFused);
+    net.dma.trackingEntries = 8;
+    const Cycles small = inferCycles(net);
+    net.dma.trackingEntries = 64;
+    const Cycles large = inferCycles(net);
+    EXPECT_LE(large, small * 101 / 100);
+}
+
+TEST_F(NetworkSim, WiderFeaturesCostMore)
+{
+    NetworkWorkload net = network(LayerImpl::Basic);
+    const Cycles narrow = inferCycles(net);
+    net.fHidden = 256;
+    const Cycles wide = inferCycles(net);
+    EXPECT_GT(wide, narrow);
+}
+
+TEST_F(NetworkSim, CacheShrinkIncreasesCycles)
+{
+    const NetworkWorkload net = network(LayerImpl::Basic);
+    Machine big(paperMachine(1));
+    Machine small(paperMachine(32));
+    const Cycles bigCache =
+        simulateInference(big, net).totalCycles;
+    const Cycles smallCache =
+        simulateInference(small, net).totalCycles;
+    EXPECT_GT(smallCache, bigCache);
+}
+
+TEST_F(NetworkSim, BandwidthScalesRuntime)
+{
+    // Halving DRAM bandwidth must slow a memory-bound run noticeably.
+    const NetworkWorkload net = network(LayerImpl::Basic);
+    MachineParams fast = paperMachine(8);
+    MachineParams slow = paperMachine(8);
+    slow.dramGBps = fast.dramGBps / 4.0;
+    Machine fastMachine(fast);
+    Machine slowMachine(slow);
+    const Cycles fastCycles =
+        simulateInference(fastMachine, net).totalCycles;
+    const Cycles slowCycles =
+        simulateInference(slowMachine, net).totalCycles;
+    EXPECT_GT(slowCycles, fastCycles * 5 / 4);
+}
+
+TEST_F(NetworkSim, DmaGatherCountMatchesGraphStructure)
+{
+    // The engine must fetch exactly (|E| + |V|) x featureLines input
+    // lines for one full aggregation pass — a hard accounting
+    // invariant tying the trace model to the graph.
+    Machine machine(paperMachine(8));
+    LayerWorkload w;
+    w.graph = &graph_;
+    w.fIn = 128;
+    w.fOut = 128;
+    w.impl = LayerImpl::DmaFused;
+    w.doUpdate = false;
+    RunResult result = simulateLayer(machine, w);
+    std::uint64_t inputFetches = 0;
+    std::uint64_t descriptors = 0;
+    for (const DmaStats &engine : result.dmaStats) {
+        inputFetches += engine.inputLineFetches;
+        descriptors += engine.descriptors;
+    }
+    const std::uint64_t expected =
+        (graph_.numEdges() + graph_.numVertices()) *
+        featureRowLines(128);
+    EXPECT_EQ(inputFetches, expected);
+    EXPECT_EQ(descriptors, graph_.numVertices());
+}
+
+TEST_F(NetworkSim, CoreLoadCountIndependentOfMachineConfig)
+{
+    // The trace is a function of the workload, not of the machine:
+    // two different cache configurations must see identical L1 access
+    // demand (the timing differs, the trace does not).
+    LayerWorkload w;
+    w.graph = &graph_;
+    w.fIn = 64;
+    w.fOut = 64;
+    w.impl = LayerImpl::Basic;
+    Machine a(paperMachine(1));
+    Machine b(paperMachine(32));
+    const RunResult ra = simulateLayer(a, w);
+    const RunResult rb = simulateLayer(b, w);
+    std::uint64_t loadsA = 0;
+    std::uint64_t loadsB = 0;
+    for (const CoreStats &core : ra.coreStats)
+        loadsA += core.loads + core.stores;
+    for (const CoreStats &core : rb.coreStats)
+        loadsB += core.loads + core.stores;
+    EXPECT_EQ(loadsA, loadsB);
+}
+
+TEST_F(NetworkSim, CompressedTrafficScalesWithSparsity)
+{
+    LayerWorkload w;
+    w.graph = &graph_;
+    w.fIn = 128;
+    w.fOut = 128;
+    w.compressedIn = true;
+    w.doUpdate = false;
+    w.writeAgg = false;
+    w.sparsity = 0.1;
+    Machine a(paperMachine(8));
+    const std::uint64_t dense10 =
+        simulateLayer(a, w).l1Total.accesses;
+    w.sparsity = 0.9;
+    Machine b(paperMachine(8));
+    const std::uint64_t dense90 =
+        simulateLayer(b, w).l1Total.accesses;
+    EXPECT_LT(dense90, dense10);
+}
+
+TEST_F(NetworkSim, CompositeAggregatesPhaseStats)
+{
+    Machine machine(paperMachine(8));
+    CompositeResult result =
+        simulateTraining(machine, network(LayerImpl::Basic),
+                         transposed_);
+    EXPECT_GT(result.totalCycles, 0u);
+    EXPECT_GT(result.aggregate.l1Total.accesses, 0u);
+    EXPECT_GT(result.aggregate.dram.lineTransfers, 0u);
+    // Fractions must be sane.
+    EXPECT_LE(result.aggregate.retiringFraction(), 1.0);
+    EXPECT_LE(result.aggregate.memoryBoundFraction(), 1.0);
+    EXPECT_GE(result.aggregate.retiringFraction(), 0.0);
+}
+
+} // namespace
+} // namespace graphite::sim

@@ -1,0 +1,277 @@
+/**
+ * @file
+ * Tests for the tensor substrate: matrix storage/layout, all GEMM modes
+ * against the naive reference, SpMM, and the row-wise operators.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "graph/generators.h"
+#include "kernels/aggregation.h"
+#include "tensor/dense_matrix.h"
+#include "tensor/gemm.h"
+#include "tensor/row_ops.h"
+#include "tensor/spmm.h"
+
+namespace graphite {
+namespace {
+
+TEST(DenseMatrix, RowsAreCacheLineAligned)
+{
+    DenseMatrix m(5, 100);
+    EXPECT_EQ(m.rowStride(), 112u); // 100 -> next multiple of 16
+    for (std::size_t r = 0; r < m.rows(); ++r) {
+        EXPECT_EQ(reinterpret_cast<std::uintptr_t>(m.row(r)) % 64, 0u);
+    }
+}
+
+TEST(DenseMatrix, ExactMultipleNeedsNoPadding)
+{
+    DenseMatrix m(3, 256);
+    EXPECT_EQ(m.rowStride(), 256u);
+    EXPECT_EQ(m.rowBytes(), 1024u);
+}
+
+TEST(DenseMatrix, SparsityCountsLogicalElementsOnly)
+{
+    DenseMatrix m(4, 10);
+    // All zero: fully sparse, regardless of padding.
+    EXPECT_DOUBLE_EQ(m.sparsity(), 1.0);
+    m.at(0, 0) = 1.0f;
+    m.at(1, 5) = 2.0f;
+    EXPECT_DOUBLE_EQ(m.sparsity(), 38.0 / 40.0);
+}
+
+TEST(DenseMatrix, SparsifyHitsTargetRate)
+{
+    DenseMatrix m(100, 128);
+    m.fillUniform(0.5f, 1.5f, 7);
+    m.sparsify(0.7, 11);
+    EXPECT_NEAR(m.sparsity(), 0.7, 0.02);
+}
+
+TEST(DenseMatrix, FillUniformRespectsBounds)
+{
+    DenseMatrix m(10, 64);
+    m.fillUniform(-2.0f, 3.0f, 5);
+    for (std::size_t r = 0; r < m.rows(); ++r) {
+        for (std::size_t c = 0; c < m.cols(); ++c) {
+            EXPECT_GE(m.at(r, c), -2.0f);
+            EXPECT_LT(m.at(r, c), 3.0f);
+        }
+    }
+}
+
+class GemmModes
+    : public testing::TestWithParam<std::tuple<int, int, int, int>>
+{
+};
+
+TEST_P(GemmModes, MatchesReference)
+{
+    const auto [modeInt, m, n, k] = GetParam();
+    const auto mode = static_cast<GemmMode>(modeInt);
+    DenseMatrix a;
+    DenseMatrix b;
+    switch (mode) {
+      case GemmMode::NN:
+        a = DenseMatrix(m, k);
+        b = DenseMatrix(k, n);
+        break;
+      case GemmMode::NT:
+        a = DenseMatrix(m, k);
+        b = DenseMatrix(n, k);
+        break;
+      case GemmMode::TN:
+        a = DenseMatrix(k, m);
+        b = DenseMatrix(k, n);
+        break;
+    }
+    a.fillUniform(-1.0f, 1.0f, 1);
+    b.fillUniform(-1.0f, 1.0f, 2);
+    DenseMatrix c(m, n);
+    DenseMatrix expected(m, n);
+    gemm(mode, a, b, c);
+    gemmReference(mode, a, b, expected);
+    EXPECT_LT(c.maxAbsDiff(expected), 1e-3);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GemmModes,
+    testing::Combine(testing::Values(0, 1, 2),       // NN, NT, TN
+                     testing::Values(1, 17, 64),     // M
+                     testing::Values(8, 33),         // N
+                     testing::Values(16, 100)));     // K
+
+TEST(Gemm, AccumulateAddsToExisting)
+{
+    DenseMatrix a(4, 8);
+    DenseMatrix b(8, 4);
+    a.fillUniform(0.0f, 1.0f, 3);
+    b.fillUniform(0.0f, 1.0f, 4);
+    DenseMatrix c(4, 4);
+    DenseMatrix once(4, 4);
+    gemm(GemmMode::NN, a, b, once);
+    gemm(GemmMode::NN, a, b, c);
+    gemm(GemmMode::NN, a, b, c, GemmAccumulate::Add);
+    for (std::size_t r = 0; r < 4; ++r) {
+        for (std::size_t j = 0; j < 4; ++j)
+            EXPECT_NEAR(c.at(r, j), 2.0f * once.at(r, j), 1e-4);
+    }
+}
+
+TEST(GemmBlockSerial, MatchesWholeMatrixGemm)
+{
+    const std::size_t rows = 16;
+    const std::size_t k = 48;
+    const std::size_t n = 32;
+    DenseMatrix a(rows, k);
+    DenseMatrix w(k, n);
+    a.fillUniform(-1.0f, 1.0f, 5);
+    w.fillUniform(-1.0f, 1.0f, 6);
+    DenseMatrix expected(rows, n);
+    gemm(GemmMode::NN, a, w, expected);
+    DenseMatrix c(rows, n);
+    gemmBlockSerial(a.row(0), rows, a.rowStride(), w, c.row(0),
+                    c.rowStride(), k);
+    EXPECT_LT(c.maxAbsDiff(expected), 1e-4);
+}
+
+TEST(Spmm, MatchesAggregationReference)
+{
+    CsrGraph g = generateErdosRenyi(200, 1500, false, 7);
+    DenseMatrix h(200, 64);
+    h.fillUniform(-1.0f, 1.0f, 8);
+    AggregationSpec spec = gcnSpec(g);
+    DenseMatrix viaSpmm(200, 64);
+    DenseMatrix expected(200, 64);
+    spmm(g, h, viaSpmm, spec.edgeFactors, spec.selfFactors);
+    aggregateReference(g, h, expected, spec);
+    EXPECT_LT(viaSpmm.maxAbsDiff(expected), 1e-4);
+}
+
+TEST(Spmm, UnweightedSumsNeighborsPlusSelf)
+{
+    CsrGraph g = generateRing(8);
+    DenseMatrix h(8, 16);
+    for (VertexId v = 0; v < 8; ++v)
+        h.at(v, 0) = static_cast<Feature>(v + 1);
+    DenseMatrix out(8, 16);
+    spmm(g, h, out);
+    // Vertex 0: self(1) + ring neighbors 1 and 7 -> 1 + 2 + 8 = 11.
+    EXPECT_FLOAT_EQ(out.at(0, 0), 11.0f);
+}
+
+TEST(RowOps, ReluClampsNegatives)
+{
+    DenseMatrix x(3, 20);
+    x.fillUniform(-1.0f, 1.0f, 9);
+    DenseMatrix copy = x;
+    reluForward(x);
+    for (std::size_t r = 0; r < 3; ++r) {
+        for (std::size_t c = 0; c < 20; ++c) {
+            EXPECT_EQ(x.at(r, c), std::max(copy.at(r, c), 0.0f));
+        }
+    }
+}
+
+TEST(RowOps, ReluBackwardMasksByActivation)
+{
+    DenseMatrix act(2, 16);
+    act.at(0, 0) = 1.0f; // active
+    // act(0,1) == 0    -> clipped
+    DenseMatrix grad(2, 16);
+    grad.at(0, 0) = 5.0f;
+    grad.at(0, 1) = 7.0f;
+    reluBackward(act, grad);
+    EXPECT_EQ(grad.at(0, 0), 5.0f);
+    EXPECT_EQ(grad.at(0, 1), 0.0f);
+}
+
+TEST(RowOps, AddBiasBroadcastsAcrossRows)
+{
+    DenseMatrix x(4, 8);
+    std::vector<Feature> bias(8);
+    for (std::size_t c = 0; c < 8; ++c)
+        bias[c] = static_cast<Feature>(c);
+    addBias(x, bias);
+    for (std::size_t r = 0; r < 4; ++r) {
+        for (std::size_t c = 0; c < 8; ++c)
+            EXPECT_EQ(x.at(r, c), static_cast<Feature>(c));
+    }
+}
+
+TEST(RowOps, DropoutZerosAtRateAndScalesSurvivors)
+{
+    DenseMatrix x(200, 64);
+    x.fillUniform(1.0f, 2.0f, 10);
+    DenseMatrix orig = x;
+    std::vector<std::uint64_t> mask;
+    dropoutForward(x, 0.5, 11, mask);
+    std::size_t zeros = 0;
+    for (std::size_t r = 0; r < x.rows(); ++r) {
+        for (std::size_t c = 0; c < x.cols(); ++c) {
+            if (x.at(r, c) == 0.0f) {
+                ++zeros;
+            } else {
+                EXPECT_NEAR(x.at(r, c), orig.at(r, c) * 2.0f, 1e-5);
+            }
+        }
+    }
+    EXPECT_NEAR(static_cast<double>(zeros) / (200 * 64), 0.5, 0.03);
+}
+
+TEST(RowOps, DropoutBackwardAppliesSameMask)
+{
+    DenseMatrix x(50, 32);
+    x.fillUniform(1.0f, 2.0f, 12);
+    std::vector<std::uint64_t> mask;
+    dropoutForward(x, 0.4, 13, mask);
+    DenseMatrix grad(50, 32);
+    grad.fillUniform(1.0f, 1.0f, 0); // all ones
+    dropoutBackward(grad, 0.4, mask);
+    for (std::size_t r = 0; r < x.rows(); ++r) {
+        for (std::size_t c = 0; c < x.cols(); ++c) {
+            if (x.at(r, c) == 0.0f)
+                EXPECT_EQ(grad.at(r, c), 0.0f);
+            else
+                EXPECT_NEAR(grad.at(r, c), 1.0f / 0.6f, 1e-5);
+        }
+    }
+}
+
+TEST(RowOps, SoftmaxCrossEntropyGradientSumsToZero)
+{
+    DenseMatrix logits(10, 4);
+    logits.fillUniform(-1.0f, 1.0f, 14);
+    std::vector<std::int32_t> labels(10);
+    for (std::size_t i = 0; i < 10; ++i)
+        labels[i] = static_cast<std::int32_t>(i % 4);
+    DenseMatrix grad(10, 4);
+    const double loss = softmaxCrossEntropy(logits, labels, grad);
+    EXPECT_GT(loss, 0.0);
+    // Each row's gradient sums to (sum softmax) - 1 = 0, over 1/N scale.
+    for (std::size_t r = 0; r < 10; ++r) {
+        double sum = 0.0;
+        for (std::size_t c = 0; c < 4; ++c)
+            sum += grad.at(r, c);
+        EXPECT_NEAR(sum, 0.0, 1e-6);
+    }
+}
+
+TEST(RowOps, PerfectLogitsGiveLowLossAndFullAccuracy)
+{
+    DenseMatrix logits(6, 3);
+    std::vector<std::int32_t> labels = {0, 1, 2, 0, 1, 2};
+    for (std::size_t r = 0; r < 6; ++r)
+        logits.at(r, static_cast<std::size_t>(labels[r])) = 20.0f;
+    DenseMatrix grad(6, 3);
+    EXPECT_LT(softmaxCrossEntropy(logits, labels, grad), 1e-6);
+    EXPECT_DOUBLE_EQ(accuracy(logits, labels), 1.0);
+}
+
+} // namespace
+} // namespace graphite
