@@ -210,6 +210,89 @@ BM_Gemm(benchmark::State &state)
 }
 BENCHMARK(BM_Gemm)->Arg(1024)->Arg(8192);
 
+/**
+ * GFLOP/s-reporting GEMM benchmark over explicit (mode, M, N, K)
+ * shapes: the acceptance shape 4096x256x256 plus the Table 3 per-layer
+ * update shapes (|V|=32768 RMAT-scale-15-ish M with the datasets'
+ * feature widths) and the backward-pass TN/NT forms those layers run.
+ */
+void
+BM_GemmShapes(benchmark::State &state)
+{
+    const auto mode = static_cast<GemmMode>(state.range(0));
+    const auto m = static_cast<std::size_t>(state.range(1));
+    const auto n = static_cast<std::size_t>(state.range(2));
+    const auto k = static_cast<std::size_t>(state.range(3));
+    DenseMatrix a;
+    DenseMatrix b;
+    switch (mode) {
+      case GemmMode::NN:
+        a = DenseMatrix(m, k);
+        b = DenseMatrix(k, n);
+        break;
+      case GemmMode::NT:
+        a = DenseMatrix(m, k);
+        b = DenseMatrix(n, k);
+        break;
+      case GemmMode::TN:
+        a = DenseMatrix(k, m);
+        b = DenseMatrix(k, n);
+        break;
+    }
+    a.fillUniform(-1.0f, 1.0f, 8);
+    b.fillUniform(-1.0f, 1.0f, 9);
+    DenseMatrix c(m, n);
+    for (auto _ : state) {
+        gemm(mode, a, b, c);
+        benchmark::DoNotOptimize(c.data());
+    }
+    const double flops = 2.0 * static_cast<double>(m) *
+                         static_cast<double>(n) *
+                         static_cast<double>(k) *
+                         static_cast<double>(state.iterations());
+    state.counters["GFLOP/s"] =
+        benchmark::Counter(flops * 1e-9, benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_GemmShapes)
+    // Acceptance shape: 4096 x 256 x 256 NN.
+    ->Args({0, 4096, 256, 256})
+    // Table 3 layer-1 update shapes: M = |V|, K = input width, N = 128.
+    ->Args({0, 32768, 128, 50})
+    ->Args({0, 32768, 128, 64})
+    ->Args({0, 32768, 256, 128})
+    // Backward dX (NT: dY * W^T) and dW (TN: X^T * dY, short-M wide-N).
+    ->Args({1, 4096, 256, 256})
+    ->Args({2, 256, 256, 4096});
+
+/**
+ * Same acceptance shape through a prepacked GemmPlan — isolates the
+ * micro-kernel rate from the per-call B pack, the regime the layer
+ * weight cache runs in every epoch.
+ */
+void
+BM_GemmPrepacked(benchmark::State &state)
+{
+    const auto m = static_cast<std::size_t>(state.range(0));
+    const std::size_t n = 256;
+    const std::size_t k = 256;
+    DenseMatrix a(m, k);
+    DenseMatrix b(k, n);
+    a.fillUniform(-1.0f, 1.0f, 8);
+    b.fillUniform(-1.0f, 1.0f, 9);
+    GemmPlan plan;
+    plan.pack(GemmMode::NN, b);
+    DenseMatrix c(m, n);
+    for (auto _ : state) {
+        gemm(GemmMode::NN, a, plan, c);
+        benchmark::DoNotOptimize(c.data());
+    }
+    const double flops = 2.0 * static_cast<double>(m) * 256.0 * 256.0 *
+                         static_cast<double>(state.iterations());
+    state.counters["GFLOP/s"] =
+        benchmark::Counter(flops * 1e-9, benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_GemmPrepacked)->Arg(4096)->Arg(32768);
+
 void
 BM_AggregateBf16(benchmark::State &state)
 {

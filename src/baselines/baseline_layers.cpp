@@ -44,7 +44,12 @@ namespace {
 void
 finishUpdate(const UpdateOp &update, DenseMatrix &aggOut, DenseMatrix &out)
 {
-    gemm(GemmMode::NN, aggOut, *update.weights, out);
+    // An epoch-cached weight plan (GnnLayer's) skips the per-call pack;
+    // otherwise gemm packs internally for this call only.
+    if (update.packedWeights)
+        gemm(GemmMode::NN, aggOut, *update.packedWeights, out);
+    else
+        gemm(GemmMode::NN, aggOut, *update.weights, out);
     if (!update.bias.empty())
         addBias(out, update.bias);
     if (update.relu)

@@ -124,15 +124,11 @@ issueVertexAggregation(ThreadEngine &te, const CsrGraph &graph,
     counters.blocksGathered += n * issued;
 }
 
-using UpdateFn =
-    void (*)(const UpdateOp &, const DenseMatrix &, VertexId,
-             DenseMatrix &);
-
 void
-updateVertex(const UpdateOp &update, const DenseMatrix &aggOut, VertexId v,
-             DenseMatrix &out)
+updateVertex(const UpdateOp &update, const GemmPlan &weightPlan,
+             const DenseMatrix &aggOut, VertexId v, DenseMatrix &out)
 {
-    gemmBlockSerial(aggOut.row(v), 1, aggOut.rowStride(), *update.weights,
+    gemmBlockSerial(aggOut.row(v), 1, aggOut.rowStride(), weightPlan,
                     out.row(v), out.rowStride(), aggOut.cols());
     Feature *row = out.row(v);
     if (!update.bias.empty()) {
@@ -168,6 +164,19 @@ runPipeline(const CsrGraph &graph, const DenseMatrix &in,
         engines.emplace_back(config.engine);
     std::vector<PipelineCounters> counters(numThreads);
 
+    // Per-vertex updates all multiply the same W: pack it once for the
+    // whole pipeline run (Algorithm 5's update side), unless the caller
+    // already holds a cached plan.
+    GemmPlan localPlan;
+    const GemmPlan *weightPlan = nullptr;
+    if (update) {
+        weightPlan = update->packedWeights;
+        if (weightPlan == nullptr) {
+            localPlan.pack(GemmMode::NN, *update->weights);
+            weightPlan = &localPlan;
+        }
+    }
+
     const std::size_t blockSize =
         std::max<std::size_t>(1, config.blockSize);
     const std::size_t task =
@@ -197,7 +206,7 @@ runPipeline(const CsrGraph &graph, const DenseMatrix &in,
             te.drain();
             if (update && out) {
                 for (VertexId v : pendingBlock[tid])
-                    updateVertex(*update, aggOut, v, *out);
+                    updateVertex(*update, *weightPlan, aggOut, v, *out);
             }
             pendingBlock[tid] = std::move(block);
         }
@@ -208,7 +217,7 @@ runPipeline(const CsrGraph &graph, const DenseMatrix &in,
         engines[t].drain();
         if (update && out) {
             for (VertexId v : pendingBlock[t])
-                updateVertex(*update, aggOut, v, *out);
+                updateVertex(*update, *weightPlan, aggOut, v, *out);
         }
     }
 

@@ -51,6 +51,27 @@ GnnLayer::initWeights(std::uint64_t seed)
         6.0f / static_cast<float>(inFeatures_ + outFeatures_));
     weights_.fillUniform(-limit, limit, seed);
     std::fill(bias_.begin(), bias_.end(), 0.0f);
+    ++weightsVersion_;
+}
+
+const GemmPlan &
+GnnLayer::packedWeights() const
+{
+    if (weightsAliased_ || packedNNVersion_ != weightsVersion_) {
+        packedNN_.pack(GemmMode::NN, weights_);
+        packedNNVersion_ = weightsVersion_;
+    }
+    return packedNN_;
+}
+
+const GemmPlan &
+GnnLayer::packedWeightsTransposed() const
+{
+    if (weightsAliased_ || packedNTVersion_ != weightsVersion_) {
+        packedNT_.pack(GemmMode::NT, weights_);
+        packedNTVersion_ = weightsVersion_;
+    }
+    return packedNT_;
 }
 
 void
@@ -63,7 +84,7 @@ GnnLayer::forwardInference(const CsrGraph &graph,
                            std::span<const VertexId> order,
                            const TechniqueConfig &tech) const
 {
-    const UpdateOp update{&weights_, bias_, relu_};
+    const UpdateOp update{&weights_, bias_, relu_, &packedWeights()};
     const bool packedIn = tech.compression && inCompressed != nullptr;
     if (tech.fusion) {
         if (packedIn) {
@@ -85,7 +106,7 @@ GnnLayer::forwardInference(const CsrGraph &graph,
                             tech.agg);
     else
         aggregateBasic(graph, in, agg, spec, order, tech.agg);
-    gemm(GemmMode::NN, agg, weights_, out);
+    gemm(GemmMode::NN, agg, packedWeights(), out);
     if (!bias_.empty())
         addBias(out, bias_);
     if (relu_)
@@ -117,7 +138,7 @@ GnnLayer::forwardTraining(const CsrGraph &graph, const AggregationSpec &spec,
         outCompressed = &ctx.outputCompressed;
     }
 
-    const UpdateOp update{&weights_, bias_, relu_};
+    const UpdateOp update{&weights_, bias_, relu_, &packedWeights()};
     const bool packedIn = tech.compression && inCompressed != nullptr;
     if (tech.fusion) {
         if (packedIn) {
@@ -137,7 +158,7 @@ GnnLayer::forwardTraining(const CsrGraph &graph, const AggregationSpec &spec,
                             tech.agg);
     else
         aggregateBasic(graph, in, ctx.agg, spec, order, tech.agg);
-    gemm(GemmMode::NN, ctx.agg, weights_, ctx.output);
+    gemm(GemmMode::NN, ctx.agg, packedWeights(), ctx.output);
     if (!bias_.empty())
         addBias(ctx.output, bias_);
     if (relu_)
@@ -173,7 +194,7 @@ GnnLayer::backward(const CsrGraph &transposed,
         return;
     // da = dz·Wᵀ, then dh_prev = Aggᵀ(da) over the transposed graph.
     DenseMatrix dAgg(gradOut.rows(), inFeatures_);
-    gemm(GemmMode::NT, gradOut, weights_, dAgg);
+    gemm(GemmMode::NT, gradOut, packedWeightsTransposed(), dAgg);
     if (gradIn->rows() != gradOut.rows() || gradIn->cols() != inFeatures_)
         gradIn->resize(gradOut.rows(), inFeatures_);
     aggregateBasic(transposed, dAgg, *gradIn, transposedSpec, {},
@@ -195,6 +216,7 @@ GnnLayer::sgdStep(float learningRate)
     });
     for (std::size_t c = 0; c < outFeatures_; ++c)
         bias_[c] -= learningRate * biasGrad_[c];
+    ++weightsVersion_;
 }
 
 } // namespace graphite

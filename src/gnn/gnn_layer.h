@@ -23,6 +23,7 @@
 #include "graph/csr_graph.h"
 #include "kernels/aggregation.h"
 #include "tensor/dense_matrix.h"
+#include "tensor/gemm_plan.h"
 
 namespace graphite {
 
@@ -64,10 +65,35 @@ class GnnLayer
     /** Glorot-uniform weight init, zero bias. */
     void initWeights(std::uint64_t seed);
 
-    DenseMatrix &weights() { return weights_; }
+    /**
+     * Mutable weight access permanently downgrades the packed-plan
+     * cache to repack-per-use: the returned reference can be retained
+     * and written through at any later point (the optimizer and
+     * checkpoint loader do exactly that), so no version counter can
+     * see those writes. Internal mutators (initWeights, sgdStep) keep
+     * precise invalidation instead.
+     */
+    DenseMatrix &
+    weights()
+    {
+        weightsAliased_ = true;
+        return weights_;
+    }
     const DenseMatrix &weights() const { return weights_; }
     std::vector<Feature> &bias() { return bias_; }
     const std::vector<Feature> &bias() const { return bias_; }
+
+    /**
+     * W packed for the forward/update GEMM (NN mode), repacked lazily
+     * after any weight mutation and otherwise reused across blocks,
+     * layers calls and epochs — the amortisation the packed micro-kernel
+     * design exists for. Not safe to call concurrently with weight
+     * updates (no forward is).
+     */
+    const GemmPlan &packedWeights() const;
+
+    /** W packed for the dX backward GEMM (NT mode), cached likewise. */
+    const GemmPlan &packedWeightsTransposed() const;
 
     /**
      * Inference forward: writes h^k into @p out; a^k is only
@@ -120,6 +146,16 @@ class GnnLayer
     std::vector<Feature> bias_;
     DenseMatrix weightGrad_;
     std::vector<Feature> biasGrad_;
+
+    /** Bumped by internal weight mutators (initWeights, sgdStep). */
+    std::uint64_t weightsVersion_ = 0;
+    /** A mutable reference escaped: packs can never be trusted again. */
+    bool weightsAliased_ = false;
+    mutable GemmPlan packedNN_;
+    mutable GemmPlan packedNT_;
+    /** weightsVersion_ the cached plans were packed at (~0 = never). */
+    mutable std::uint64_t packedNNVersion_ = ~std::uint64_t{0};
+    mutable std::uint64_t packedNTVersion_ = ~std::uint64_t{0};
 };
 
 } // namespace graphite

@@ -79,8 +79,11 @@ MiniBatchTrainer::forwardBatch(const MiniBatch &batch,
             aggregateVertex(block.block, input, d, spec,
                             ctx.agg.row(d));
         ctx.output.resize(numDst, layer.outFeatures());
+        // Serial packed update over the whole sampled block; the packed
+        // weights come from the layer's cache (repacked only after the
+        // in-loop SGD update mutates W).
         gemmBlockSerial(ctx.agg.row(0), numDst, ctx.agg.rowStride(),
-                        layer.weights(), ctx.output.row(0),
+                        layer.packedWeights(), ctx.output.row(0),
                         ctx.output.rowStride(), layer.inFeatures());
         addBias(ctx.output, layer.bias());
         if (layer.hasRelu())
@@ -119,7 +122,8 @@ MiniBatchTrainer::backwardBatch(const MiniBatch &batch,
         }
 
         DenseMatrix dAgg(gradOut.rows(), layer.inFeatures());
-        gemm(GemmMode::NT, gradOut, layer.weights(), dAgg);
+        gemm(GemmMode::NT, gradOut, layer.packedWeightsTransposed(),
+             dAgg);
 
         // Parameter update (plain SGD per mini-batch).
         DenseMatrix &weights = layer.weights();

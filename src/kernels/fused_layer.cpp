@@ -90,6 +90,19 @@ fusedDriver(const CsrGraph &graph, std::size_t inCols,
         outBuf.emplace_back(blockSize * outStride);
     }
 
+    // The same W multiplies every vertex block, so its panels are packed
+    // once per layer invocation (or reused from the layer's cached plan)
+    // and shared read-only by every task's micro-kernel.
+    GemmPlan localPlan;
+    const GemmPlan *weightPlan = update.packedWeights;
+    if (weightPlan == nullptr) {
+        localPlan.pack(GemmMode::NN, *update.weights);
+        weightPlan = &localPlan;
+    }
+    GRAPHITE_ASSERT(weightPlan->k() == inCols &&
+                        weightPlan->n() == out.cols(),
+                    "packed weight plan shape mismatch");
+
     parallelFor(0, n, taskVertices,
                 [&](std::size_t begin, std::size_t end, std::size_t tid) {
         Feature *agg = aggBuf[tid].data();
@@ -124,7 +137,7 @@ fusedDriver(const CsrGraph &graph, std::size_t inCols,
                 }
             }
             // Update phase of the block (Algorithm 2 lines 8-10).
-            gemmBlockSerial(agg, rows, aggStride, *update.weights, upd,
+            gemmBlockSerial(agg, rows, aggStride, *weightPlan, upd,
                             outStride, inCols);
             finishUpdateBlock(upd, rows, outStride, out.cols(), update);
             for (std::size_t m = 0; m < rows; ++m) {
@@ -255,7 +268,10 @@ unfusedLayer(const CsrGraph &graph, const DenseMatrix &in,
 {
     GRAPHITE_ASSERT(update.weights != nullptr, "update weights required");
     aggregateBasic(graph, in, aggOut, spec, order, config);
-    gemm(GemmMode::NN, aggOut, *update.weights, out);
+    if (update.packedWeights)
+        gemm(GemmMode::NN, aggOut, *update.packedWeights, out);
+    else
+        gemm(GemmMode::NN, aggOut, *update.weights, out);
     if (!update.bias.empty())
         addBias(out, update.bias);
     if (update.relu)

@@ -21,6 +21,7 @@
 #include "compress/compressed_matrix.h"
 #include "kernels/aggregation.h"
 #include "tensor/dense_matrix.h"
+#include "tensor/gemm_plan.h"
 
 namespace graphite {
 
@@ -33,6 +34,12 @@ struct UpdateOp
     std::span<const Feature> bias = {};
     /** Apply ReLU after the affine transform. */
     bool relu = true;
+    /**
+     * Optional NN-mode pack of @c weights (GnnLayer's epoch-cached
+     * plan). When null, consumers that need the packed form pack once
+     * per layer invocation themselves.
+     */
+    const GemmPlan *packedWeights = nullptr;
 };
 
 /** Tuning knobs of the fused kernel (Algorithm 2's constants). */

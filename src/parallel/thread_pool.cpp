@@ -1,6 +1,7 @@
 #include "parallel/thread_pool.h"
 
 #include <memory>
+#include <utility>
 
 #include "common/assert.h"
 
@@ -31,6 +32,14 @@ ThreadPool::~ThreadPool()
 }
 
 void
+ThreadPool::recordJobException()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!jobException_)
+        jobException_ = std::current_exception();
+}
+
+void
 ThreadPool::runOnAll(const std::function<void(std::size_t)> &body)
 {
     if (numThreads_ == 1) {
@@ -41,16 +50,30 @@ ThreadPool::runOnAll(const std::function<void(std::size_t)> &body)
         std::lock_guard<std::mutex> lock(mutex_);
         GRAPHITE_ASSERT(activeWorkers_ == 0, "nested runOnAll");
         job_ = body;
+        jobException_ = nullptr;
         ++jobGeneration_;
         activeWorkers_ = numThreads_ - 1;
     }
     wakeWorkers_.notify_all();
 
-    body(0);
+    // The calling thread participates as worker 0; its exception is
+    // captured like any other so the workers are always joined before
+    // anything propagates.
+    try {
+        body(0);
+    } catch (...) {
+        recordJobException();
+    }
 
-    std::unique_lock<std::mutex> lock(mutex_);
-    jobDone_.wait(lock, [this] { return activeWorkers_ == 0; });
-    job_ = nullptr;
+    std::exception_ptr pending;
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        jobDone_.wait(lock, [this] { return activeWorkers_ == 0; });
+        job_ = nullptr;
+        pending = std::exchange(jobException_, nullptr);
+    }
+    if (pending)
+        std::rethrow_exception(pending);
 }
 
 void
@@ -58,7 +81,8 @@ ThreadPool::parallelForChunked(
     std::size_t begin, std::size_t end, std::size_t chunk,
     const std::function<void(std::size_t, std::size_t, std::size_t)> &body)
 {
-    GRAPHITE_ASSERT(chunk > 0, "chunk must be positive");
+    if (chunk == 0)
+        chunk = 1;
     if (begin >= end)
         return;
     auto cursor = std::make_shared<std::atomic<std::size_t>>(begin);
@@ -71,7 +95,14 @@ ThreadPool::parallelForChunked(
             std::size_t chunkEnd = chunkBegin + chunk;
             if (chunkEnd > end)
                 chunkEnd = end;
-            body(chunkBegin, chunkEnd, threadId);
+            try {
+                body(chunkBegin, chunkEnd, threadId);
+            } catch (...) {
+                // Park the cursor past the end so no further chunks are
+                // claimed, then let runOnAll capture the exception.
+                cursor->store(end, std::memory_order_relaxed);
+                throw;
+            }
         }
     });
 }
@@ -92,7 +123,11 @@ ThreadPool::workerLoop(std::size_t threadId)
             seenGeneration = jobGeneration_;
             job = job_;
         }
-        job(threadId);
+        try {
+            job(threadId);
+        } catch (...) {
+            recordJobException();
+        }
         {
             std::lock_guard<std::mutex> lock(mutex_);
             --activeWorkers_;

@@ -15,6 +15,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -41,14 +42,19 @@ class ThreadPool
 
     /**
      * Run @p body(threadId) once on every worker and block until all
-     * finish. threadId ranges over [0, numThreads()).
+     * finish. threadId ranges over [0, numThreads()). If any invocation
+     * throws, one of the captured exceptions is rethrown on the calling
+     * thread after every worker has finished; the pool stays usable.
      */
     void runOnAll(const std::function<void(std::size_t)> &body);
 
     /**
      * Dynamically-scheduled parallel loop over [begin, end) in steps of
-     * @p chunk. Each worker repeatedly claims the next chunk from a shared
-     * cursor and invokes @p body(chunkBegin, chunkEnd, threadId).
+     * @p chunk (clamped to at least 1). Each worker repeatedly claims
+     * the next chunk from a shared cursor and invokes
+     * @p body(chunkBegin, chunkEnd, threadId). An exception thrown by
+     * @p body stops further chunks from being claimed and is rethrown
+     * on the calling thread (see runOnAll).
      */
     void parallelForChunked(
         std::size_t begin, std::size_t end, std::size_t chunk,
@@ -67,6 +73,9 @@ class ThreadPool
   private:
     void workerLoop(std::size_t threadId);
 
+    /** Record the first exception a job raised (any thread). */
+    void recordJobException();
+
     std::size_t numThreads_;
     std::vector<std::thread> workers_;
 
@@ -74,6 +83,7 @@ class ThreadPool
     std::condition_variable wakeWorkers_;
     std::condition_variable jobDone_;
     std::function<void(std::size_t)> job_;
+    std::exception_ptr jobException_;
     std::uint64_t jobGeneration_ = 0;
     std::size_t activeWorkers_ = 0;
     bool shuttingDown_ = false;

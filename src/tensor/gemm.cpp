@@ -1,6 +1,8 @@
 #include "tensor/gemm.h"
 
 #include <algorithm>
+#include <cstring>
+#include <vector>
 
 #include "common/assert.h"
 #include "parallel/thread_pool.h"
@@ -9,10 +11,203 @@ namespace graphite {
 
 namespace {
 
-/** Rows of C processed per parallel task. */
-constexpr std::size_t kRowBlock = 32;
-/** Inner-dimension tile to keep the B panel in L1/L2. */
-constexpr std::size_t kInnerBlock = 256;
+/*
+ * Micro-kernel vector types. One Vec is 16 floats (a zmm register with
+ * AVX-512; the compiler legalises it to narrower ops elsewhere). C rows
+ * are only guaranteed element-aligned (gemmBlockSerial accepts raw
+ * pointers), so stores to C go through the unaligned VecU flavour, while
+ * packed panels — always 64-byte aligned — use the aligned Vec loads.
+ */
+typedef Feature Vec __attribute__((vector_size(64), may_alias));
+typedef Feature VecU
+    __attribute__((vector_size(64), aligned(4), may_alias));
+
+constexpr std::size_t kVecLanes = sizeof(Vec) / sizeof(Feature);
+constexpr std::size_t kNRV = kGemmNR / kVecLanes;
+static_assert(kGemmNR % kVecLanes == 0);
+/** Column panels per parallel N tile. */
+constexpr std::size_t kPanelsPerTile = kGemmTileN / kGemmNR;
+static_assert(kGemmTileN % kGemmNR == 0 && kGemmTileM % kGemmMR == 0);
+
+/**
+ * Register-tile micro-kernel: C[0..Rows) x [0..nValid) (+)= Ap · Bp over
+ * one KC slice. Ap is a packed MR-wide A panel (k-major, MR stride even
+ * when Rows < MR), Bp a packed NR-wide B panel. The Rows x NR
+ * accumulator tile lives in registers across the whole k loop — the
+ * FMA chain the update phase's FLOP rate comes from.
+ */
+template <std::size_t Rows>
+void
+microKernel(const Feature *ap, const Feature *bp, std::size_t kc,
+            Feature *c, std::size_t cStride, std::size_t nValid,
+            bool accumulate)
+{
+    // The unroll pragmas are load-bearing: -O2 alone leaves these
+    // constant-trip loops rolled, which demotes the accumulator tile to
+    // the stack and roughly quarters the FLOP rate. Fully unrolled, the
+    // tile lives in zmm registers for the whole k loop.
+    Vec acc[Rows][kNRV];
+    #pragma GCC unroll 8
+    for (std::size_t i = 0; i < Rows; ++i)
+        #pragma GCC unroll 2
+        for (std::size_t v = 0; v < kNRV; ++v)
+            acc[i][v] = Vec{};
+
+    for (std::size_t kk = 0; kk < kc; ++kk) {
+        const Vec *bv = reinterpret_cast<const Vec *>(bp + kk * kGemmNR);
+        const Feature *a = ap + kk * kGemmMR;
+        #pragma GCC unroll 8
+        for (std::size_t i = 0; i < Rows; ++i) {
+            // vector * scalar (not a materialised broadcast vector):
+            // GCC folds the A element into the FMA's memory operand as
+            // an embedded broadcast, which runs on the load ports. A
+            // separate vbroadcastss would occupy the shuffle port and
+            // steal FMA issue slots.
+            #pragma GCC unroll 2
+            for (std::size_t v = 0; v < kNRV; ++v)
+                acc[i][v] += bv[v] * a[i];
+        }
+    }
+
+    if (nValid == kGemmNR) {
+        #pragma GCC unroll 8
+        for (std::size_t i = 0; i < Rows; ++i) {
+            VecU *cv = reinterpret_cast<VecU *>(c + i * cStride);
+            #pragma GCC unroll 2
+            for (std::size_t v = 0; v < kNRV; ++v) {
+                if (accumulate)
+                    cv[v] += acc[i][v];
+                else
+                    cv[v] = acc[i][v];
+            }
+        }
+    } else {
+        // Ragged right edge: spill the tile row and copy the valid
+        // prefix (the packed B padding guarantees the lanes are exact).
+        alignas(64) Feature tmp[kGemmNR];
+        for (std::size_t i = 0; i < Rows; ++i) {
+            for (std::size_t v = 0; v < kNRV; ++v)
+                *reinterpret_cast<Vec *>(tmp + v * kVecLanes) = acc[i][v];
+            Feature *cRow = c + i * cStride;
+            if (accumulate) {
+                #pragma omp simd
+                for (std::size_t j = 0; j < nValid; ++j)
+                    cRow[j] += tmp[j];
+            } else {
+                #pragma omp simd
+                for (std::size_t j = 0; j < nValid; ++j)
+                    cRow[j] = tmp[j];
+            }
+        }
+    }
+}
+
+/** Ragged bottom edge: dispatch to the matching register tile height. */
+void
+microDispatch(std::size_t rows, const Feature *ap, const Feature *bp,
+              std::size_t kc, Feature *c, std::size_t cStride,
+              std::size_t nValid, bool accumulate)
+{
+    switch (rows) {
+      case 1: microKernel<1>(ap, bp, kc, c, cStride, nValid, accumulate);
+        break;
+      case 2: microKernel<2>(ap, bp, kc, c, cStride, nValid, accumulate);
+        break;
+      case 3: microKernel<3>(ap, bp, kc, c, cStride, nValid, accumulate);
+        break;
+      case 4: microKernel<4>(ap, bp, kc, c, cStride, nValid, accumulate);
+        break;
+      case 5: microKernel<5>(ap, bp, kc, c, cStride, nValid, accumulate);
+        break;
+      case 6: microKernel<6>(ap, bp, kc, c, cStride, nValid, accumulate);
+        break;
+      case 7: microKernel<7>(ap, bp, kc, c, cStride, nValid, accumulate);
+        break;
+      default:
+        microKernel<kGemmMR>(ap, bp, kc, c, cStride, nValid, accumulate);
+        break;
+    }
+}
+
+/**
+ * Pack @p mLen row-major rows (base pointer + stride) into MR-wide
+ * k-major A panels for one KC slice, zero-padding the last panel's rows.
+ */
+void
+packARowMajor(const Feature *aBase, std::size_t aStride, std::size_t mLen,
+              std::size_t k0, std::size_t kcLen, Feature *ap)
+{
+    for (std::size_t ip = 0; ip * kGemmMR < mLen; ++ip) {
+        Feature *panel = ap + ip * kcLen * kGemmMR;
+        const std::size_t rows = std::min(kGemmMR, mLen - ip * kGemmMR);
+        for (std::size_t i = 0; i < rows; ++i) {
+            const Feature *src =
+                aBase + (ip * kGemmMR + i) * aStride + k0;
+            for (std::size_t kk = 0; kk < kcLen; ++kk)
+                panel[kk * kGemmMR + i] = src[kk];
+        }
+        for (std::size_t i = rows; i < kGemmMR; ++i) {
+            for (std::size_t kk = 0; kk < kcLen; ++kk)
+                panel[kk * kGemmMR + i] = 0.0f;
+        }
+    }
+}
+
+/**
+ * Pack A panels for TN mode, where the effective A(m, k) is the stored
+ * a(k, m): each k step copies MR consecutive floats of a row.
+ */
+void
+packAColMajor(const DenseMatrix &a, std::size_t m0, std::size_t mLen,
+              std::size_t k0, std::size_t kcLen, Feature *ap)
+{
+    for (std::size_t ip = 0; ip * kGemmMR < mLen; ++ip) {
+        Feature *panel = ap + ip * kcLen * kGemmMR;
+        const std::size_t rows = std::min(kGemmMR, mLen - ip * kGemmMR);
+        for (std::size_t kk = 0; kk < kcLen; ++kk) {
+            const Feature *src = a.row(k0 + kk) + m0 + ip * kGemmMR;
+            Feature *dst = panel + kk * kGemmMR;
+            for (std::size_t i = 0; i < rows; ++i)
+                dst[i] = src[i];
+            for (std::size_t i = rows; i < kGemmMR; ++i)
+                dst[i] = 0.0f;
+        }
+    }
+}
+
+/**
+ * Serial tile driver: C rows [0, mLen) x panel columns [jp0, jp1) of
+ * the effective product, looping KC slices of @p plan. @p packASlice
+ * packs the tile's A rows for one slice into @p apBuf (capacity at
+ * least roundUp(mLen, MR) * KC floats); the packed slice is then reused
+ * across every column panel of the tile.
+ */
+template <typename PackASlice>
+void
+computeTile(const GemmPlan &plan, Feature *cBase, std::size_t cStride,
+            std::size_t mLen, std::size_t jp0, std::size_t jp1,
+            GemmAccumulate acc, Feature *apBuf, PackASlice &&packASlice)
+{
+    const std::size_t nTotal = plan.n();
+    for (std::size_t kb = 0; kb < plan.numKBlocks(); ++kb) {
+        const std::size_t kcLen = plan.kBlockLen(kb);
+        packASlice(kb * kGemmKC, kcLen, apBuf);
+        const bool accumulate =
+            kb > 0 || acc == GemmAccumulate::Add;
+        for (std::size_t jp = jp0; jp < jp1; ++jp) {
+            const Feature *bp = plan.panel(kb, jp);
+            const std::size_t n0 = jp * kGemmNR;
+            const std::size_t nValid = std::min(kGemmNR, nTotal - n0);
+            for (std::size_t ip = 0; ip * kGemmMR < mLen; ++ip) {
+                const std::size_t rows =
+                    std::min(kGemmMR, mLen - ip * kGemmMR);
+                microDispatch(rows, apBuf + ip * kcLen * kGemmMR, bp,
+                              kcLen, cBase + ip * kGemmMR * cStride + n0,
+                              cStride, nValid, accumulate);
+            }
+        }
+    }
+}
 
 void
 checkShapes(GemmMode mode, const DenseMatrix &a, const DenseMatrix &b,
@@ -37,97 +232,122 @@ checkShapes(GemmMode mode, const DenseMatrix &a, const DenseMatrix &b,
     }
 }
 
-/**
- * Inner kernel for NN: c[r, :] += a[r, kBegin:kEnd] * b[kBegin:kEnd, :].
- * The j-loop over N is contiguous and vectorises into FMA chains.
- */
 void
-kernelRowNN(const Feature *aRow, const DenseMatrix &b, Feature *cRow,
-            std::size_t n, std::size_t kBegin, std::size_t kEnd)
+checkPlanShapes(GemmMode mode, const DenseMatrix &a, const GemmPlan &plan,
+                const DenseMatrix &c)
 {
-    for (std::size_t k = kBegin; k < kEnd; ++k) {
-        const Feature av = aRow[k];
-        if (av == 0.0f)
-            continue;
-        const Feature *bRow = b.row(k);
-        #pragma omp simd
-        for (std::size_t j = 0; j < n; ++j)
-            cRow[j] += av * bRow[j];
-    }
-}
-
-/** Inner kernel for NT: c[r, j] += dot(a[r, :], b[j, :]). */
-void
-kernelRowNT(const Feature *aRow, const DenseMatrix &b, Feature *cRow,
-            std::size_t n, std::size_t kDim)
-{
-    for (std::size_t j = 0; j < n; ++j) {
-        const Feature *bRow = b.row(j);
-        Feature sum = 0.0f;
-        #pragma omp simd reduction(+ : sum)
-        for (std::size_t k = 0; k < kDim; ++k)
-            sum += aRow[k] * bRow[k];
-        cRow[j] += sum;
-    }
+    const std::size_t effM =
+        mode == GemmMode::TN ? a.cols() : a.rows();
+    const std::size_t effK =
+        mode == GemmMode::TN ? a.rows() : a.cols();
+    GRAPHITE_ASSERT(effM == c.rows() && effK == plan.k() &&
+                        plan.n() == c.cols(),
+                    "GEMM plan shape mismatch");
 }
 
 } // namespace
+
+void
+gemm(GemmMode mode, const DenseMatrix &a, const GemmPlan &plan,
+     DenseMatrix &c, GemmAccumulate acc)
+{
+    checkPlanShapes(mode, a, plan, c);
+    const std::size_t m = c.rows();
+    const std::size_t n = c.cols();
+    if (m == 0 || n == 0)
+        return;
+    if (plan.k() == 0) {
+        // Empty inner dimension: the product is all zeros.
+        if (acc == GemmAccumulate::Overwrite)
+            c.zero();
+        return;
+    }
+
+    // 2-D tile grid over C: N tiles in the outer index so consecutive
+    // tasks drawn by one thread walk down an N tile and keep its B
+    // panels hot in L1/L2 — and so wide-N/short-M shapes (dW) still
+    // expose enough tasks to fill the pool.
+    const std::size_t mTiles = (m + kGemmTileM - 1) / kGemmTileM;
+    const std::size_t nTiles =
+        (plan.numColPanels() + kPanelsPerTile - 1) / kPanelsPerTile;
+    const std::size_t tasks = mTiles * nTiles;
+
+    const std::size_t numThreads = ThreadPool::global().numThreads();
+    std::vector<AlignedBuffer<Feature>> apBuf;
+    apBuf.reserve(numThreads);
+    for (std::size_t t = 0; t < numThreads; ++t)
+        apBuf.emplace_back(kGemmTileM * kGemmKC);
+
+    parallelFor(0, tasks, 1,
+                [&](std::size_t begin, std::size_t end, std::size_t tid) {
+        Feature *ap = apBuf[tid].data();
+        for (std::size_t task = begin; task < end; ++task) {
+            const std::size_t mt = task % mTiles;
+            const std::size_t nt = task / mTiles;
+            const std::size_t m0 = mt * kGemmTileM;
+            const std::size_t mLen = std::min(kGemmTileM, m - m0);
+            const std::size_t jp0 = nt * kPanelsPerTile;
+            const std::size_t jp1 =
+                std::min(jp0 + kPanelsPerTile, plan.numColPanels());
+            Feature *cBase = c.row(m0);
+            if (mode == GemmMode::TN) {
+                computeTile(plan, cBase, c.rowStride(), mLen, jp0, jp1,
+                            acc, ap,
+                            [&](std::size_t k0, std::size_t kcLen,
+                                Feature *dst) {
+                    packAColMajor(a, m0, mLen, k0, kcLen, dst);
+                });
+            } else {
+                computeTile(plan, cBase, c.rowStride(), mLen, jp0, jp1,
+                            acc, ap,
+                            [&](std::size_t k0, std::size_t kcLen,
+                                Feature *dst) {
+                    packARowMajor(a.row(m0), a.rowStride(), mLen, k0,
+                                  kcLen, dst);
+                });
+            }
+        }
+    });
+}
 
 void
 gemm(GemmMode mode, const DenseMatrix &a, const DenseMatrix &b,
      DenseMatrix &c, GemmAccumulate acc)
 {
     checkShapes(mode, a, b, c);
-    const std::size_t m = c.rows();
-    const std::size_t n = c.cols();
+    const GemmPlan plan(mode, b);
+    gemm(mode, a, plan, c, acc);
+}
 
-    if (acc == GemmAccumulate::Overwrite)
-        c.zero();
-
-    if (mode == GemmMode::TN) {
-        // C(M x N) += A(K x M)^T * B(K x N). Parallelise over output rows;
-        // each output row r reads column r of A, i.e. a[k, r] across k.
-        const std::size_t kDim = a.rows();
-        parallelFor(0, m, kRowBlock,
-                    [&](std::size_t rBegin, std::size_t rEnd, std::size_t) {
-            for (std::size_t kBlock = 0; kBlock < kDim;
-                 kBlock += kInnerBlock) {
-                const std::size_t kEnd =
-                    std::min(kBlock + kInnerBlock, kDim);
-                for (std::size_t k = kBlock; k < kEnd; ++k) {
-                    const Feature *aRow = a.row(k);
-                    const Feature *bRow = b.row(k);
-                    for (std::size_t r = rBegin; r < rEnd; ++r) {
-                        const Feature av = aRow[r];
-                        if (av == 0.0f)
-                            continue;
-                        Feature *cRow = c.row(r);
-                        #pragma omp simd
-                        for (std::size_t j = 0; j < n; ++j)
-                            cRow[j] += av * bRow[j];
-                    }
-                }
-            }
-        });
+void
+gemmBlockSerial(const Feature *aRows, std::size_t rows,
+                std::size_t aStride, const GemmPlan &plan, Feature *cRows,
+                std::size_t cStride, std::size_t k)
+{
+    GRAPHITE_ASSERT(plan.k() == k, "block GEMM inner dim mismatch");
+    if (rows == 0)
+        return;
+    if (k == 0) {
+        for (std::size_t r = 0; r < rows; ++r)
+            std::fill(cRows + r * cStride, cRows + r * cStride + plan.n(),
+                      0.0f);
         return;
     }
-
-    const std::size_t kDim = a.cols();
-    parallelFor(0, m, kRowBlock,
-                [&](std::size_t rBegin, std::size_t rEnd, std::size_t) {
-        if (mode == GemmMode::NN) {
-            for (std::size_t kBlock = 0; kBlock < kDim;
-                 kBlock += kInnerBlock) {
-                const std::size_t kEnd =
-                    std::min(kBlock + kInnerBlock, kDim);
-                for (std::size_t r = rBegin; r < rEnd; ++r)
-                    kernelRowNN(a.row(r), b, c.row(r), n, kBlock, kEnd);
-            }
-        } else {
-            for (std::size_t r = rBegin; r < rEnd; ++r)
-                kernelRowNT(a.row(r), b, c.row(r), n, kDim);
-        }
-    });
+    // Per-calling-thread pack scratch: the fused kernels call this from
+    // inside pool tasks, so no shared state and no nested parallelism.
+    thread_local std::vector<Feature> apScratch;
+    if (apScratch.size() < kGemmTileM * kGemmKC)
+        apScratch.resize(kGemmTileM * kGemmKC);
+    for (std::size_t m0 = 0; m0 < rows; m0 += kGemmTileM) {
+        const std::size_t mLen = std::min(kGemmTileM, rows - m0);
+        computeTile(plan, cRows + m0 * cStride, cStride, mLen, 0,
+                    plan.numColPanels(), GemmAccumulate::Overwrite,
+                    apScratch.data(),
+                    [&](std::size_t k0, std::size_t kcLen, Feature *dst) {
+            packARowMajor(aRows + m0 * aStride, aStride, mLen, k0, kcLen,
+                          dst);
+        });
+    }
 }
 
 void
@@ -136,12 +356,20 @@ gemmBlockSerial(const Feature *aRows, std::size_t rows, std::size_t aStride,
                 std::size_t k)
 {
     GRAPHITE_ASSERT(b.rows() == k, "block GEMM inner dim mismatch");
+    // Unpacked one-shot path: row-streaming FMA kernel, for callers
+    // whose B changes every call so packing would not amortise.
     const std::size_t n = b.cols();
     for (std::size_t r = 0; r < rows; ++r) {
         const Feature *aRow = aRows + r * aStride;
         Feature *cRow = cRows + r * cStride;
         std::fill(cRow, cRow + n, 0.0f);
-        kernelRowNN(aRow, b, cRow, n, 0, k);
+        for (std::size_t kk = 0; kk < k; ++kk) {
+            const Feature av = aRow[kk];
+            const Feature *bRow = b.row(kk);
+            #pragma omp simd
+            for (std::size_t j = 0; j < n; ++j)
+                cRow[j] += av * bRow[j];
+        }
     }
 }
 

@@ -4,9 +4,12 @@
  *
  * The paper uses MKL GEMM for the unfused update and libxsmm for the small
  * per-block GEMMs inside layer fusion. Neither is available offline, so we
- * provide a blocked, vectorised GEMM with the two call shapes both roles
- * need: a parallel whole-matrix multiply, and a single-thread small-block
- * multiply invoked from inside a fused task (gemmBlockSerial).
+ * provide a packed, register-blocked GEMM in the oneDNN/BLIS mould: the
+ * right-hand operand is repacked into NR-wide panels (GemmPlan, reusable
+ * across calls), the left-hand operand is packed per KC slice on the fly,
+ * and an MR x NR register-tile micro-kernel runs FMA chains over the
+ * panels. Work is threaded over a 2-D grid of M x N output tiles so
+ * wide-N/short-M shapes (dW = X^T·dY) scale as well as tall ones.
  *
  * Supported forms (C is M x N):
  *   NN: C (+)= A(MxK)   * B(KxN)
@@ -19,17 +22,14 @@
 #pragma once
 
 #include "tensor/dense_matrix.h"
+#include "tensor/gemm_plan.h"
 
 namespace graphite {
 
-/** Transposition mode of a GEMM operand pair. */
-enum class GemmMode { NN, NT, TN };
-
-/** Accumulate behaviour. */
-enum class GemmAccumulate { Overwrite, Add };
-
 /**
- * Parallel blocked GEMM over the global thread pool.
+ * Parallel blocked GEMM over the global thread pool. Packs @p b
+ * internally; call the GemmPlan overload to amortise that pack across
+ * calls with a constant right-hand operand (layer weights).
  *
  * @param mode operand transposition (see file comment).
  * @param acc  overwrite C or accumulate into it.
@@ -38,7 +38,15 @@ void gemm(GemmMode mode, const DenseMatrix &a, const DenseMatrix &b,
           DenseMatrix &c, GemmAccumulate acc = GemmAccumulate::Overwrite);
 
 /**
- * Serial small-block GEMM: c[0..rows) (+)= aRows * b, where aRows points
+ * Parallel blocked GEMM with a prepacked right-hand operand. @p plan
+ * must have been packed with the same @p mode it is used under (the
+ * plan stores the mode-resolved K x N operand).
+ */
+void gemm(GemmMode mode, const DenseMatrix &a, const GemmPlan &plan,
+          DenseMatrix &c, GemmAccumulate acc = GemmAccumulate::Overwrite);
+
+/**
+ * Serial small-block GEMM: c[0..rows) = aRows * b, where aRows points
  * at @p rows consecutive padded rows of an activation matrix and @p b is
  * a KxN weight matrix. This is the libxsmm-role kernel the fused
  * aggregation-update calls per vertex block, so it must not spawn
@@ -54,6 +62,16 @@ void gemm(GemmMode mode, const DenseMatrix &a, const DenseMatrix &b,
  */
 void gemmBlockSerial(const Feature *aRows, std::size_t rows,
                      std::size_t aStride, const DenseMatrix &b,
+                     Feature *cRows, std::size_t cStride, std::size_t k);
+
+/**
+ * Serial small-block GEMM through a prepacked NN-mode weight plan — the
+ * fused fast path: the caller packs W once per layer invocation and
+ * every block task streams the shared panels through the register-tile
+ * micro-kernel.
+ */
+void gemmBlockSerial(const Feature *aRows, std::size_t rows,
+                     std::size_t aStride, const GemmPlan &plan,
                      Feature *cRows, std::size_t cStride, std::size_t k);
 
 /** Reference (naive triple loop) GEMM used by tests as ground truth. */

@@ -1,0 +1,63 @@
+#include "tensor/gemm_plan.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "parallel/thread_pool.h"
+
+namespace graphite {
+
+void
+GemmPlan::pack(GemmMode mode, const DenseMatrix &b)
+{
+    // Only the B operand's own orientation matters here: NN and TN read
+    // b as the stored K x N matrix, NT reads it as an N x K matrix whose
+    // transpose is consumed.
+    const bool transposed = mode == GemmMode::NT;
+    k_ = transposed ? b.cols() : b.rows();
+    n_ = transposed ? b.rows() : b.cols();
+    numColPanels_ = (n_ + kGemmNR - 1) / kGemmNR;
+    numKBlocks_ = (k_ + kGemmKC - 1) / kGemmKC;
+    const std::size_t total =
+        numKBlocks_ > 0
+            ? (numKBlocks_ - 1) * kGemmKC * numColPanels_ * kGemmNR +
+                  kBlockLen(numKBlocks_ - 1) * numColPanels_ * kGemmNR
+            : 0;
+    if (packed_.size() != total)
+        packed_.resize(total);
+
+    parallelFor(0, numKBlocks_, 1,
+                [&](std::size_t kbBegin, std::size_t kbEnd, std::size_t) {
+        for (std::size_t kb = kbBegin; kb < kbEnd; ++kb) {
+            const std::size_t k0 = kb * kGemmKC;
+            const std::size_t kcLen = kBlockLen(kb);
+            for (std::size_t jp = 0; jp < numColPanels_; ++jp) {
+                const std::size_t j0 = jp * kGemmNR;
+                const std::size_t jLen = std::min(kGemmNR, n_ - j0);
+                Feature *dst = const_cast<Feature *>(panel(kb, jp));
+                if (!transposed) {
+                    for (std::size_t kk = 0; kk < kcLen; ++kk) {
+                        const Feature *src = b.row(k0 + kk) + j0;
+                        Feature *out = dst + kk * kGemmNR;
+                        std::memcpy(out, src, jLen * sizeof(Feature));
+                        std::fill(out + jLen, out + kGemmNR, 0.0f);
+                    }
+                } else {
+                    // b is N x K: panel columns are stored rows, so the
+                    // copy walks b rows with a k-stride write.
+                    for (std::size_t j = 0; j < jLen; ++j) {
+                        const Feature *src = b.row(j0 + j) + k0;
+                        for (std::size_t kk = 0; kk < kcLen; ++kk)
+                            dst[kk * kGemmNR + j] = src[kk];
+                    }
+                    for (std::size_t j = jLen; j < kGemmNR; ++j) {
+                        for (std::size_t kk = 0; kk < kcLen; ++kk)
+                            dst[kk * kGemmNR + j] = 0.0f;
+                    }
+                }
+            }
+        }
+    });
+}
+
+} // namespace graphite

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Packed GEMM operand — the amortisable half of the blocked micro-kernel.
+ *
+ * The packed design (oneDNN/BLIS-style) splits a GEMM into a *packing*
+ * pass that copies the right-hand operand into contiguous NR-wide panels,
+ * and a register-tiled micro-kernel that streams those panels. Packing
+ * costs O(K·N) while the multiply costs O(M·K·N), so for the GNN update
+ * phase — where the same F_in x F_out weight matrix multiplies every
+ * vertex block of every epoch — the pack is done once and reused, making
+ * its cost explicit and amortisable. GemmPlan is that packed form.
+ */
+
+#pragma once
+
+#include <cstddef>
+
+#include "common/aligned_buffer.h"
+#include "tensor/dense_matrix.h"
+
+namespace graphite {
+
+/** Transposition mode of a GEMM operand pair. */
+enum class GemmMode { NN, NT, TN };
+
+/** Accumulate behaviour. */
+enum class GemmAccumulate { Overwrite, Add };
+
+/** Rows per register tile (MR): broadcast lanes of the micro-kernel. */
+inline constexpr std::size_t kGemmMR = 8;
+/** Columns per register tile (NR): two cache lines of fp32. */
+inline constexpr std::size_t kGemmNR = 2 * kFloatsPerLine;
+/** Inner-dimension blocking (KC): one B panel (KC x NR fp32) fits L1. */
+inline constexpr std::size_t kGemmKC = 128;
+/** Output rows per parallel tile (multiple of MR; A slice fits L2). */
+inline constexpr std::size_t kGemmTileM = 64;
+/** Output columns per parallel tile (multiple of NR). */
+inline constexpr std::size_t kGemmTileN = 128;
+
+/**
+ * The right-hand GEMM operand repacked into micro-kernel panels.
+ *
+ * Layout: the effective K x N operand (B for NN/TN, B^T for NT) is cut
+ * into KC-deep blocks, each stored as ceil(N/NR) contiguous panels of
+ * kcLen x NR floats in k-major order — exactly the stream the micro-
+ * kernel's FMA chain consumes. Ragged N is zero-padded to NR inside the
+ * last panel so the kernel never branches on width.
+ *
+ * A default-constructed plan is empty; pack() (re)builds it. Packing the
+ * same matrix again produces bit-identical panels, so results computed
+ * through a reused plan match a freshly packed one exactly.
+ */
+class GemmPlan
+{
+  public:
+    GemmPlan() = default;
+
+    /** Pack operand @p b of a @p mode GEMM (convenience constructor). */
+    GemmPlan(GemmMode mode, const DenseMatrix &b) { pack(mode, b); }
+
+    /**
+     * (Re)pack @p b as the right-hand operand of a @p mode GEMM. The
+     * pack pass is itself parallelised over KC blocks, so repacking a
+     * large operand (e.g. dY in the dW backward GEMM) scales too.
+     */
+    void pack(GemmMode mode, const DenseMatrix &b);
+
+    bool empty() const { return k_ == 0 && n_ == 0; }
+
+    /** Effective inner dimension K of the packed operand. */
+    std::size_t k() const { return k_; }
+    /** Effective output width N of the packed operand. */
+    std::size_t n() const { return n_; }
+
+    /** Number of NR-wide column panels (ceil(n / NR)). */
+    std::size_t numColPanels() const { return numColPanels_; }
+    /** Number of KC-deep blocks (ceil(k / KC)). */
+    std::size_t numKBlocks() const { return numKBlocks_; }
+    /** Depth of KC block @p kb (KC except possibly the last). */
+    std::size_t
+    kBlockLen(std::size_t kb) const
+    {
+        const std::size_t begin = kb * kGemmKC;
+        return begin + kGemmKC <= k_ ? kGemmKC : k_ - begin;
+    }
+
+    /** Panel (@p kb, @p jp): kBlockLen(kb) x NR floats, k-major. */
+    const Feature *
+    panel(std::size_t kb, std::size_t jp) const
+    {
+        GRAPHITE_ASSERT(kb < numKBlocks_ && jp < numColPanels_,
+                        "GemmPlan panel index out of range");
+        return packed_.data() +
+               kb * kGemmKC * numColPanels_ * kGemmNR +
+               jp * kBlockLen(kb) * kGemmNR;
+    }
+
+    /** Total packed storage (diagnostics / pack-cost accounting). */
+    Bytes packedBytes() const { return packed_.size() * sizeof(Feature); }
+
+  private:
+    AlignedBuffer<Feature> packed_;
+    std::size_t k_ = 0;
+    std::size_t n_ = 0;
+    std::size_t numColPanels_ = 0;
+    std::size_t numKBlocks_ = 0;
+};
+
+} // namespace graphite

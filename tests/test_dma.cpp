@@ -159,12 +159,14 @@ TEST(DmaEngine, QueueRespectsCapacity)
     EngineConfig config;
     config.descriptorQueue = 2;
     DmaEngine engine(config);
-    float dummy = 0.0f;
+    // The output write covers elementsPerBlock floats, so the backing
+    // buffer must span the whole block, not a single float.
+    float dummy[4] = {};
     AggregationDescriptor desc;
     desc.elementsPerBlock = 4;
     desc.paddedBlockBytes = 16;
-    desc.inputBase = reinterpret_cast<std::uint64_t>(&dummy);
-    desc.outputAddr = reinterpret_cast<std::uint64_t>(&dummy);
+    desc.inputBase = reinterpret_cast<std::uint64_t>(dummy);
+    desc.outputAddr = reinterpret_cast<std::uint64_t>(dummy);
     EXPECT_TRUE(engine.enqueue(desc));
     EXPECT_TRUE(engine.enqueue(desc));
     EXPECT_FALSE(engine.enqueue(desc)); // full

@@ -7,6 +7,7 @@
 
 #include <atomic>
 #include <numeric>
+#include <stdexcept>
 #include <vector>
 
 #include "parallel/thread_pool.h"
@@ -101,6 +102,78 @@ TEST(ThreadPool, ChunkBoundsRespectEnd)
         }
     });
     EXPECT_EQ(maxEnd.load(), 100u);
+}
+
+TEST(ThreadPool, ZeroChunkIsClampedNotFatal)
+{
+    ThreadPool pool(2);
+    const std::size_t n = 37;
+    std::vector<std::atomic<int>> touched(n);
+    pool.parallelForChunked(0, n, 0,
+                            [&](std::size_t begin, std::size_t end,
+                                std::size_t) {
+        for (std::size_t i = begin; i < end; ++i)
+            touched[i]++;
+    });
+    for (std::size_t i = 0; i < n; ++i)
+        EXPECT_EQ(touched[i].load(), 1) << "index " << i;
+}
+
+TEST(ThreadPool, RunOnAllPropagatesWorkerException)
+{
+    ThreadPool pool(4);
+    // Every worker throws; exactly one exception must reach the caller,
+    // on the calling thread.
+    EXPECT_THROW(
+        pool.runOnAll([](std::size_t tid) {
+            throw std::runtime_error("worker " + std::to_string(tid));
+        }),
+        std::runtime_error);
+}
+
+TEST(ThreadPool, ParallelForPropagatesExceptionAndStopsEarly)
+{
+    ThreadPool pool(4);
+    std::atomic<int> chunksAfterThrow{0};
+    std::atomic<bool> thrown{false};
+    EXPECT_THROW(
+        pool.parallelForChunked(0, 1 << 20, 1,
+                                [&](std::size_t begin, std::size_t,
+                                    std::size_t) {
+            if (thrown.load())
+                chunksAfterThrow++;
+            if (begin == 0) {
+                thrown = true;
+                throw std::runtime_error("boom");
+            }
+        }),
+        std::runtime_error);
+    // The throwing chunk parks the cursor, so the million-iteration
+    // range must not have been walked to completion afterwards.
+    EXPECT_LT(chunksAfterThrow.load(), 1 << 19);
+}
+
+TEST(ThreadPool, UsableAfterWorkerException)
+{
+    ThreadPool pool(3);
+    EXPECT_THROW(
+        pool.runOnAll([](std::size_t) {
+            throw std::logic_error("once");
+        }),
+        std::logic_error);
+    // The pool must stay fully functional: the stored exception was
+    // consumed and workers are back on the condition variable.
+    std::atomic<int> count{0};
+    pool.parallelForChunked(0, 1000, 7,
+                            [&](std::size_t begin, std::size_t end,
+                                std::size_t) {
+        count += static_cast<int>(end - begin);
+    });
+    EXPECT_EQ(count.load(), 1000);
+    std::vector<std::atomic<int>> hits(3);
+    pool.runOnAll([&](std::size_t tid) { hits[tid]++; });
+    for (const auto &hit : hits)
+        EXPECT_EQ(hit.load(), 1);
 }
 
 TEST(GlobalPool, ParallelForSumMatchesSerial)

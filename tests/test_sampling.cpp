@@ -61,9 +61,15 @@ TEST(Sampler, LocalIndicesAreConsistent)
     Rng rng(5);
     MiniBatch batch = sampleMiniBatch(g, {5, 6, 7}, {4}, rng);
     const SampledBlock &block = batch.blocks[0];
+    // The block CSR has one row per *source* so local ids address it
+    // directly, but only the first |dst| rows may carry edges.
+    ASSERT_EQ(block.block.numVertices(), block.srcVertices.size());
+    for (VertexId v = block.dstVertices.size();
+         v < block.block.numVertices(); ++v)
+        EXPECT_TRUE(block.block.neighbors(v).empty());
     // Every sampled edge must point at a valid local source, and the
     // global edge (dst -> src) must exist in the original graph.
-    for (VertexId d = 0; d < block.block.numVertices(); ++d) {
+    for (VertexId d = 0; d < block.dstVertices.size(); ++d) {
         const VertexId globalDst = block.dstVertices[d];
         for (VertexId localSrc : block.block.neighbors(d)) {
             ASSERT_LT(localSrc, block.srcVertices.size());
