@@ -60,10 +60,11 @@ main(int argc, char **argv)
     for (DatasetId id : allDatasets()) {
         BenchDataset data = makeBenchDataset(id, extraShift, seed);
         GraphStats stats = computeGraphStats(data.graph());
-        std::printf("%-10s %10u %12llu %8.1f %9u %12.1f %6zu\n",
+        std::printf("%-10s %10u %12llu %8.1f %9llu %12.1f %6zu\n",
                     data.name().c_str(), stats.numVertices,
                     static_cast<unsigned long long>(stats.numEdges),
-                    stats.avgDegree, stats.maxDegree,
+                    stats.avgDegree,
+                    static_cast<unsigned long long>(stats.maxDegree),
                     stats.degreeVariance, data.dataset.inputFeatures);
         const PaperRow &paper = kPaper[row++];
         std::printf("%-10s %10.3g %12.3g %8.1f %9.3g %12.3g %6u"

@@ -41,9 +41,9 @@ main()
     Timer attnTimer;
     AggregationSpec attention = layer.attentionSpec(graph, z);
     std::printf("attention computed in %.3fs: e.g. vertex 0 keeps "
-                "%.3f of itself across %u neighbors\n",
+                "%.3f of itself across %llu neighbors\n",
                 attnTimer.seconds(), attention.selfFactors[0],
-                graph.degree(0));
+                static_cast<unsigned long long>(graph.degree(0)));
 
     // Step 3a: aggregate with the standard AVX-512 kernel.
     DenseMatrix viaCore(graph.numVertices(), 64);

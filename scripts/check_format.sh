@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# clang-format gate: run `clang-format --dry-run -Werror` over the C++
+# files changed relative to a base ref (default: the merge base with
+# origin/main, falling back to HEAD~1, falling back to the whole tree).
+#
+# Usage:
+#   scripts/check_format.sh [base-ref]
+#
+# Diff-scoped on purpose: parts of the historical tree predate
+# .clang-format, so the gate enforces the style on code as it is
+# touched rather than demanding a big-bang reformat (which would
+# destroy blame and the hand-aligned algorithm commentary).
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+cd "${repo_root}"
+
+format_bin="${CLANG_FORMAT:-clang-format}"
+if ! command -v "${format_bin}" >/dev/null 2>&1; then
+    echo "check_format: '${format_bin}' not found on PATH." >&2
+    echo "Install clang-format (apt: clang-format) or set CLANG_FORMAT." >&2
+    exit 2
+fi
+
+base="${1:-}"
+if [ -z "${base}" ]; then
+    base="$(git merge-base origin/main HEAD 2>/dev/null ||
+            git rev-parse HEAD~1 2>/dev/null || true)"
+fi
+
+if [ -n "${base}" ]; then
+    mapfile -t files < <(git diff --name-only --diff-filter=ACMR \
+        "${base}" -- '*.cpp' '*.h')
+else
+    mapfile -t files < <(git ls-files '*.cpp' '*.h')
+fi
+
+if [ "${#files[@]}" -eq 0 ]; then
+    echo "check_format: no C++ files changed since ${base:-<none>}"
+    exit 0
+fi
+
+echo "check_format: checking ${#files[@]} file(s) against ${base:-tree}"
+"${format_bin}" --dry-run -Werror --style=file "${files[@]}"
+echo "check_format: OK"

@@ -94,14 +94,14 @@ class AlignedBuffer
     T &
     operator[](std::size_t i)
     {
-        GRAPHITE_ASSERT(i < count_, "AlignedBuffer index out of range");
+        GRAPHITE_DCHECK(i < count_, "AlignedBuffer index out of range");
         return data_[i];
     }
 
     const T &
     operator[](std::size_t i) const
     {
-        GRAPHITE_ASSERT(i < count_, "AlignedBuffer index out of range");
+        GRAPHITE_DCHECK(i < count_, "AlignedBuffer index out of range");
         return data_[i];
     }
 

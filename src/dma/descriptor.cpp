@@ -2,15 +2,38 @@
 
 namespace graphite::dma {
 
+namespace {
+
+bool
+aligned(std::uint64_t addr, std::uint64_t alignment)
+{
+    return addr % alignment == 0;
+}
+
+} // namespace
+
 const char *
 validateDescriptor(const AggregationDescriptor &desc)
 {
+    // Enum fields arrive as raw bytes in hardware; range-check them
+    // before switching on them (Figure 8 field encodings).
+    if (static_cast<std::uint8_t>(desc.redOp) >
+        static_cast<std::uint8_t>(RedOp::Min))
+        return "red_op encoding out of range";
+    if (static_cast<std::uint8_t>(desc.binOp) >
+        static_cast<std::uint8_t>(BinOp::Add))
+        return "bin_op encoding out of range";
+    if (static_cast<std::uint8_t>(desc.idxType) >
+        static_cast<std::uint8_t>(IdxType::U64))
+        return "idx_t encoding out of range";
+    if (desc.valType != ValType::F32)
+        return "unsupported value type";
     if (desc.elementsPerBlock == 0)
         return "E (elements per block) must be non-zero";
     if (desc.paddedBlockBytes == 0)
         return "S (padded block size) must be non-zero";
-    if (desc.valType != ValType::F32)
-        return "unsupported value type";
+    if (desc.paddedBlockBytes % sizeof(float) != 0)
+        return "S must be a multiple of the value size";
     if (desc.elementsPerBlock * sizeof(float) > desc.paddedBlockBytes)
         return "E values do not fit in the padded block size S";
     if (desc.indexAddr == 0 && desc.numBlocks > 0)
@@ -21,6 +44,19 @@ validateDescriptor(const AggregationDescriptor &desc)
         return "OUT must be set";
     if (desc.binOp != BinOp::None && desc.factorAddr == 0)
         return "FACTOR must be set when bin_op is used";
+    // Address alignment per field: the engine issues element-width
+    // loads from IDX/IN/FACTOR and stores to OUT.
+    const std::uint64_t idxWidth =
+        desc.idxType == IdxType::U32 ? sizeof(std::uint32_t)
+                                     : sizeof(std::uint64_t);
+    if (desc.indexAddr != 0 && !aligned(desc.indexAddr, idxWidth))
+        return "IDX must be aligned to the index element size";
+    if (!aligned(desc.inputBase, sizeof(float)))
+        return "IN must be aligned to the value size";
+    if (!aligned(desc.outputAddr, sizeof(float)))
+        return "OUT must be aligned to the value size";
+    if (desc.factorAddr != 0 && !aligned(desc.factorAddr, sizeof(float)))
+        return "FACTOR must be aligned to the value size";
     return nullptr;
 }
 

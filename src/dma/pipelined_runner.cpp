@@ -156,6 +156,8 @@ runPipeline(const CsrGraph &graph, const DenseMatrix &in,
                     "aggOut shape mismatch");
     GRAPHITE_ASSERT(order.empty() || order.size() == numVertices,
                     "order size mismatch");
+    if (const char *error = validateSpec(spec, graph))
+        panic("DMA pipeline: %s", error);
 
     const std::size_t numThreads = ThreadPool::global().numThreads();
     std::vector<ThreadEngine> engines;
@@ -175,6 +177,9 @@ runPipeline(const CsrGraph &graph, const DenseMatrix &in,
             localPlan.pack(GemmMode::NN, *update->weights);
             weightPlan = &localPlan;
         }
+        if (const char *error = weightPlan->validateFor(
+                update->weights->rows(), update->weights->cols()))
+            panic("DMA pipeline weight plan: %s", error);
     }
 
     const std::size_t blockSize =

@@ -1,11 +1,30 @@
 #include "gnn/trainer.h"
 
+#include <stdexcept>
+#include <string>
+
 #include "common/assert.h"
 #include "common/rng.h"
 #include "common/timer.h"
 #include "tensor/row_ops.h"
 
 namespace graphite {
+
+namespace {
+
+/** TrainerConfig::checkNumerics sweep: throw if @p m holds NaN/Inf. */
+void
+requireFinite(const DenseMatrix &m, const char *what)
+{
+    const std::size_t bad = m.countNonFinite();
+    if (bad != 0) {
+        throw std::runtime_error(
+            std::string("trainer numerics check: ") + what + " has " +
+            std::to_string(bad) + " non-finite element(s)");
+    }
+}
+
+} // namespace
 
 Trainer::Trainer(GnnModel &model, const DenseMatrix &inputFeatures,
                  std::vector<std::int32_t> labels, TrainerConfig config)
@@ -41,6 +60,8 @@ Trainer::trainEpoch()
     Timer timer;
     const DenseMatrix &logits =
         model_.trainForward(inputFeatures_, config_.tech);
+    if (config_.checkNumerics)
+        requireFinite(logits, "forward logits");
     DenseMatrix lossGrad(logits.rows(), logits.cols());
     EpochStats stats;
     if (config_.trainMask.empty()) {
@@ -52,6 +73,8 @@ Trainer::trainEpoch()
         stats.trainAccuracy =
             accuracyMasked(logits, labels_, config_.trainMask);
     }
+    if (config_.checkNumerics)
+        requireFinite(lossGrad, "loss gradient");
     model_.trainBackward(inputFeatures_, std::move(lossGrad),
                          config_.tech);
     model_.sgdStep(config_.learningRate);

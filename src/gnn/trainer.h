@@ -36,6 +36,14 @@ struct TrainerConfig
     std::vector<std::uint8_t> trainMask;
     /** Optional evaluation mask used by evaluate(); empty = all. */
     std::vector<std::uint8_t> evalMask;
+    /**
+     * Numerics sweep: after each epoch's forward and backward, run
+     * DenseMatrix::countNonFinite() over the logits and loss gradient
+     * and throw std::runtime_error if NaN/Inf escaped the update phase
+     * (diverged learning rate, corrupted weights). Off by default — the
+     * sweep is O(|V| x classes) per epoch.
+     */
+    bool checkNumerics = false;
 };
 
 /**

@@ -7,17 +7,35 @@ namespace graphite {
 CsrGraph::CsrGraph(std::vector<EdgeId> rowPtr, std::vector<VertexId> colIdx)
     : rowPtr_(std::move(rowPtr)), colIdx_(std::move(colIdx))
 {
-    GRAPHITE_ASSERT(!rowPtr_.empty(), "rowPtr must have |V|+1 entries");
-    GRAPHITE_ASSERT(rowPtr_.front() == 0, "rowPtr must start at 0");
-    GRAPHITE_ASSERT(rowPtr_.back() == colIdx_.size(),
-                    "rowPtr must end at |E|");
-    const VertexId n = numVertices();
-    for (std::size_t v = 0; v + 1 < rowPtr_.size(); ++v) {
-        GRAPHITE_ASSERT(rowPtr_[v] <= rowPtr_[v + 1],
-                        "rowPtr must be non-decreasing");
+    const char *error = validate();
+    if (error != nullptr)
+        panic("CsrGraph construction: %s", error);
+}
+
+const char *
+CsrGraph::validate(std::span<const EdgeId> rowPtr,
+                   std::span<const VertexId> colIdx)
+{
+    if (rowPtr.empty()) {
+        // A default-constructed graph (no vertices, no edges) keeps
+        // both arrays empty and is valid.
+        return colIdx.empty() ? nullptr
+                              : "rowPtr must have |V|+1 entries";
     }
-    for (VertexId u : colIdx_)
-        GRAPHITE_ASSERT(u < n, "neighbor id out of range");
+    if (rowPtr.front() != 0)
+        return "rowPtr must start at 0";
+    if (rowPtr.back() != colIdx.size())
+        return "rowPtr must end at |E|";
+    for (std::size_t v = 0; v + 1 < rowPtr.size(); ++v) {
+        if (rowPtr[v] > rowPtr[v + 1])
+            return "rowPtr must be non-decreasing";
+    }
+    const auto n = static_cast<VertexId>(rowPtr.size() - 1);
+    for (VertexId u : colIdx) {
+        if (u >= n)
+            return "neighbor id out of range";
+    }
+    return nullptr;
 }
 
 CsrGraph

@@ -45,17 +45,24 @@ class CsrGraph
     /** Number of (directed) edges. */
     EdgeId numEdges() const { return colIdx_.size(); }
 
-    /** Out-degree of @p v. */
-    VertexId
+    /**
+     * Out-degree of @p v. EdgeId-typed: a row of a multigraph can hold
+     * duplicate edges, so its length is bounded by |E|, not |V|, and
+     * narrowing the rowPtr difference to VertexId would truncate.
+     */
+    EdgeId
     degree(VertexId v) const
     {
-        return static_cast<VertexId>(rowPtr_[v + 1] - rowPtr_[v]);
+        GRAPHITE_DCHECK(v < numVertices(), "degree: vertex out of range");
+        return rowPtr_[v + 1] - rowPtr_[v];
     }
 
     /** Neighbor list of @p v. */
     std::span<const VertexId>
     neighbors(VertexId v) const
     {
+        GRAPHITE_DCHECK(v < numVertices(),
+                        "neighbors: vertex out of range");
         return {colIdx_.data() + rowPtr_[v],
                 colIdx_.data() + rowPtr_[v + 1]};
     }
@@ -67,10 +74,20 @@ class CsrGraph
     std::span<const VertexId> colIdx() const { return colIdx_; }
 
     /** Start offset of @p v's row in colIdx(). */
-    EdgeId rowBegin(VertexId v) const { return rowPtr_[v]; }
+    EdgeId
+    rowBegin(VertexId v) const
+    {
+        GRAPHITE_DCHECK(v < numVertices(), "rowBegin: vertex out of range");
+        return rowPtr_[v];
+    }
 
     /** One-past-the-end offset of @p v's row in colIdx(). */
-    EdgeId rowEnd(VertexId v) const { return rowPtr_[v + 1]; }
+    EdgeId
+    rowEnd(VertexId v) const
+    {
+        GRAPHITE_DCHECK(v < numVertices(), "rowEnd: vertex out of range");
+        return rowPtr_[v + 1];
+    }
 
     /**
      * Transposed graph (in-edges become out-edges). Needed by the
@@ -81,6 +98,23 @@ class CsrGraph
 
     /** True if every row's neighbor list is sorted ascending. */
     bool rowsSorted() const;
+
+    /**
+     * Check the CSR invariants of prebuilt arrays: non-empty rowPtr
+     * starting at 0, monotone non-decreasing, ending at |E|, and every
+     * colIdx entry < |V|.
+     *
+     * @return nullptr when valid, else a static message naming the
+     * violated invariant (the validateDescriptor() convention).
+     */
+    static const char *validate(std::span<const EdgeId> rowPtr,
+                                std::span<const VertexId> colIdx);
+
+    /**
+     * Re-check this graph's own invariants (they are enforced at
+     * construction; this re-verifies after suspected memory corruption).
+     */
+    const char *validate() const { return validate(rowPtr_, colIdx_); }
 
   private:
     std::vector<EdgeId> rowPtr_;

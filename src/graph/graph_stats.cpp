@@ -16,7 +16,7 @@ computeGraphStats(const CsrGraph &graph)
     double sum = 0.0;
     double sumSq = 0.0;
     for (VertexId v = 0; v < stats.numVertices; ++v) {
-        const double deg = graph.degree(v);
+        const double deg = static_cast<double>(graph.degree(v));
         sum += deg;
         sumSq += deg * deg;
         if (graph.degree(v) > stats.maxDegree)
@@ -36,12 +36,13 @@ formatGraphStats(const std::string &name, const GraphStats &stats,
 {
     char line[256];
     std::snprintf(line, sizeof(line),
-                  "%-10s |V|=%-9u |E|=%-11llu avgDeg=%-7.1f maxDeg=%-8u "
+                  "%-10s |V|=%-9u |E|=%-11llu avgDeg=%-7.1f maxDeg=%-8llu "
                   "varDeg=%-11.1f F_in=%zu",
                   name.c_str(), stats.numVertices,
                   static_cast<unsigned long long>(stats.numEdges),
-                  stats.avgDegree, stats.maxDegree, stats.degreeVariance,
-                  inputFeatures);
+                  stats.avgDegree,
+                  static_cast<unsigned long long>(stats.maxDegree),
+                  stats.degreeVariance, inputFeatures);
     return line;
 }
 

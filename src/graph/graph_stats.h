@@ -17,7 +17,7 @@ struct GraphStats
     VertexId numVertices = 0;
     EdgeId numEdges = 0;
     double avgDegree = 0.0;
-    VertexId maxDegree = 0;
+    EdgeId maxDegree = 0;
     /** Population variance of the out-degree. */
     double degreeVariance = 0.0;
     /** Fraction of adjacency-matrix entries that are zero. */

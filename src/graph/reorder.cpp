@@ -18,7 +18,7 @@ localityOrder(const CsrGraph &graph)
     std::vector<VertexId> bucketSize(n, 0);
     for (VertexId v = 0; v < n; ++v) {
         VertexId best = v;
-        VertexId bestDeg = graph.degree(v);
+        EdgeId bestDeg = graph.degree(v);
         for (VertexId u : graph.neighbors(v)) {
             if (graph.degree(u) > bestDeg) {
                 best = u;

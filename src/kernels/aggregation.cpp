@@ -75,6 +75,18 @@ maxSpec()
     return spec;
 }
 
+const char *
+validateSpec(const AggregationSpec &spec, const CsrGraph &graph)
+{
+    if (!spec.edgeFactors.empty() &&
+        spec.edgeFactors.size() != graph.numEdges())
+        return "edge-factor array length must equal |E|";
+    if (!spec.selfFactors.empty() &&
+        spec.selfFactors.size() != graph.numVertices())
+        return "self-factor array length must equal |V|";
+    return nullptr;
+}
+
 namespace {
 
 #if GRAPHITE_AGG_AVX512
@@ -233,6 +245,11 @@ aggregateBasic(const CsrGraph &graph, const DenseMatrix &in,
     GRAPHITE_ASSERT(in.cols() == out.cols(), "feature width mismatch");
     GRAPHITE_ASSERT(order.empty() || order.size() == n,
                     "order must cover all vertices");
+    if (const char *error = validateSpec(spec, graph))
+        panic("aggregateBasic: %s", error);
+    GRAPHITE_DCHECK(reinterpret_cast<std::uintptr_t>(in.data()) %
+                            kFeatureAlignment == 0,
+                    "input features must be cache-line aligned");
 
     parallelFor(0, n, config.taskSize,
                 [&](std::size_t begin, std::size_t end, std::size_t) {
@@ -266,6 +283,8 @@ aggregateCompressed(const CsrGraph &graph, const CompressedMatrix &in,
                     "order must cover all vertices");
     GRAPHITE_ASSERT(spec.reduce == ReduceOp::Sum,
                     "compressed aggregation supports sum reduction");
+    if (const char *error = validateSpec(spec, graph))
+        panic("aggregateCompressed: %s", error);
     const std::size_t stride = out.rowStride();
 
     parallelFor(0, n, config.taskSize,
@@ -356,6 +375,8 @@ aggregateBf16(const CsrGraph &graph, const Bf16Matrix &in,
     GRAPHITE_ASSERT(in.cols() == out.cols(), "feature width mismatch");
     GRAPHITE_ASSERT(order.empty() || order.size() == n,
                     "order must cover all vertices");
+    if (const char *error = validateSpec(spec, graph))
+        panic("aggregateBf16: %s", error);
     const std::size_t stride = out.rowStride();
 
     parallelFor(0, n, config.taskSize,

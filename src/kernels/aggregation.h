@@ -83,6 +83,16 @@ AggregationSpec sageSpec(const CsrGraph &graph);
  */
 AggregationSpec ginSpec(const CsrGraph &graph, Feature epsilon = 0.0f);
 
+/**
+ * Kernel-entry precondition on a spec's factor arrays: a non-empty
+ * edge-factor array must have exactly |E| entries (aligned with colIdx)
+ * and a non-empty self-factor array exactly |V| — a silently short array
+ * would index out of bounds inside the gather loop.
+ *
+ * @return nullptr when consistent, else a static message.
+ */
+const char *validateSpec(const AggregationSpec &spec, const CsrGraph &graph);
+
 /** Unweighted sum aggregation (all factors 1). */
 AggregationSpec sumSpec();
 

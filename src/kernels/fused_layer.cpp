@@ -99,9 +99,8 @@ fusedDriver(const CsrGraph &graph, std::size_t inCols,
         localPlan.pack(GemmMode::NN, *update.weights);
         weightPlan = &localPlan;
     }
-    GRAPHITE_ASSERT(weightPlan->k() == inCols &&
-                        weightPlan->n() == out.cols(),
-                    "packed weight plan shape mismatch");
+    if (const char *error = weightPlan->validateFor(inCols, out.cols()))
+        panic("fused layer weight plan: %s", error);
 
     parallelFor(0, n, taskVertices,
                 [&](std::size_t begin, std::size_t end, std::size_t tid) {
@@ -166,6 +165,8 @@ fusedLayerTraining(const CsrGraph &graph, const DenseMatrix &in,
     GRAPHITE_ASSERT(aggOut.rows() == in.rows() &&
                         aggOut.cols() == in.cols(),
                     "aggOut shape mismatch");
+    if (const char *error = validateSpec(spec, graph))
+        panic("fusedLayerTraining: %s", error);
     fusedDriver(
         graph, in.cols(), update, out, order, config,
         [&](VertexId v, Feature *dst) {
@@ -189,6 +190,8 @@ fusedLayerInference(const CsrGraph &graph, const DenseMatrix &in,
                     const FusedConfig &config)
 {
     GRAPHITE_ASSERT(in.rows() == graph.numVertices(), "row mismatch");
+    if (const char *error = validateSpec(spec, graph))
+        panic("fusedLayerInference: %s", error);
     fusedDriver(
         graph, in.cols(), update, out, order, config,
         [&](VertexId v, Feature *dst) {
@@ -219,6 +222,8 @@ fusedLayerTrainingCompressed(const CsrGraph &graph,
     GRAPHITE_ASSERT(aggOut.rows() == in.rows() &&
                         aggOut.cols() == in.cols(),
                     "aggOut shape mismatch");
+    if (const char *error = validateSpec(spec, graph))
+        panic("fusedLayerTrainingCompressed: %s", error);
     const std::size_t stride = in.rowStride();
     fusedDriver(
         graph, in.cols(), update, out, order, config,
@@ -244,6 +249,8 @@ fusedLayerInferenceCompressed(const CsrGraph &graph,
                               const FusedConfig &config)
 {
     GRAPHITE_ASSERT(in.rows() == graph.numVertices(), "row mismatch");
+    if (const char *error = validateSpec(spec, graph))
+        panic("fusedLayerInferenceCompressed: %s", error);
     const std::size_t stride = in.rowStride();
     fusedDriver(
         graph, in.cols(), update, out, order, config,

@@ -1,5 +1,6 @@
 #include "parallel/thread_pool.h"
 
+#include <cstdlib>
 #include <memory>
 #include <utility>
 
@@ -139,6 +140,25 @@ ThreadPool::workerLoop(std::size_t threadId)
 namespace {
 std::unique_ptr<ThreadPool> g_pool;
 std::mutex g_poolMutex;
+
+/**
+ * Default size of the global pool: GRAPHITE_THREADS when set (so CI can
+ * force real parallelism on small runners — the TSan job runs the
+ * kernels at 4 threads even on 2-vCPU machines), else
+ * hardware_concurrency() via the ThreadPool(0) rule.
+ */
+std::size_t
+defaultGlobalThreads()
+{
+    const char *env = std::getenv("GRAPHITE_THREADS");
+    if (env != nullptr) {
+        const long parsed = std::strtol(env, nullptr, 10);
+        if (parsed > 0)
+            return static_cast<std::size_t>(parsed);
+    }
+    return 0;
+}
+
 } // namespace
 
 ThreadPool &
@@ -146,7 +166,7 @@ ThreadPool::global()
 {
     std::lock_guard<std::mutex> lock(g_poolMutex);
     if (!g_pool)
-        g_pool = std::make_unique<ThreadPool>();
+        g_pool = std::make_unique<ThreadPool>(defaultGlobalThreads());
     return *g_pool;
 }
 

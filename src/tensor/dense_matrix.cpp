@@ -68,6 +68,18 @@ DenseMatrix::sparsify(double rate, std::uint64_t seed)
     }
 }
 
+std::size_t
+DenseMatrix::countNonFinite() const
+{
+    std::size_t bad = 0;
+    for (std::size_t r = 0; r < rows_; ++r) {
+        const Feature *rowData = row(r);
+        for (std::size_t c = 0; c < cols_; ++c)
+            bad += std::isfinite(rowData[c]) ? 0 : 1;
+    }
+    return bad;
+}
+
 double
 DenseMatrix::maxAbsDiff(const DenseMatrix &other) const
 {

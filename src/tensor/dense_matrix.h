@@ -40,10 +40,17 @@ class DenseMatrix
     Feature *data() { return storage_.data(); }
     const Feature *data() const { return storage_.data(); }
 
-    Feature *row(std::size_t r) { return data() + r * rowStride_; }
+    Feature *
+    row(std::size_t r)
+    {
+        GRAPHITE_DCHECK(r < rows_, "row index out of range");
+        return data() + r * rowStride_;
+    }
+
     const Feature *
     row(std::size_t r) const
     {
+        GRAPHITE_DCHECK(r < rows_, "row index out of range");
         return data() + r * rowStride_;
     }
 
@@ -95,6 +102,17 @@ class DenseMatrix
 
     /** Max absolute element-wise difference to @p other (same shape). */
     double maxAbsDiff(const DenseMatrix &other) const;
+
+    /**
+     * Count NaN/Inf elements in the logical (unpadded) region — the
+     * trainer's numerics sweep for catching divergence escaping the
+     * update phase. O(rows x cols); intended for opt-in debugging, not
+     * the steady-state hot path.
+     */
+    std::size_t countNonFinite() const;
+
+    /** True when every logical element is finite. */
+    bool allFinite() const { return countNonFinite() == 0; }
 
   private:
     std::size_t rows_ = 0;

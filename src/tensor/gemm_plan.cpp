@@ -60,4 +60,38 @@ GemmPlan::pack(GemmMode mode, const DenseMatrix &b)
     });
 }
 
+const char *
+GemmPlan::validate() const
+{
+    if (empty()) {
+        if (numColPanels_ != 0 || numKBlocks_ != 0 || packed_.size() != 0)
+            return "empty plan retains packed panels";
+        return nullptr;
+    }
+    if (k_ == 0 || n_ == 0)
+        return "packed plan has a zero dimension";
+    if (numColPanels_ != (n_ + kGemmNR - 1) / kGemmNR)
+        return "column-panel count disagrees with n";
+    if (numKBlocks_ != (k_ + kGemmKC - 1) / kGemmKC)
+        return "K-block count disagrees with k";
+    const std::size_t expected =
+        (numKBlocks_ - 1) * kGemmKC * numColPanels_ * kGemmNR +
+        kBlockLen(numKBlocks_ - 1) * numColPanels_ * kGemmNR;
+    if (packed_.size() != expected)
+        return "packed buffer size disagrees with blocking parameters";
+    return nullptr;
+}
+
+const char *
+GemmPlan::validateFor(std::size_t k, std::size_t n) const
+{
+    if (const char *error = validate())
+        return error;
+    if (k_ != k)
+        return "plan packed for a different inner dimension K";
+    if (n_ != n)
+        return "plan packed for a different output width N";
+    return nullptr;
+}
+
 } // namespace graphite

@@ -88,7 +88,7 @@ class GemmPlan
     const Feature *
     panel(std::size_t kb, std::size_t jp) const
     {
-        GRAPHITE_ASSERT(kb < numKBlocks_ && jp < numColPanels_,
+        GRAPHITE_DCHECK(kb < numKBlocks_ && jp < numColPanels_,
                         "GemmPlan panel index out of range");
         return packed_.data() +
                kb * kGemmKC * numColPanels_ * kGemmNR +
@@ -97,6 +97,22 @@ class GemmPlan
 
     /** Total packed storage (diagnostics / pack-cost accounting). */
     Bytes packedBytes() const { return packed_.size() * sizeof(Feature); }
+
+    /**
+     * Check the blocking parameters against the packed buffer: panel and
+     * K-block counts must match the ceil-divisions of (k, n) and the
+     * buffer must hold exactly the panels the micro-kernel will stream.
+     *
+     * @return nullptr when consistent, else a static message.
+     */
+    const char *validate() const;
+
+    /**
+     * validate() plus agreement with the K x N operand shape a GEMM is
+     * about to consume — the kernel-entry precondition the fused layer
+     * and DMA pipeline check before streaming a cached plan.
+     */
+    const char *validateFor(std::size_t k, std::size_t n) const;
 
   private:
     AlignedBuffer<Feature> packed_;

@@ -221,5 +221,28 @@ TEST(Aggregation, TransposeOfSymmetricGraphAggregatesIdentically)
     EXPECT_DOUBLE_EQ(fwd.maxAbsDiff(bwd), 0.0);
 }
 
+TEST(Aggregation, ValidateSpecCatchesFactorLengthMismatch)
+{
+    CsrGraph g = generateRing(20, 1);
+    // Empty factor arrays mean "all ones" and are always valid.
+    EXPECT_EQ(validateSpec(sumSpec(), g), nullptr);
+    EXPECT_EQ(validateSpec(gcnSpec(g), g), nullptr);
+
+    // A spec built for one graph applied to another: the factor arrays
+    // no longer match |E|/|V| and every kernel entry rejects it before
+    // indexing past their ends.
+    CsrGraph other = generateRing(24, 1);
+    AggregationSpec stale = gcnSpec(g);
+    EXPECT_NE(validateSpec(stale, other), nullptr);
+
+    AggregationSpec truncated = gcnSpec(g);
+    truncated.edgeFactors.pop_back();
+    EXPECT_NE(validateSpec(truncated, g), nullptr);
+
+    AggregationSpec shortSelf = gcnSpec(g);
+    shortSelf.selfFactors.pop_back();
+    EXPECT_NE(validateSpec(shortSelf, g), nullptr);
+}
+
 } // namespace
 } // namespace graphite

@@ -58,6 +58,79 @@ TEST(Descriptor, ValidationCatchesBadFields)
     EXPECT_NE(dma::validateDescriptor(desc), nullptr);
 }
 
+TEST(Descriptor, ValidationCatchesCorruptedEncodings)
+{
+    // A well-formed descriptor, then corrupt one field at a time; the
+    // validator must name every corruption. Enum fields arrive as raw
+    // bytes from the descriptor queue, so out-of-range encodings are
+    // exactly what a flipped bit produces.
+    alignas(8) float data[16] = {};
+    alignas(8) float out[16] = {};
+    alignas(8) std::uint32_t idx[2] = {0, 1};
+    AggregationDescriptor good;
+    good.elementsPerBlock = 16;
+    good.paddedBlockBytes = 64;
+    good.numBlocks = 2;
+    good.indexAddr = reinterpret_cast<std::uint64_t>(idx);
+    good.inputBase = reinterpret_cast<std::uint64_t>(data);
+    good.outputAddr = reinterpret_cast<std::uint64_t>(out);
+    ASSERT_EQ(dma::validateDescriptor(good), nullptr);
+
+    AggregationDescriptor desc = good;
+    desc.redOp = static_cast<RedOp>(7);
+    EXPECT_NE(dma::validateDescriptor(desc), nullptr);
+
+    desc = good;
+    desc.binOp = static_cast<BinOp>(200);
+    EXPECT_NE(dma::validateDescriptor(desc), nullptr);
+
+    desc = good;
+    desc.idxType = static_cast<IdxType>(3);
+    EXPECT_NE(dma::validateDescriptor(desc), nullptr);
+
+    desc = good;
+    desc.valType = static_cast<ValType>(1);
+    EXPECT_NE(dma::validateDescriptor(desc), nullptr);
+
+    desc = good;
+    desc.paddedBlockBytes = 66; // not a multiple of the value size
+    EXPECT_NE(dma::validateDescriptor(desc), nullptr);
+}
+
+TEST(Descriptor, ValidationCatchesMisalignedAddresses)
+{
+    alignas(8) float data[16] = {};
+    alignas(8) float out[16] = {};
+    alignas(8) std::uint32_t idx[2] = {0, 1};
+    AggregationDescriptor good;
+    good.elementsPerBlock = 16;
+    good.paddedBlockBytes = 64;
+    good.numBlocks = 2;
+    good.indexAddr = reinterpret_cast<std::uint64_t>(idx);
+    good.inputBase = reinterpret_cast<std::uint64_t>(data);
+    good.outputAddr = reinterpret_cast<std::uint64_t>(out);
+    ASSERT_EQ(dma::validateDescriptor(good), nullptr);
+
+    AggregationDescriptor desc = good;
+    desc.inputBase += 2; // engine issues 4-byte value loads
+    EXPECT_NE(dma::validateDescriptor(desc), nullptr);
+
+    desc = good;
+    desc.outputAddr += 1;
+    EXPECT_NE(dma::validateDescriptor(desc), nullptr);
+
+    desc = good;
+    desc.indexAddr += 2; // u32 indices need 4-byte alignment
+    EXPECT_NE(dma::validateDescriptor(desc), nullptr);
+
+    // The same address can be fine for u32 but misaligned for u64.
+    desc = good;
+    desc.indexAddr += 4;
+    EXPECT_EQ(dma::validateDescriptor(desc), nullptr);
+    desc.idxType = IdxType::U64;
+    EXPECT_NE(dma::validateDescriptor(desc), nullptr);
+}
+
 TEST(DmaEngine, SumGatherMatchesManualReduction)
 {
     // Three blocks of 4 elements at stride 32 bytes (8 floats).

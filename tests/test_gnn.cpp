@@ -8,6 +8,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
+#include <stdexcept>
 
 #include "gnn/gnn_model.h"
 #include "gnn/trainer.h"
@@ -269,6 +271,47 @@ TEST(Trainer, LossDecreasesOnLearnableTask)
     ASSERT_EQ(history.size(), 15u);
     EXPECT_LT(history.back().loss, history.front().loss * 0.8);
     EXPECT_GT(trainer.evaluate(), 0.5);
+}
+
+TEST(Trainer, CheckNumericsDetectsPoisonedWeights)
+{
+    CsrGraph g = generateBarabasiAlbert(120, 3, 61);
+    SyntheticTask task = makeSyntheticTask(g, 4, 8, 0.2, 62);
+    GnnModelConfig config;
+    config.featureWidths = {8, 16, 4};
+
+    // Clean run first: the sweep must not fire on healthy training.
+    {
+        GnnModel model(g, config);
+        TrainerConfig tc;
+        tc.checkNumerics = true;
+        Trainer trainer(model, task.features, task.labels, tc);
+        EXPECT_NO_THROW(trainer.trainEpoch());
+    }
+
+    // Poison one weight: the NaN propagates through the update-phase
+    // GEMM into the logits, where the post-forward sweep catches it
+    // before the epoch's stats are reported as if nothing happened.
+    {
+        GnnModel model(g, config);
+        model.layer(0).weights().at(0, 0) =
+            std::numeric_limits<float>::quiet_NaN();
+        TrainerConfig tc;
+        tc.checkNumerics = true;
+        Trainer trainer(model, task.features, task.labels, tc);
+        EXPECT_THROW(trainer.trainEpoch(), std::runtime_error);
+    }
+
+    // Off by default: the poisoned run completes (garbage loss, no
+    // throw), which is exactly why the opt-in sweep exists.
+    {
+        GnnModel model(g, config);
+        model.layer(0).weights().at(0, 0) =
+            std::numeric_limits<float>::quiet_NaN();
+        TrainerConfig tc;
+        Trainer trainer(model, task.features, task.labels, tc);
+        EXPECT_NO_THROW(trainer.trainEpoch());
+    }
 }
 
 TEST(Trainer, TechniquesDoNotChangeTrainingTrajectory)

@@ -233,5 +233,125 @@ TEST(Datasets, ParseNamesRoundTrip)
         EXPECT_EQ(parseDatasetName(datasetSpec(id).name), id);
 }
 
+TEST(CsrGraphValidate, AcceptsWellFormedArrays)
+{
+    CsrGraph g = smallGraph();
+    EXPECT_EQ(g.validate(), nullptr);
+    EXPECT_EQ(CsrGraph::validate(g.rowPtr(), g.colIdx()), nullptr);
+    // The empty graph is valid in both representations: default
+    // (both arrays empty) and explicit ({0}, {}).
+    EXPECT_EQ(CsrGraph().validate(), nullptr);
+    const std::vector<EdgeId> rowPtr = {0};
+    EXPECT_EQ(CsrGraph::validate(rowPtr, {}), nullptr);
+}
+
+TEST(CsrGraphValidate, RejectsCorruptedRowPtr)
+{
+    CsrGraph g = smallGraph();
+    // Start offset shifted: rowPtr no longer begins at 0.
+    std::vector<EdgeId> rowPtr(g.rowPtr().begin(), g.rowPtr().end());
+    std::vector<VertexId> colIdx(g.colIdx().begin(), g.colIdx().end());
+    rowPtr.front() = 1;
+    EXPECT_NE(CsrGraph::validate(rowPtr, colIdx), nullptr);
+
+    // Truncated tail: rowPtr.back() disagrees with |E|.
+    rowPtr.assign(g.rowPtr().begin(), g.rowPtr().end());
+    rowPtr.back() = colIdx.size() + 1;
+    EXPECT_NE(CsrGraph::validate(rowPtr, colIdx), nullptr);
+
+    // A bit flip that makes an interior offset run backwards.
+    rowPtr.assign(g.rowPtr().begin(), g.rowPtr().end());
+    std::swap(rowPtr[1], rowPtr[2]);
+    ASSERT_GT(rowPtr[1], rowPtr[2]); // swap actually de-sorted it
+    EXPECT_NE(CsrGraph::validate(rowPtr, colIdx), nullptr);
+
+    // Missing the |V|+1 sentinel entirely.
+    EXPECT_NE(CsrGraph::validate({}, colIdx), nullptr);
+}
+
+TEST(CsrGraphValidate, RejectsOutOfRangeNeighbor)
+{
+    CsrGraph g = smallGraph();
+    std::vector<EdgeId> rowPtr(g.rowPtr().begin(), g.rowPtr().end());
+    std::vector<VertexId> colIdx(g.colIdx().begin(), g.colIdx().end());
+    colIdx[1] = g.numVertices(); // first id past the valid range
+    EXPECT_NE(CsrGraph::validate(rowPtr, colIdx), nullptr);
+}
+
+TEST(CsrGraph, EmptyGraphTransposesToEmpty)
+{
+    CsrGraph g;
+    EXPECT_EQ(g.numVertices(), 0u);
+    EXPECT_EQ(g.numEdges(), 0u);
+    EXPECT_TRUE(g.rowsSorted());
+    CsrGraph t = g.transposed();
+    EXPECT_EQ(t.numVertices(), 0u);
+    EXPECT_EQ(t.numEdges(), 0u);
+    EXPECT_EQ(t.validate(), nullptr);
+}
+
+TEST(CsrGraph, IsolatedVerticesSurviveTranspose)
+{
+    // 5 vertices, edges only between 1 and 3; 0, 2, 4 are isolated.
+    GraphBuilder builder(5);
+    builder.addEdge(1, 3);
+    CsrGraph g = builder.build();
+    EXPECT_EQ(g.degree(0), 0u);
+    EXPECT_EQ(g.degree(2), 0u);
+    EXPECT_EQ(g.degree(4), 0u);
+    EXPECT_TRUE(g.rowsSorted());
+    CsrGraph t = g.transposed();
+    EXPECT_EQ(t.numVertices(), 5u);
+    EXPECT_EQ(t.degree(3), 1u);
+    EXPECT_EQ(t.neighbors(3)[0], 1u);
+    EXPECT_EQ(t.degree(0), 0u);
+    EXPECT_EQ(t.degree(4), 0u);
+    EXPECT_EQ(t.validate(), nullptr);
+}
+
+TEST(CsrGraph, SelfLoopsAreTheirOwnTranspose)
+{
+    // GraphBuilder strips self loops, so build the CSR directly:
+    // 0 -> {0, 1}, 1 -> {1}, 2 -> {}.
+    CsrGraph g({0, 2, 3, 3}, {0, 1, 1});
+    EXPECT_EQ(g.validate(), nullptr);
+    EXPECT_TRUE(g.rowsSorted());
+    CsrGraph t = g.transposed();
+    // Self loops stay in place; 0 -> 1 reverses.
+    EXPECT_EQ(t.degree(0), 1u);
+    EXPECT_EQ(t.neighbors(0)[0], 0u);
+    EXPECT_EQ(t.degree(1), 2u);
+    CsrGraph tt = t.transposed();
+    for (VertexId v = 0; v < g.numVertices(); ++v) {
+        auto a = g.neighbors(v);
+        auto b = tt.neighbors(v);
+        ASSERT_EQ(a.size(), b.size());
+        EXPECT_TRUE(std::equal(a.begin(), a.end(), b.begin()));
+    }
+}
+
+TEST(CsrGraph, DuplicateEdgesKeptInDirectConstruction)
+{
+    // A multigraph row: 0 -> {1, 1, 1}. degree() is EdgeId-typed so
+    // duplicate-heavy rows cannot truncate.
+    CsrGraph g({0, 3, 3}, {1, 1, 1});
+    EXPECT_EQ(g.validate(), nullptr);
+    EXPECT_EQ(g.numEdges(), 3u);
+    EXPECT_EQ(g.degree(0), 3u);
+    EXPECT_TRUE(g.rowsSorted());
+    CsrGraph t = g.transposed();
+    EXPECT_EQ(t.degree(1), 3u);
+    auto n1 = t.neighbors(1);
+    for (VertexId u : n1)
+        EXPECT_EQ(u, 0u);
+}
+
+TEST(CsrGraph, UnsortedRowDetected)
+{
+    CsrGraph g({0, 2, 2}, {1, 0});
+    EXPECT_EQ(g.validate(), nullptr); // valid CSR, just unsorted
+    EXPECT_FALSE(g.rowsSorted());
+}
+
 } // namespace
 } // namespace graphite

@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <tuple>
 
 #include "graph/generators.h"
@@ -237,6 +238,58 @@ TEST(GemmPlan, ReuseAcrossCallsGivesIdenticalResults)
     gemmReference(GemmMode::NN, a2, b, expected);
     gemm(GemmMode::NN, a2, plan, viaPlan);
     EXPECT_LT(viaPlan.maxAbsDiff(expected), 1e-3);
+}
+
+TEST(GemmPlan, ValidateAcceptsFreshPlanAndEmptyPlan)
+{
+    GemmPlan empty;
+    EXPECT_EQ(empty.validate(), nullptr);
+
+    DenseMatrix b(96, 70);
+    b.fillUniform(-1.0f, 1.0f, 7);
+    GemmPlan plan(GemmMode::NN, b);
+    EXPECT_EQ(plan.validate(), nullptr);
+    EXPECT_EQ(plan.validateFor(96, 70), nullptr);
+}
+
+TEST(GemmPlan, ValidateForRejectsShapeMismatch)
+{
+    DenseMatrix b(96, 70);
+    b.fillUniform(-1.0f, 1.0f, 8);
+    GemmPlan plan(GemmMode::NN, b);
+    // A plan packed for one layer reused against another layer's
+    // shapes: both the K and N disagreements must be caught before the
+    // micro-kernel streams past the packed buffer.
+    EXPECT_NE(plan.validateFor(95, 70), nullptr);
+    EXPECT_NE(plan.validateFor(96, 71), nullptr);
+    EXPECT_NE(plan.validateFor(70, 96), nullptr);
+    // And the empty plan is never valid for a real GEMM.
+    GemmPlan empty;
+    EXPECT_NE(empty.validateFor(96, 70), nullptr);
+}
+
+TEST(DenseMatrix, CountNonFiniteFindsInjectedValues)
+{
+    DenseMatrix m(5, 7);
+    m.fillUniform(-1.0f, 1.0f, 9);
+    EXPECT_TRUE(m.allFinite());
+    EXPECT_EQ(m.countNonFinite(), 0u);
+    m.row(2)[3] = std::numeric_limits<Feature>::quiet_NaN();
+    m.row(4)[0] = std::numeric_limits<Feature>::infinity();
+    m.row(0)[6] = -std::numeric_limits<Feature>::infinity();
+    EXPECT_FALSE(m.allFinite());
+    EXPECT_EQ(m.countNonFinite(), 3u);
+}
+
+TEST(DenseMatrix, CountNonFiniteIgnoresPaddingLanes)
+{
+    // 7 columns pads to a 16-float stride; garbage in the pad lanes
+    // must not count. Poison the first row's padding directly.
+    DenseMatrix m(3, 7);
+    m.zero();
+    ASSERT_GT(m.rowStride(), m.cols());
+    m.row(0)[m.cols()] = std::numeric_limits<Feature>::quiet_NaN();
+    EXPECT_TRUE(m.allFinite());
 }
 
 TEST(GemmPlan, TransposedPackMatchesNtReference)
