@@ -1,0 +1,197 @@
+/**
+ * @file
+ * CI smoke benchmark: one small real (non-simulated) training run on the
+ * products analogue plus raw kernel rates, emitted as BENCH_smoke.json.
+ *
+ * Three measurements, all wall-clock on the host (not the simulator):
+ *   - steady-state training epoch seconds (fused techniques), taken
+ *     after a warm-up epoch so the allocation-free regime is what is
+ *     timed;
+ *   - backward-pass seconds with fusion off vs on, same model and same
+ *     loss gradient, demonstrating the commuted fused backward's win;
+ *   - aggregation and prepacked-GEMM GFLOP/s as raw kernel health
+ *     numbers.
+ *
+ * The JSON is tiny and stable-keyed so CI can archive it per commit and
+ * diff rates across history.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/options.h"
+#include "common/timer.h"
+#include "gnn/trainer.h"
+#include "graph/datasets.h"
+#include "kernels/aggregation.h"
+#include "parallel/thread_pool.h"
+#include "tensor/gemm.h"
+#include "tensor/row_ops.h"
+
+using namespace graphite;
+
+namespace {
+
+double
+median(std::vector<double> xs)
+{
+    std::sort(xs.begin(), xs.end());
+    return xs[xs.size() / 2];
+}
+
+/** Median seconds of @p reps invocations of @p fn (after one warm-up). */
+template <typename Fn>
+double
+timeMedian(std::size_t reps, Fn &&fn)
+{
+    fn();
+    std::vector<double> seconds;
+    seconds.reserve(reps);
+    for (std::size_t r = 0; r < reps; ++r) {
+        Timer timer;
+        fn();
+        seconds.push_back(timer.seconds());
+    }
+    return median(std::move(seconds));
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options options("CI smoke bench: training epoch + kernel rates -> "
+                    "BENCH_smoke.json");
+    options.add("scale-shift", "4",
+                "products shrink (|V| = 2^(16 - shift))");
+    options.add("epochs", "4", "training epochs (first is warm-up)");
+    options.add("reps", "5", "repetitions per kernel measurement");
+    options.add("output", "BENCH_smoke.json", "JSON output path");
+    options.parse(argc, argv);
+
+    const auto shift =
+        static_cast<unsigned>(options.getInt("scale-shift"));
+    const auto epochs = static_cast<std::size_t>(options.getInt("epochs"));
+    const auto reps = static_cast<std::size_t>(options.getInt("reps"));
+
+    Dataset data = makeDataset(DatasetId::Products, shift);
+    data.hiddenFeatures = 128; // smoke scale; CI boxes are small
+    const CsrGraph &graph = data.graph;
+    const auto numVertices = static_cast<std::size_t>(graph.numVertices());
+    const auto numEdges = static_cast<std::size_t>(graph.numEdges());
+    std::printf("products analogue: |V|=%zu |E|=%zu F_in=%zu F_hidden=%zu "
+                "threads=%zu\n",
+                numVertices, numEdges, data.inputFeatures,
+                data.hiddenFeatures, ThreadPool::global().numThreads());
+
+    // --- Raw kernel rates -------------------------------------------------
+    const AggregationSpec spec = gcnSpec(graph);
+    DenseMatrix features(numVertices, data.hiddenFeatures);
+    features.fillUniform(-1.0f, 1.0f, 11);
+    DenseMatrix aggOut(numVertices, data.hiddenFeatures);
+    const double aggSeconds = timeMedian(reps, [&] {
+        aggregateBasic(graph, features, aggOut, spec);
+    });
+    // Per output element: one self-term multiply plus a multiply-add per
+    // incoming edge.
+    const double aggFlops =
+        static_cast<double>(data.hiddenFeatures) *
+        (static_cast<double>(numVertices) +
+         2.0 * static_cast<double>(numEdges));
+    const double aggGflops = aggFlops / aggSeconds * 1e-9;
+
+    DenseMatrix weights(data.hiddenFeatures, data.hiddenFeatures);
+    weights.fillUniform(-0.1f, 0.1f, 13);
+    GemmPlan plan;
+    plan.pack(GemmMode::NN, weights);
+    DenseMatrix gemmOut(numVertices, data.hiddenFeatures);
+    const double gemmSeconds = timeMedian(reps, [&] {
+        gemm(GemmMode::NN, features, plan, gemmOut);
+    });
+    const double gemmFlops = 2.0 * static_cast<double>(numVertices) *
+                             static_cast<double>(data.hiddenFeatures) *
+                             static_cast<double>(data.hiddenFeatures);
+    const double gemmGflops = gemmFlops / gemmSeconds * 1e-9;
+    std::printf("aggregation: %7.2f GFLOP/s   gemm(NN packed): %7.2f "
+                "GFLOP/s\n",
+                aggGflops, gemmGflops);
+
+    // --- Training epoch (fused techniques) --------------------------------
+    constexpr std::size_t kClasses = 16;
+    SyntheticTask task =
+        makeSyntheticTask(graph, kClasses, data.inputFeatures, 0.5, 3);
+    GnnModelConfig modelConfig;
+    modelConfig.featureWidths = {data.inputFeatures, data.hiddenFeatures,
+                                 kClasses};
+    GnnModel model(graph, modelConfig);
+    TrainerConfig trainerConfig;
+    trainerConfig.epochs = epochs;
+    trainerConfig.tech = TechniqueConfig::withFusion();
+    Trainer trainer(model, task.features, task.labels, trainerConfig);
+    const std::vector<EpochStats> history = trainer.train();
+    std::vector<double> epochSeconds;
+    for (std::size_t i = 1; i < history.size(); ++i) // epoch 0 allocates
+        epochSeconds.push_back(history[i].seconds);
+    const double steadyEpochSeconds = epochSeconds.empty()
+                                          ? history.back().seconds
+                                          : median(std::move(epochSeconds));
+    std::printf("steady-state epoch: %.4f s (final loss %.4f)\n",
+                steadyEpochSeconds, history.back().loss);
+
+    // --- Backward pass: fusion off vs on ----------------------------------
+    // One forward fixes the layer contexts; the backward only reads them
+    // (lossGrad is the clobbered buffer), so it can be re-run from a
+    // refilled loss gradient as often as we like.
+    GnnModel bwdModel(graph, modelConfig);
+    const TechniqueConfig unfusedTech = TechniqueConfig::basic();
+    const TechniqueConfig fusedTech = TechniqueConfig::withFusion();
+    const DenseMatrix &logits =
+        bwdModel.trainForward(task.features, unfusedTech);
+    DenseMatrix lossGrad(logits.rows(), logits.cols());
+    const auto timeBackward = [&](const TechniqueConfig &tech) {
+        return timeMedian(reps, [&] {
+            softmaxCrossEntropy(logits, task.labels, lossGrad);
+            bwdModel.trainBackward(lossGrad, tech);
+        });
+    };
+    const double lossGradSeconds = timeMedian(reps, [&] {
+        softmaxCrossEntropy(logits, task.labels, lossGrad);
+    });
+    const double unfusedSeconds =
+        timeBackward(unfusedTech) - lossGradSeconds;
+    const double fusedSeconds = timeBackward(fusedTech) - lossGradSeconds;
+    const double speedup = unfusedSeconds / fusedSeconds;
+    std::printf("backward: unfused %.4f s   fused %.4f s   speedup "
+                "%.2fx\n",
+                unfusedSeconds, fusedSeconds, speedup);
+
+    // --- JSON artifact ----------------------------------------------------
+    const std::string path = options.getString("output");
+    std::FILE *out = std::fopen(path.c_str(), "w");
+    if (out == nullptr) {
+        std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+        return 1;
+    }
+    std::fprintf(out, "{\n");
+    std::fprintf(out, "  \"dataset\": \"products\",\n");
+    std::fprintf(out, "  \"vertices\": %zu,\n", numVertices);
+    std::fprintf(out, "  \"edges\": %zu,\n", numEdges);
+    std::fprintf(out, "  \"hidden_features\": %zu,\n", data.hiddenFeatures);
+    std::fprintf(out, "  \"threads\": %zu,\n",
+                 ThreadPool::global().numThreads());
+    std::fprintf(out, "  \"epoch_seconds\": %.6f,\n", steadyEpochSeconds);
+    std::fprintf(out, "  \"final_loss\": %.6f,\n", history.back().loss);
+    std::fprintf(out, "  \"backward_seconds_unfused\": %.6f,\n",
+                 unfusedSeconds);
+    std::fprintf(out, "  \"backward_seconds_fused\": %.6f,\n",
+                 fusedSeconds);
+    std::fprintf(out, "  \"backward_speedup\": %.3f,\n", speedup);
+    std::fprintf(out, "  \"aggregation_gflops\": %.3f,\n", aggGflops);
+    std::fprintf(out, "  \"gemm_gflops\": %.3f\n", gemmGflops);
+    std::fprintf(out, "}\n");
+    std::fclose(out);
+    std::printf("wrote %s\n", path.c_str());
+    return 0;
+}

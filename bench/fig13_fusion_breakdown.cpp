@@ -50,10 +50,10 @@ main(int argc, char **argv)
         {"papers", {0.81, 0.78, 0.88}},
         {"twitter", {0.84, 0.83, 0.91}}};
 
-    std::printf("%-10s %10s %10s %18s %18s  (normalised to basic "
-                "= agg + update)\n",
+    std::printf("%-10s %10s %10s %18s %18s %16s  (normalised to basic "
+                "= agg + update; bwd to basic-bwd)\n",
                 "graph", "agg", "update", "fused-inference",
-                "fused-fwd-train");
+                "fused-fwd-train", "fused-bwd-train");
     const auto extraShift =
         static_cast<unsigned>(options.getInt("extra-shift"));
     for (DatasetId id : allDatasets()) {
@@ -82,17 +82,36 @@ main(int argc, char **argv)
             machine, hiddenLayer(data, sim::LayerImpl::Fused, true))
             .makespan;
 
+        // Backward counterpart on the transposed graph: basic
+        // materialises dAgg and aggregates it (agg stream + da GEMM in
+        // the update stream); fused gathers dz into the core-resident
+        // block buffer and GEMMs it in place, never storing dAgg.
+        const CsrGraph transposed = data.graph().transposed();
+        sim::LayerWorkload bwdBasic =
+            hiddenLayer(data, sim::LayerImpl::Basic, true);
+        bwdBasic.graph = &transposed;
+        const Cycles bwdBasicCycles =
+            sim::simulateLayer(machine, bwdBasic).makespan;
+        sim::LayerWorkload bwdFused =
+            hiddenLayer(data, sim::LayerImpl::Fused, false);
+        bwdFused.graph = &transposed;
+        const Cycles bwdFusedCycles =
+            sim::simulateLayer(machine, bwdFused).makespan;
+
         const double norm = static_cast<double>(basicCycles);
         const auto &p = paper.at(data.name());
         std::printf("%-10s %9.2f %10.2f", data.name().c_str(),
                     aggCycles / norm, updateCycles / norm);
         std::printf("    %5.2f (paper %4.2f)", fusedInf / norm, p[1]);
-        std::printf("    %5.2f (paper %4.2f)\n", fusedTrain / norm,
-                    p[2]);
+        std::printf("    %5.2f (paper %4.2f)", fusedTrain / norm, p[2]);
+        std::printf("    %12.2f\n",
+                    static_cast<double>(bwdFusedCycles) /
+                        static_cast<double>(bwdBasicCycles));
         std::fflush(stdout);
     }
     std::printf("\nexpected shape: fused-inference time approaches the "
                 "aggregation share (update hidden); forward-training "
-                "pays the a^k write-back\n");
+                "pays the a^k write-back; fused-bwd-train < 1 — the "
+                "commuted backward fusion skips the dAgg round-trip\n");
     return 0;
 }

@@ -12,10 +12,12 @@
 #include "baselines/baseline_layers.h"
 #include "compress/compressed_matrix.h"
 #include "dma/pipelined_runner.h"
+#include "gnn/gnn_layer.h"
 #include "graph/generators.h"
 #include "graph/reorder.h"
 #include "kernels/fused_layer.h"
 #include "tensor/gemm.h"
+#include "tensor/row_ops.h"
 #include "tensor/spmm.h"
 
 namespace {
@@ -140,6 +142,78 @@ BM_UnfusedLayer(benchmark::State &state)
     }
 }
 BENCHMARK(BM_UnfusedLayer);
+
+/**
+ * Backward-pass fixture: a gradient matrix standing in for dz, the
+ * transposed graph + remapped factors, and W prepacked in NT mode —
+ * the operands of dh_prev = Aggᵀ(dz·Wᵀ).
+ */
+struct BackwardFixture
+{
+    AggFixture fx{256};
+    CsrGraph transposed;
+    AggregationSpec tSpec;
+    DenseMatrix weights{256, 256};
+    GemmPlan planNT;
+    DenseMatrix gradIn;
+
+    BackwardFixture()
+        : transposed(fx.graph.transposed()),
+          tSpec(transposeSpec(fx.graph, fx.spec, transposed)),
+          gradIn(fx.graph.numVertices(), 256)
+    {
+        weights.fillUniform(-0.1f, 0.1f, 11);
+        planNT.pack(GemmMode::NT, weights);
+    }
+};
+
+void
+BM_BackwardUnfused(benchmark::State &state)
+{
+    BackwardFixture bw;
+    DenseMatrix dAgg(bw.fx.graph.numVertices(), 256);
+    for (auto _ : state) {
+        gemm(GemmMode::NT, bw.fx.features, bw.planNT, dAgg);
+        aggregateBasic(bw.transposed, dAgg, bw.gradIn, bw.tSpec);
+        benchmark::DoNotOptimize(bw.gradIn.data());
+    }
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(bw.fx.gatheredBytes() *
+                                  state.iterations()));
+}
+BENCHMARK(BM_BackwardUnfused);
+
+void
+BM_BackwardFused(benchmark::State &state)
+{
+    BackwardFixture bw;
+    for (auto _ : state) {
+        fusedLayerBackward(bw.transposed, bw.fx.features, bw.tSpec,
+                           bw.planNT, bw.gradIn);
+        benchmark::DoNotOptimize(bw.gradIn.data());
+    }
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(bw.fx.gatheredBytes() *
+                                  state.iterations()));
+}
+BENCHMARK(BM_BackwardFused);
+
+void
+BM_BiasGradColumnSum(benchmark::State &state)
+{
+    AggFixture fx(static_cast<std::size_t>(state.range(0)));
+    std::vector<Feature> sums(fx.features.cols());
+    std::vector<Feature> scratch;
+    for (auto _ : state) {
+        columnSum(fx.features, sums, scratch);
+        benchmark::DoNotOptimize(sums.data());
+    }
+    state.SetBytesProcessed(
+        state.iterations() *
+        static_cast<std::int64_t>(fx.features.rows() *
+                                  fx.features.rowBytes()));
+}
+BENCHMARK(BM_BiasGradColumnSum)->Arg(64)->Arg(256);
 
 void
 BM_DmaPipelinedLayer(benchmark::State &state)

@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# CI smoke benchmark: build (if needed) and run bench_smoke — one small
+# real training run on the products analogue plus raw kernel rates —
+# and a filtered pass of the google-benchmark micro_kernels binary.
+# Emits BENCH_smoke.json (epoch seconds, fused-vs-unfused backward
+# seconds, aggregation/GEMM GFLOP/s) for CI to archive per commit.
+#
+# Usage:
+#   scripts/bench_smoke.sh [build-dir] [output-json]
+#
+# Defaults: build-dir = build, output = BENCH_smoke.json in the repo
+# root. Pass an existing Release build dir in CI to skip the configure.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+cd "${repo_root}"
+
+build_dir="${1:-build}"
+output="${2:-${repo_root}/BENCH_smoke.json}"
+
+if [ ! -f "${build_dir}/CMakeCache.txt" ]; then
+    cmake -B "${build_dir}" -S . -DCMAKE_BUILD_TYPE=Release
+fi
+cmake --build "${build_dir}" -j --target bench_smoke micro_kernels
+
+# Micro-kernel sanity pass: the backward fused-vs-unfused pair plus the
+# bias-gradient column sum, kept short (CI smoke, not a perf sweep).
+"${build_dir}/bench/micro_kernels" \
+    --benchmark_filter='BM_Backward|BM_BiasGrad' \
+    --benchmark_min_time=0.05
+
+# The measured artifact. Small scale on purpose: the numbers gate
+# nothing, they are archived so regressions show up as a trend.
+"${build_dir}/bench/bench_smoke" --scale-shift=4 --epochs=4 --reps=5 \
+    --output="${output}"
+
+echo "bench_smoke: wrote ${output}"

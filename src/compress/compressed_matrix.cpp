@@ -21,6 +21,20 @@ CompressedMatrix::CompressedMatrix(std::size_t rows, std::size_t cols)
 }
 
 void
+CompressedMatrix::reshape(std::size_t rows, std::size_t cols)
+{
+    rows_ = rows;
+    cols_ = cols;
+    rowStride_ = paddedStride(cols);
+    if (values_.size() < rows * rowStride_)
+        values_.resize(rows * rowStride_);
+    if (masks_.size() < rows * maskWordsFor(cols))
+        masks_.resize(rows * maskWordsFor(cols));
+    if (nnz_.size() < rows)
+        nnz_.resize(rows);
+}
+
+void
 CompressedMatrix::compressRowFrom(std::size_t r, const Feature *denseRow)
 {
     // The padded tail of a dense row is zero, so compressing the padded

@@ -30,6 +30,15 @@ class CompressedMatrix
     /** Allocate storage for rows x cols (stride-padded like DenseMatrix). */
     CompressedMatrix(std::size_t rows, std::size_t cols);
 
+    /**
+     * Redimension without reallocating when the existing storage is
+     * large enough (grow-only otherwise). Row contents become
+     * unspecified: every row must be rewritten (compressFrom /
+     * compressRowFrom) before it is read. The reuse primitive behind
+     * the inference ping-pong buffers.
+     */
+    void reshape(std::size_t rows, std::size_t cols);
+
     std::size_t rows() const { return rows_; }
     std::size_t cols() const { return cols_; }
     std::size_t rowStride() const { return rowStride_; }

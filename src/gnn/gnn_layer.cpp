@@ -171,7 +171,8 @@ void
 GnnLayer::backward(const CsrGraph &transposed,
                    const AggregationSpec &transposedSpec,
                    const LayerContext &ctx, DenseMatrix &gradOut,
-                   DenseMatrix *gradIn, const TechniqueConfig &tech)
+                   DenseMatrix *gradIn, std::span<const VertexId> order,
+                   const TechniqueConfig &tech)
 {
     GRAPHITE_ASSERT(gradOut.rows() == ctx.output.rows() &&
                         gradOut.cols() == outFeatures_,
@@ -183,22 +184,24 @@ GnnLayer::backward(const CsrGraph &transposed,
 
     // dW = aᵀ·dz and db = colsum(dz).
     gemm(GemmMode::TN, ctx.agg, gradOut, weightGrad_);
-    std::fill(biasGrad_.begin(), biasGrad_.end(), 0.0f);
-    for (std::size_t r = 0; r < gradOut.rows(); ++r) {
-        const Feature *row = gradOut.row(r);
-        for (std::size_t c = 0; c < outFeatures_; ++c)
-            biasGrad_[c] += row[c];
-    }
+    columnSum(gradOut, biasGrad_, colSumScratch_);
 
     if (!gradIn)
         return;
-    // da = dz·Wᵀ, then dh_prev = Aggᵀ(da) over the transposed graph.
-    DenseMatrix dAgg(gradOut.rows(), inFeatures_);
-    gemm(GemmMode::NT, gradOut, packedWeightsTransposed(), dAgg);
-    if (gradIn->rows() != gradOut.rows() || gradIn->cols() != inFeatures_)
-        gradIn->resize(gradOut.rows(), inFeatures_);
-    aggregateBasic(transposed, dAgg, *gradIn, transposedSpec, {},
-                   tech.agg);
+    // dh_prev = Aggᵀ(dz·Wᵀ) over the transposed graph.
+    gradIn->reshape(gradOut.rows(), inFeatures_);
+    if (tech.fusion) {
+        // Fused: per-block (Aggᵀ dz)·Wᵀ, dAgg never materialised (see
+        // kernels/fused_layer.h on the commuted fusion direction).
+        fusedLayerBackward(transposed, gradOut, transposedSpec,
+                           packedWeightsTransposed(), *gradIn, order,
+                           tech.fused);
+        return;
+    }
+    dAggScratch_.reshape(gradOut.rows(), inFeatures_);
+    gemm(GemmMode::NT, gradOut, packedWeightsTransposed(), dAggScratch_);
+    aggregateBasic(transposed, dAggScratch_, *gradIn, transposedSpec,
+                   order, tech.agg);
 }
 
 void

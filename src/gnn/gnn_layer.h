@@ -122,15 +122,24 @@ class GnnLayer
     /**
      * Backward pass. Consumes dL/dh^k in @p gradOut (clobbered), fills
      * weight/bias gradients, and when @p gradIn is non-null computes
-     * dL/dh^{k-1} via the transposed aggregation.
+     * dL/dh^{k-1} via the transposed aggregation — fused with the
+     * da = dz·Wᵀ GEMM when tech.fusion is on (fusedLayerBackward), so
+     * dAgg is only materialised on the unfused path (into a persistent
+     * per-layer scratch). The bias gradient uses the parallel
+     * deterministic columnSum. Allocation-free once scratch has grown
+     * to the steady-state shape.
      *
      * @param transposed     transposed graph.
      * @param transposedSpec factors remapped by transposeSpec().
+     * @param order          processing order for the *transposed* graph
+     *                       (GnnModel::transposedLocalityOrderFor), or
+     *                       empty for identity.
      */
     void backward(const CsrGraph &transposed,
                   const AggregationSpec &transposedSpec,
                   const LayerContext &ctx, DenseMatrix &gradOut,
-                  DenseMatrix *gradIn, const TechniqueConfig &tech);
+                  DenseMatrix *gradIn, std::span<const VertexId> order,
+                  const TechniqueConfig &tech);
 
     /** SGD parameter update from the last backward()'s gradients. */
     void sgdStep(float learningRate);
@@ -156,6 +165,11 @@ class GnnLayer
     /** weightsVersion_ the cached plans were packed at (~0 = never). */
     mutable std::uint64_t packedNNVersion_ = ~std::uint64_t{0};
     mutable std::uint64_t packedNTVersion_ = ~std::uint64_t{0};
+
+    /** dAgg workspace of the unfused backward, reused across epochs. */
+    DenseMatrix dAggScratch_;
+    /** columnSum partials workspace, reused across epochs. */
+    std::vector<Feature> colSumScratch_;
 };
 
 } // namespace graphite

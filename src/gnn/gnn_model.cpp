@@ -45,9 +45,19 @@ GnnModel::localityOrderFor(const TechniqueConfig &tech) const
     return cachedLocalityOrder_;
 }
 
-DenseMatrix
+std::span<const VertexId>
+GnnModel::transposedLocalityOrderFor(const TechniqueConfig &tech) const
+{
+    if (!tech.locality)
+        return {};
+    if (cachedTransposedOrder_.empty())
+        cachedTransposedOrder_ = localityOrder(transposed_);
+    return cachedTransposedOrder_;
+}
+
+const DenseMatrix &
 GnnModel::inference(const DenseMatrix &inputFeatures,
-                    const TechniqueConfig &tech) const
+                    const TechniqueConfig &tech)
 {
     GRAPHITE_ASSERT(inputFeatures.rows() == graph_->numVertices(),
                     "input row count mismatch");
@@ -56,31 +66,29 @@ GnnModel::inference(const DenseMatrix &inputFeatures,
     const auto order = localityOrderFor(tech);
     const VertexId n = graph_->numVertices();
 
-    DenseMatrix current;
-    CompressedMatrix currentPacked;
     bool havePacked = false;
-
     for (std::size_t k = 0; k < layers_.size(); ++k) {
         const GnnLayer &layer = *layers_[k];
-        const DenseMatrix &in = k == 0 ? inputFeatures : current;
-        DenseMatrix out(n, layer.outFeatures());
-        CompressedMatrix outPacked;
+        // Layer k reads parity k+1 (or the input features) and writes
+        // parity k, so consecutive layers never alias.
+        const DenseMatrix &in = k == 0 ? inputFeatures
+                                       : inferBufs_[(k + 1) % 2];
+        DenseMatrix &out = inferBufs_[k % 2];
+        out.reshape(n, layer.outFeatures());
         CompressedMatrix *packedPtr = nullptr;
         // Hidden activations (post-ReLU) are worth compressing; the
         // final logits layer has no consumer, so skip packing there.
         if (tech.compression && k + 1 < layers_.size()) {
-            outPacked = CompressedMatrix(n, layer.outFeatures());
-            packedPtr = &outPacked;
+            packedPtr = &inferPacked_[k % 2];
+            packedPtr->reshape(n, layer.outFeatures());
         }
         layer.forwardInference(*graph_, spec_, in,
-                               havePacked ? &currentPacked : nullptr, out,
-                               packedPtr, order, tech);
-        current = std::move(out);
+                               havePacked ? &inferPacked_[(k + 1) % 2]
+                                          : nullptr,
+                               out, packedPtr, order, tech);
         havePacked = packedPtr != nullptr;
-        if (havePacked)
-            currentPacked = std::move(outPacked);
     }
-    return current;
+    return inferBufs_[(layers_.size() + 1) % 2];
 }
 
 const DenseMatrix &
@@ -118,24 +126,24 @@ GnnModel::trainForward(const DenseMatrix &inputFeatures,
 }
 
 void
-GnnModel::trainBackward(const DenseMatrix &inputFeatures,
-                        DenseMatrix lossGrad, const TechniqueConfig &tech)
+GnnModel::trainBackward(DenseMatrix &lossGrad, const TechniqueConfig &tech)
 {
-    (void)inputFeatures;
-    DenseMatrix gradOut = std::move(lossGrad);
+    const auto order = transposedLocalityOrderFor(tech);
+    DenseMatrix *gradOut = &lossGrad;
     for (std::size_t k = layers_.size(); k-- > 0;) {
-        DenseMatrix gradIn;
         const bool needGradIn = k > 0;
+        // gradOut is gradBufs_[(k + 1) % 2] (or the caller's lossGrad
+        // at the top layer), so writing parity k never aliases it.
+        DenseMatrix *gradIn = needGradIn ? &gradBufs_[k % 2] : nullptr;
         layers_[k]->backward(transposed_, transposedSpec_, contexts_[k],
-                             gradOut, needGradIn ? &gradIn : nullptr,
-                             tech);
+                             *gradOut, gradIn, order, tech);
         if (needGradIn) {
             // Undo the inter-layer dropout between layer k-1 and k.
             if (config_.dropoutRate > 0.0) {
-                dropoutBackward(gradIn, config_.dropoutRate,
+                dropoutBackward(*gradIn, config_.dropoutRate,
                                 dropoutMasks_[k - 1]);
             }
-            gradOut = std::move(gradIn);
+            gradOut = gradIn;
         }
     }
 }
@@ -145,6 +153,21 @@ GnnModel::sgdStep(float learningRate)
 {
     for (auto &layer : layers_)
         layer->sgdStep(learningRate);
+}
+
+std::vector<const void *>
+GnnModel::workspacePointers() const
+{
+    std::vector<const void *> pointers;
+    for (const LayerContext &ctx : contexts_) {
+        pointers.push_back(ctx.agg.data());
+        pointers.push_back(ctx.output.data());
+    }
+    for (const DenseMatrix &buf : gradBufs_)
+        pointers.push_back(buf.data());
+    for (const DenseMatrix &buf : inferBufs_)
+        pointers.push_back(buf.data());
+    return pointers;
 }
 
 } // namespace graphite

@@ -7,6 +7,7 @@
 
 #pragma once
 
+#include <array>
 #include <memory>
 #include <vector>
 
@@ -46,12 +47,15 @@ class GnnModel
     /**
      * Full-batch inference. @p tech selects the kernel paths; with
      * compression on, hidden activations flow between layers in packed
-     * form.
+     * form. Layer outputs ping-pong between two persistent buffers
+     * sized to the widest layer, so repeated evaluate() calls stop
+     * churning the allocator — which is why this is non-const.
      *
-     * @return logits (|V| x F_output).
+     * @return logits (|V| x F_output); a reference into model-owned
+     *         workspace, valid until the next inference() call.
      */
-    DenseMatrix inference(const DenseMatrix &inputFeatures,
-                          const TechniqueConfig &tech) const;
+    const DenseMatrix &inference(const DenseMatrix &inputFeatures,
+                                 const TechniqueConfig &tech);
 
     /**
      * Full-batch training forward: keeps every layer's context alive
@@ -65,10 +69,14 @@ class GnnModel
 
     /**
      * Training backward from @p lossGrad = dL/d(logits); fills every
-     * layer's weight/bias gradients.
+     * layer's weight/bias gradients. @p lossGrad is consumed (clobbered
+     * in place — it doubles as the last layer's dz buffer); inter-layer
+     * gradients ping-pong between two persistent model-owned buffers,
+     * so steady-state epochs allocate nothing. Honors tech.fusion
+     * (fused backward kernel) and tech.locality (cached transposed
+     * locality order) symmetrically with the forward pass.
      */
-    void trainBackward(const DenseMatrix &inputFeatures,
-                       DenseMatrix lossGrad, const TechniqueConfig &tech);
+    void trainBackward(DenseMatrix &lossGrad, const TechniqueConfig &tech);
 
     /** SGD step on every layer. */
     void sgdStep(float learningRate);
@@ -82,6 +90,23 @@ class GnnModel
     std::span<const VertexId> localityOrderFor(const TechniqueConfig &tech)
         const;
 
+    /**
+     * Locality order of the *transposed* graph, used by the backward
+     * aggregation (fused or not); cached like localityOrderFor — the
+     * transpose has its own degree structure, so the forward order is
+     * not reused.
+     */
+    std::span<const VertexId>
+    transposedLocalityOrderFor(const TechniqueConfig &tech) const;
+
+    /**
+     * Diagnostic/test hook: data pointers of every persistent training
+     * and inference workspace buffer (layer contexts, ping-pong grad
+     * and inference buffers). Steady-state epochs must keep these
+     * stable — the zero-allocation contract the tests pin down.
+     */
+    std::vector<const void *> workspacePointers() const;
+
   private:
     const CsrGraph *graph_;
     GnnModelConfig config_;
@@ -94,7 +119,17 @@ class GnnModel
     std::vector<LayerContext> contexts_;
     std::vector<std::vector<std::uint64_t>> dropoutMasks_;
     mutable ProcessingOrder cachedLocalityOrder_;
+    mutable ProcessingOrder cachedTransposedOrder_;
     std::uint64_t dropoutEpoch_ = 0;
+    /**
+     * Inter-layer gradient ping-pong: layer k writes gradBufs_[k % 2]
+     * while reading the other parity (or the caller's lossGrad at the
+     * top), so no layer ever reads the buffer it writes.
+     */
+    std::array<DenseMatrix, 2> gradBufs_;
+    // Inference workspace (see inference()).
+    std::array<DenseMatrix, 2> inferBufs_;
+    std::array<CompressedMatrix, 2> inferPacked_;
 };
 
 } // namespace graphite

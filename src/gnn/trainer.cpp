@@ -62,21 +62,21 @@ Trainer::trainEpoch()
         model_.trainForward(inputFeatures_, config_.tech);
     if (config_.checkNumerics)
         requireFinite(logits, "forward logits");
-    DenseMatrix lossGrad(logits.rows(), logits.cols());
+    lossGradScratch_.reshape(logits.rows(), logits.cols());
     EpochStats stats;
     if (config_.trainMask.empty()) {
-        stats.loss = softmaxCrossEntropy(logits, labels_, lossGrad);
+        stats.loss = softmaxCrossEntropy(logits, labels_,
+                                         lossGradScratch_);
         stats.trainAccuracy = accuracy(logits, labels_);
     } else {
         stats.loss = softmaxCrossEntropyMasked(
-            logits, labels_, config_.trainMask, lossGrad);
+            logits, labels_, config_.trainMask, lossGradScratch_);
         stats.trainAccuracy =
             accuracyMasked(logits, labels_, config_.trainMask);
     }
     if (config_.checkNumerics)
-        requireFinite(lossGrad, "loss gradient");
-    model_.trainBackward(inputFeatures_, std::move(lossGrad),
-                         config_.tech);
+        requireFinite(lossGradScratch_, "loss gradient");
+    model_.trainBackward(lossGradScratch_, config_.tech);
     model_.sgdStep(config_.learningRate);
     stats.seconds = timer.seconds();
     return stats;
@@ -95,7 +95,7 @@ Trainer::train()
 double
 Trainer::evaluate() const
 {
-    const DenseMatrix logits =
+    const DenseMatrix &logits =
         model_.inference(inputFeatures_, config_.tech);
     if (config_.evalMask.empty())
         return accuracy(logits, labels_);

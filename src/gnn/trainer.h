@@ -79,6 +79,8 @@ class Trainer
     const DenseMatrix &inputFeatures_;
     std::vector<std::int32_t> labels_;
     TrainerConfig config_;
+    /** dL/d(logits) workspace, reused across epochs. */
+    DenseMatrix lossGradScratch_;
 };
 
 /**

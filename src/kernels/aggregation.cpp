@@ -429,4 +429,35 @@ aggregateReference(const CsrGraph &graph, const DenseMatrix &in,
     }
 }
 
+void
+aggregateTransposedPush(const CsrGraph &graph, const DenseMatrix &in,
+                        DenseMatrix &out, const AggregationSpec &spec)
+{
+    GRAPHITE_ASSERT(spec.reduce == ReduceOp::Sum,
+                    "push-style transposed aggregation requires sum");
+    if (const char *error = validateSpec(spec, graph))
+        panic("aggregateTransposedPush: %s", error);
+    const VertexId n = graph.numVertices();
+    GRAPHITE_ASSERT(in.rows() == n && out.rows() == n, "row mismatch");
+    GRAPHITE_ASSERT(in.cols() == out.cols(), "width mismatch");
+    const std::size_t cols = in.cols();
+    for (VertexId v = 0; v < n; ++v) {
+        Feature *dst = out.row(v);
+        const Feature *self = in.row(v);
+        for (std::size_t c = 0; c < cols; ++c)
+            dst[c] = spec.selfFactor(v) * self[c];
+    }
+    // Scatter pass: edge (v, u) carries factor(v, u) in the forward
+    // direction, so it contributes in[v] to out[u] in the transpose.
+    for (VertexId v = 0; v < n; ++v) {
+        const Feature *src = in.row(v);
+        for (EdgeId e = graph.rowBegin(v); e < graph.rowEnd(v); ++e) {
+            Feature *dst = out.row(graph.colIdx()[e]);
+            const Feature factor = spec.edgeFactor(e);
+            for (std::size_t c = 0; c < cols; ++c)
+                dst[c] += factor * src[c];
+        }
+    }
+}
+
 } // namespace graphite

@@ -157,4 +157,20 @@ void aggregateVertex(const CsrGraph &graph, const DenseMatrix &in,
 void aggregateReference(const CsrGraph &graph, const DenseMatrix &in,
                         DenseMatrix &out, const AggregationSpec &spec);
 
+/**
+ * Push-style transposed aggregation (scatter form), serial:
+ * out[u, :] = selfFactor(u)·in[u, :] + Σ_{v : u ∈ N(v)}
+ * edgeFactor(v,u)·in[v, :] — i.e. out = Aggᵀ(in) computed by walking
+ * the *forward* CSR and scattering each source row to its
+ * destinations. This is the natural consumer of a source-blocked input
+ * (the backward fusion direction, GEMM→aggregate), but scatter needs
+ * write synchronisation to parallelise on a CPU, so the production
+ * fused backward commutes the GEMM past the aggregation and stays
+ * pull-based instead (see kernels/fused_layer.h); this entry is the
+ * oracle the fused path is validated against. Sum reduction only — the
+ * backward of a linear aggregation is linear.
+ */
+void aggregateTransposedPush(const CsrGraph &graph, const DenseMatrix &in,
+                             DenseMatrix &out, const AggregationSpec &spec);
+
 } // namespace graphite

@@ -16,22 +16,55 @@ namespace {
 /** Apply bias and ReLU to @p rows block rows in place. */
 void
 finishUpdateBlock(Feature *rows, std::size_t numRows, std::size_t stride,
-                  std::size_t cols, const UpdateOp &update)
+                  std::size_t cols, std::span<const Feature> bias,
+                  bool relu)
 {
     for (std::size_t r = 0; r < numRows; ++r) {
         Feature *row = rows + r * stride;
-        if (!update.bias.empty()) {
+        if (!bias.empty()) {
             #pragma omp simd
             for (std::size_t c = 0; c < cols; ++c)
-                row[c] += update.bias[c];
+                row[c] += bias[c];
         }
-        if (update.relu) {
+        if (relu) {
             #pragma omp simd
             for (std::size_t c = 0; c < cols; ++c)
                 row[c] = std::max(row[c], 0.0f);
         }
+        // Re-zero the padding tail: the scratch row may carry stale
+        // values from an earlier, wider layer, and the block is
+        // memcpy'd (and possibly compressed) at full stride.
+        for (std::size_t c = cols; c < stride; ++c)
+            row[c] = 0.0f;
     }
 }
+
+/**
+ * Per-worker grow-only block buffers (Figure 5c's single reusable
+ * buffer). Pool workers persist across layer calls and epochs, so
+ * after warm-up these never allocate — part of the allocation-free
+ * steady-state contract of the training loop. Two distinct functions
+ * because a driver invocation needs both buffers live at once.
+ * @{
+ */
+Feature *
+aggScratch(std::size_t count)
+{
+    thread_local AlignedBuffer<Feature> buf;
+    if (buf.size() < count)
+        buf.resize(count);
+    return buf.data();
+}
+
+Feature *
+updScratch(std::size_t count)
+{
+    thread_local AlignedBuffer<Feature> buf;
+    if (buf.size() < count)
+        buf.resize(count);
+    return buf.data();
+}
+/** @} */
 
 /** Single-vertex aggregation from compressed input into @p dst. */
 void
@@ -48,26 +81,29 @@ aggregateVertexCompressed(const CsrGraph &graph, const CompressedMatrix &in,
 }
 
 /**
- * Shared driver for all fused variants. @p aggregateOne fills one block
- * row; @p emitAgg (optional) persists the aggregation row for backprop;
- * @p emitOut persists one finished output row.
+ * Shared driver for all fused variants — forward (aggregate→GEMM) and
+ * backward (where the commuted form restores the same shape; see
+ * fusedLayerBackward). @p aggregateOne fills one block row;
+ * @p weightPlan is the prepacked operand of the per-block micro-GEMM;
+ * @p aggOut (optional) persists the aggregation rows for backprop.
  */
 template <typename AggregateFn, typename PrefetchFn>
 void
 fusedDriver(const CsrGraph &graph, std::size_t inCols,
-            const UpdateOp &update, DenseMatrix &out,
+            const GemmPlan &weightPlan, std::span<const Feature> bias,
+            bool relu, DenseMatrix &out,
             std::span<const VertexId> order, const FusedConfig &config,
             AggregateFn &&aggregateOne, PrefetchFn &&prefetchFor,
             DenseMatrix *aggOut, CompressedMatrix *outCompressed)
 {
-    GRAPHITE_ASSERT(update.weights != nullptr, "update weights required");
-    GRAPHITE_ASSERT(update.weights->rows() == inCols,
-                    "weight rows must equal input feature width");
-    GRAPHITE_ASSERT(update.weights->cols() == out.cols(),
-                    "weight cols must equal output feature width");
     const VertexId n = graph.numVertices();
     GRAPHITE_ASSERT(order.empty() || order.size() == n,
                     "order must cover all vertices");
+    // The same packed operand multiplies every vertex block (packed
+    // once per layer invocation or reused from the layer's cached
+    // plan) and is shared read-only by every task's micro-kernel.
+    if (const char *error = weightPlan.validateFor(inCols, out.cols()))
+        panic("fused layer weight plan: %s", error);
 
     const std::size_t blockSize = std::max<std::size_t>(1,
                                                         config.blockSize);
@@ -79,33 +115,10 @@ fusedDriver(const CsrGraph &graph, std::size_t inCols,
         (inCols + kFloatsPerLine - 1) / kFloatsPerLine * kFloatsPerLine;
     const std::size_t outStride = out.rowStride();
 
-    const std::size_t numThreads = ThreadPool::global().numThreads();
-    // Reusable per-thread block buffers (Figure 5c's single buffer).
-    std::vector<AlignedBuffer<Feature>> aggBuf;
-    std::vector<AlignedBuffer<Feature>> outBuf;
-    aggBuf.reserve(numThreads);
-    outBuf.reserve(numThreads);
-    for (std::size_t t = 0; t < numThreads; ++t) {
-        aggBuf.emplace_back(blockSize * aggStride);
-        outBuf.emplace_back(blockSize * outStride);
-    }
-
-    // The same W multiplies every vertex block, so its panels are packed
-    // once per layer invocation (or reused from the layer's cached plan)
-    // and shared read-only by every task's micro-kernel.
-    GemmPlan localPlan;
-    const GemmPlan *weightPlan = update.packedWeights;
-    if (weightPlan == nullptr) {
-        localPlan.pack(GemmMode::NN, *update.weights);
-        weightPlan = &localPlan;
-    }
-    if (const char *error = weightPlan->validateFor(inCols, out.cols()))
-        panic("fused layer weight plan: %s", error);
-
     parallelFor(0, n, taskVertices,
-                [&](std::size_t begin, std::size_t end, std::size_t tid) {
-        Feature *agg = aggBuf[tid].data();
-        Feature *upd = outBuf[tid].data();
+                [&](std::size_t begin, std::size_t end, std::size_t) {
+        Feature *agg = aggScratch(blockSize * aggStride);
+        Feature *upd = updScratch(blockSize * outStride);
         for (std::size_t j = begin; j < end; j += blockSize) {
             const std::size_t blockEnd = std::min(j + blockSize, end);
             const std::size_t rows = blockEnd - j;
@@ -136,9 +149,10 @@ fusedDriver(const CsrGraph &graph, std::size_t inCols,
                 }
             }
             // Update phase of the block (Algorithm 2 lines 8-10).
-            gemmBlockSerial(agg, rows, aggStride, *weightPlan, upd,
+            gemmBlockSerial(agg, rows, aggStride, weightPlan, upd,
                             outStride, inCols);
-            finishUpdateBlock(upd, rows, outStride, out.cols(), update);
+            finishUpdateBlock(upd, rows, outStride, out.cols(), bias,
+                              relu);
             for (std::size_t m = 0; m < rows; ++m) {
                 const std::size_t i = j + m;
                 const VertexId v =
@@ -150,6 +164,26 @@ fusedDriver(const CsrGraph &graph, std::size_t inCols,
             }
         }
     });
+}
+
+/**
+ * Resolve the forward UpdateOp to a packed NN plan — the caller's
+ * cached plan when present, else a local pack of W — and shape-check
+ * the weights against the layer widths.
+ */
+const GemmPlan &
+resolveForwardPlan(const UpdateOp &update, std::size_t inCols,
+                   std::size_t outCols, GemmPlan &localPlan)
+{
+    GRAPHITE_ASSERT(update.weights != nullptr, "update weights required");
+    GRAPHITE_ASSERT(update.weights->rows() == inCols,
+                    "weight rows must equal input feature width");
+    GRAPHITE_ASSERT(update.weights->cols() == outCols,
+                    "weight cols must equal output feature width");
+    if (update.packedWeights != nullptr)
+        return *update.packedWeights;
+    localPlan.pack(GemmMode::NN, *update.weights);
+    return localPlan;
 }
 
 } // namespace
@@ -167,8 +201,12 @@ fusedLayerTraining(const CsrGraph &graph, const DenseMatrix &in,
                     "aggOut shape mismatch");
     if (const char *error = validateSpec(spec, graph))
         panic("fusedLayerTraining: %s", error);
+    GemmPlan localPlan;
+    const GemmPlan &plan =
+        resolveForwardPlan(update, in.cols(), out.cols(), localPlan);
     fusedDriver(
-        graph, in.cols(), update, out, order, config,
+        graph, in.cols(), plan, update.bias, update.relu, out, order,
+        config,
         [&](VertexId v, Feature *dst) {
             aggregateVertex(graph, in, v, spec, dst);
         },
@@ -192,8 +230,12 @@ fusedLayerInference(const CsrGraph &graph, const DenseMatrix &in,
     GRAPHITE_ASSERT(in.rows() == graph.numVertices(), "row mismatch");
     if (const char *error = validateSpec(spec, graph))
         panic("fusedLayerInference: %s", error);
+    GemmPlan localPlan;
+    const GemmPlan &plan =
+        resolveForwardPlan(update, in.cols(), out.cols(), localPlan);
     fusedDriver(
-        graph, in.cols(), update, out, order, config,
+        graph, in.cols(), plan, update.bias, update.relu, out, order,
+        config,
         [&](VertexId v, Feature *dst) {
             aggregateVertex(graph, in, v, spec, dst);
         },
@@ -224,9 +266,13 @@ fusedLayerTrainingCompressed(const CsrGraph &graph,
                     "aggOut shape mismatch");
     if (const char *error = validateSpec(spec, graph))
         panic("fusedLayerTrainingCompressed: %s", error);
+    GemmPlan localPlan;
+    const GemmPlan &plan =
+        resolveForwardPlan(update, in.cols(), out.cols(), localPlan);
     const std::size_t stride = in.rowStride();
     fusedDriver(
-        graph, in.cols(), update, out, order, config,
+        graph, in.cols(), plan, update.bias, update.relu, out, order,
+        config,
         [&](VertexId v, Feature *dst) {
             aggregateVertexCompressed(graph, in, v, spec, dst, stride);
         },
@@ -251,9 +297,13 @@ fusedLayerInferenceCompressed(const CsrGraph &graph,
     GRAPHITE_ASSERT(in.rows() == graph.numVertices(), "row mismatch");
     if (const char *error = validateSpec(spec, graph))
         panic("fusedLayerInferenceCompressed: %s", error);
+    GemmPlan localPlan;
+    const GemmPlan &plan =
+        resolveForwardPlan(update, in.cols(), out.cols(), localPlan);
     const std::size_t stride = in.rowStride();
     fusedDriver(
-        graph, in.cols(), update, out, order, config,
+        graph, in.cols(), plan, update.bias, update.relu, out, order,
+        config,
         [&](VertexId v, Feature *dst) {
             aggregateVertexCompressed(graph, in, v, spec, dst, stride);
         },
@@ -264,6 +314,46 @@ fusedLayerInferenceCompressed(const CsrGraph &graph,
             }
         },
         nullptr, outCompressed);
+}
+
+void
+fusedLayerBackward(const CsrGraph &transposed, const DenseMatrix &dz,
+                   const AggregationSpec &transposedSpec,
+                   const GemmPlan &weightsNT, DenseMatrix &gradIn,
+                   std::span<const VertexId> order,
+                   const FusedConfig &config)
+{
+    GRAPHITE_ASSERT(dz.rows() == transposed.numVertices(),
+                    "row mismatch");
+    GRAPHITE_ASSERT(gradIn.rows() == dz.rows(), "gradIn row mismatch");
+    // The commutation below is only valid for a linear aggregation;
+    // Max-reduce backward needs argmax state the forward never saves.
+    GRAPHITE_ASSERT(transposedSpec.reduce == ReduceOp::Sum,
+                    "fused backward requires a sum-reduce aggregation");
+    if (const char *error = validateSpec(transposedSpec, transposed))
+        panic("fusedLayerBackward: %s", error);
+    // dh_prev = Aggᵀ(dz·Wᵀ) = (Aggᵀ dz)·Wᵀ: aggregation mixes rows and
+    // the weight GEMM mixes columns, so they commute. The commuted form
+    // turns the reversed fusion direction (GEMM→scatter-aggregate, which
+    // would need synchronised writes) back into the forward kernel's
+    // pull-shape: aggregate a block of dz rows over the transposed CSR
+    // into the L2-resident block buffer, then micro-GEMM it through the
+    // prepacked NT plan straight into gradIn. dAgg = dz·Wᵀ never exists.
+    fusedDriver(
+        transposed, dz.cols(), weightsNT, {}, false, gradIn, order,
+        config,
+        [&](VertexId v, Feature *dst) {
+            aggregateVertex(transposed, dz, v, transposedSpec, dst);
+        },
+        [&](VertexId next) {
+            for (VertexId u : transposed.neighbors(next)) {
+                __builtin_prefetch(dz.row(u), 0, 3);
+                __builtin_prefetch(reinterpret_cast<const char *>(
+                                       dz.row(u)) + kCacheLineBytes,
+                                   0, 3);
+            }
+        },
+        nullptr, nullptr);
 }
 
 void

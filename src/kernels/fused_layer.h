@@ -105,6 +105,38 @@ void fusedLayerInferenceCompressed(const CsrGraph &graph,
 /** @} */
 
 /**
+ * Fused backward kernel — Algorithm 2's counterpart for training's
+ * second half. The backward of a layer needs dh_prev = Aggᵀ(dz·Wᵀ):
+ * naively a full dAgg = dz·Wᵀ matrix is materialised in DRAM and then
+ * aggregated over the transposed graph. The fusion direction is
+ * reversed relative to the forward (GEMM feeds the aggregation), whose
+ * literal blocked form would scatter GEMM output blocks to arbitrary
+ * destination rows — parallel scatter needs atomics or striped locks
+ * on a CPU (see aggregateTransposedPush, the serial scatter oracle).
+ * Instead this kernel exploits that the two operators commute —
+ * aggregation is a row-mixing (sparse-left) multiply, the weight GEMM a
+ * column-mixing (dense-right) multiply, so Aggᵀ(dz·Wᵀ) = (Aggᵀ dz)·Wᵀ
+ * — which restores the forward kernel's pull-shape: per block of B
+ * vertices, aggregate dz rows over the transposed CSR into a
+ * cache-resident block buffer, then run the `·Wᵀ` micro-GEMM (via the
+ * prepacked NT @p weightsNT plan, gemmBlockSerial) from that buffer
+ * straight into @p gradIn. The F_out-wide dz block stays L2-resident
+ * between the two phases and dAgg is never materialised.
+ *
+ * @param transposed     transposed graph.
+ * @param dz             dL/d(pre-activation), |V| x F_out.
+ * @param transposedSpec factors remapped by transposeSpec(); Sum only.
+ * @param weightsNT      W packed in NT mode (K=F_out, N=F_in).
+ * @param gradIn         dL/dh_prev output, |V| x F_in.
+ * @param order          processing order for the transposed graph.
+ */
+void fusedLayerBackward(const CsrGraph &transposed, const DenseMatrix &dz,
+                        const AggregationSpec &transposedSpec,
+                        const GemmPlan &weightsNT, DenseMatrix &gradIn,
+                        std::span<const VertexId> order = {},
+                        const FusedConfig &config = {});
+
+/**
  * Unfused reference layer: aggregateBasic over the full graph, then a
  * whole-matrix GEMM update. The `basic` configuration of Figure 11.
  */

@@ -691,18 +691,24 @@ simulateTraining(Machine &machine, const NetworkWorkload &net,
         });
         result.add(gemmPhase);
 
-        // Transposed aggregation of the (sparse) feature gradients;
-        // fused implementations overlap the da GEMM with this gather
-        // block-by-block, mirroring Algorithm 2 in reverse.
+        // Transposed aggregation of the (sparse) feature gradients.
+        // Unfused: the materialised dAgg (width F_{k-1}) is gathered
+        // and dh_prev written out (writeAgg). Fused: the commuted
+        // kernel gathers the F_k-wide dz rows into a core-resident
+        // block buffer (never stored — writeAgg off), micro-GEMMs it
+        // through Wᵀ and stores only the F_{k-1}-wide dh_prev rows;
+        // dAgg never exists in DRAM.
         if (k > 0) {
-            LayerWorkload bwdAgg = baseLayer(net, shapes[k].first,
-                                             shapes[k].first);
+            LayerWorkload bwdAgg =
+                fusedImpl
+                    ? baseLayer(net, shapes[k].second, shapes[k].first)
+                    : baseLayer(net, shapes[k].first, shapes[k].first);
             bwdAgg.graph = &transposedGraph;
             bwdAgg.order = net.locality ? net.transposedOrder : nullptr;
             bwdAgg.compressedIn = net.compression;
             bwdAgg.compressedOut = false; // dh_prev feeds a GEMM next
-            bwdAgg.writeAgg = true;
-            bwdAgg.doUpdate = fusedImpl; // the fused-in da GEMM
+            bwdAgg.writeAgg = !fusedImpl;
+            bwdAgg.doUpdate = fusedImpl; // the fused-in da·Wᵀ GEMM
             if (fusedImpl)
                 bwdAgg.impl = net.impl;
             result.add(simulateLayer(machine, bwdAgg, net.dma));

@@ -1,6 +1,7 @@
 #include "tensor/dense_matrix.h"
 
 #include <cmath>
+#include <cstring>
 
 #include "common/rng.h"
 
@@ -27,6 +28,32 @@ DenseMatrix::resize(std::size_t rows, std::size_t cols)
     cols_ = cols;
     rowStride_ = paddedStride(cols);
     storage_.resize(rows * rowStride_);
+}
+
+void
+DenseMatrix::reshape(std::size_t rows, std::size_t cols)
+{
+    const std::size_t stride = paddedStride(cols);
+    if (rows * stride > storage_.size()) {
+        resize(rows, cols);
+        return;
+    }
+    if (rows == rows_ && cols == cols_)
+        return;
+    // Within capacity: logical contents become unspecified, but the
+    // padding tail of every row is re-zeroed so the repo-wide invariant
+    // "row padding is zero" (which compressRowFrom and the full-stride
+    // aggregation kernels rely on) survives the relayout. All logical
+    // writers preserve it thereafter.
+    rows_ = rows;
+    cols_ = cols;
+    rowStride_ = stride;
+    if (cols < stride) {
+        for (std::size_t r = 0; r < rows; ++r) {
+            std::memset(row(r) + cols, 0,
+                        (stride - cols) * sizeof(Feature));
+        }
+    }
 }
 
 double

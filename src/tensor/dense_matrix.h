@@ -82,6 +82,16 @@ class DenseMatrix
     /** Reallocate to new dimensions, zero-initialised. */
     void resize(std::size_t rows, std::size_t cols);
 
+    /**
+     * Redimension without reallocating when the existing storage is
+     * large enough; contents become unspecified (only the shape is
+     * guaranteed). Grows (and zeroes) when capacity is short. This is
+     * the workspace-reuse primitive behind allocation-free steady-state
+     * training epochs: a scratch matrix reshaped to the same (or a
+     * smaller) footprint keeps its data() pointer stable.
+     */
+    void reshape(std::size_t rows, std::size_t cols);
+
     /** Total allocated bytes (padding included). */
     Bytes allocatedBytes() const { return storage_.size() * sizeof(Feature); }
 

@@ -56,6 +56,42 @@ reluBackward(const DenseMatrix &activated, DenseMatrix &grad)
     });
 }
 
+void
+columnSum(const DenseMatrix &x, std::span<Feature> out,
+          std::vector<Feature> &scratch)
+{
+    GRAPHITE_ASSERT(out.size() == x.cols(), "column sum width mismatch");
+    const std::size_t cols = x.cols();
+    // Chunk size is a fixed constant, not derived from the thread
+    // count: partials are indexed by chunk id, so the reduction order
+    // (and the float rounding) is a function of the input shape alone.
+    constexpr std::size_t kChunkRows = 1024;
+    const std::size_t numChunks =
+        x.rows() == 0 ? 0 : (x.rows() + kChunkRows - 1) / kChunkRows;
+    if (scratch.size() < numChunks * cols)
+        scratch.resize(numChunks * cols);
+    parallelFor(0, x.rows(), kChunkRows,
+                [&](std::size_t begin, std::size_t end, std::size_t) {
+        // parallelFor hands out [begin, end) ranges aligned to the
+        // chunk size, so begin identifies the partial-sum slot.
+        Feature *partial = scratch.data() + begin / kChunkRows * cols;
+        std::fill(partial, partial + cols, 0.0f);
+        for (std::size_t r = begin; r < end; ++r) {
+            const Feature *rowData = x.row(r);
+            #pragma omp simd
+            for (std::size_t c = 0; c < cols; ++c)
+                partial[c] += rowData[c];
+        }
+    });
+    std::fill(out.begin(), out.end(), 0.0f);
+    for (std::size_t chunk = 0; chunk < numChunks; ++chunk) {
+        const Feature *partial = scratch.data() + chunk * cols;
+        #pragma omp simd
+        for (std::size_t c = 0; c < cols; ++c)
+            out[c] += partial[c];
+    }
+}
+
 namespace {
 std::size_t
 maskWords(const DenseMatrix &x)

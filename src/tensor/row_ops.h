@@ -40,6 +40,18 @@ void dropoutBackward(DenseMatrix &grad, double rate,
                      const std::vector<std::uint64_t> &mask);
 
 /**
+ * Parallel column sum: out[c] = Σ_r x[r, c] — the bias-gradient
+ * reduction db = colsum(dz). Rows are partitioned into fixed-size
+ * chunks whose partial sums land in @p scratch slots indexed by chunk
+ * id, then reduced serially in chunk order — so the result is
+ * bit-identical regardless of how the dynamic scheduler assigned
+ * chunks to threads. @p scratch is grown as needed and reused across
+ * calls (allocation-free in steady state).
+ */
+void columnSum(const DenseMatrix &x, std::span<Feature> out,
+               std::vector<Feature> &scratch);
+
+/**
  * Softmax + cross-entropy over rows.
  *
  * @param logits   |V| x numClasses scores.

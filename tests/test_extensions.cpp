@@ -225,7 +225,7 @@ TEST(Adam, ConvergesFasterThanItStarts)
         if (epoch == 0)
             firstLoss = loss;
         lastLoss = loss;
-        model.trainBackward(task.features, std::move(grad), tech);
+        model.trainBackward(grad, tech);
         adam.step();
     }
     EXPECT_EQ(adam.steps(), 20u);

@@ -113,7 +113,7 @@ TEST(GnnLayer, WeightGradientMatchesFiniteDifference)
     const DenseMatrix &logits = model.trainForward(features, tech);
     DenseMatrix lossGrad(logits.rows(), logits.cols());
     softmaxCrossEntropy(logits, labels, lossGrad);
-    model.trainBackward(features, std::move(lossGrad), tech);
+    model.trainBackward(lossGrad, tech);
     const DenseMatrix &analytic = model.layer(0).weightGrad();
 
     // Finite differences on a few weights.
@@ -160,7 +160,7 @@ TEST(GnnLayer, TwoLayerGradientMatchesFiniteDifference)
     const DenseMatrix &logits = model.trainForward(features, tech);
     DenseMatrix lossGrad(logits.rows(), logits.cols());
     softmaxCrossEntropy(logits, labels, lossGrad);
-    model.trainBackward(features, std::move(lossGrad), tech);
+    model.trainBackward(lossGrad, tech);
     // Check a first-layer weight — its gradient flows through the
     // ReLU, the second aggregation and the transposed aggregation.
     const DenseMatrix analytic = model.layer(0).weightGrad();
@@ -249,7 +249,7 @@ TEST(GnnModel, DeepNetworksTrainEndToEnd)
         if (epoch == 0)
             first = loss;
         last = loss;
-        model.trainBackward(features, std::move(grad), tech);
+        model.trainBackward(grad, tech);
         model.sgdStep(0.2f);
     }
     EXPECT_LT(last, first);
