@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "common/assert.h"
 #include "graph/datasets.h"
 #include "graph/reorder.h"
 #include "sim/machine.h"
@@ -49,7 +50,14 @@ makeBenchDataset(DatasetId id, unsigned extraShift = 0,
                  std::uint64_t seed = 1)
 {
     const DatasetSpec spec = datasetSpec(id);
-    const unsigned shift = spec.scaleLog2 - 15 + extraShift;
+    // Signed intermediate: a blueprint smaller than 2^15 must clamp to
+    // "no shrink", not wrap to a huge unsigned shift.
+    const int signedShift = static_cast<int>(spec.scaleLog2) - 15 +
+                            static_cast<int>(extraShift);
+    const unsigned shift =
+        signedShift > 0 ? static_cast<unsigned>(signedShift) : 0;
+    GRAPHITE_ASSERT(shift < spec.scaleLog2,
+                    "extra shift would shrink the dataset to nothing");
     BenchDataset out;
     out.dataset = makeDataset(id, shift, seed);
     out.dataset.hiddenFeatures = kBenchHiddenFeatures;

@@ -10,6 +10,9 @@
 #
 # Defaults: build-dir = build, output = BENCH_smoke.json in the repo
 # root. Pass an existing Release build dir in CI to skip the configure.
+# The run is traced: TRACE_smoke.json (chrome://tracing spans) and
+# METRICS_smoke.json (metrics registry) land next to the output JSON
+# and are schema-checked when python3 is available.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -17,6 +20,8 @@ cd "${repo_root}"
 
 build_dir="${1:-build}"
 output="${2:-${repo_root}/BENCH_smoke.json}"
+trace_out="$(dirname "${output}")/TRACE_smoke.json"
+metrics_out="$(dirname "${output}")/METRICS_smoke.json"
 
 if [ ! -f "${build_dir}/CMakeCache.txt" ]; then
     cmake -B "${build_dir}" -S . -DCMAKE_BUILD_TYPE=Release
@@ -30,8 +35,19 @@ cmake --build "${build_dir}" -j --target bench_smoke micro_kernels
     --benchmark_min_time=0.05
 
 # The measured artifact. Small scale on purpose: the numbers gate
-# nothing, they are archived so regressions show up as a trend.
+# nothing, they are archived so regressions show up as a trend. The
+# traced run also archives per-phase spans and hot-path counters.
 "${build_dir}/bench/bench_smoke" --scale-shift=4 --epochs=4 --reps=5 \
-    --output="${output}"
+    --output="${output}" --trace-out="${trace_out}" \
+    --metrics-out="${metrics_out}"
 
-echo "bench_smoke: wrote ${output}"
+# Structural gate on the emitters (key set, histogram arity, required
+# span names) — the numbers themselves still gate nothing.
+if command -v python3 >/dev/null 2>&1; then
+    python3 scripts/check_metrics_schema.py --bench "${output}" \
+        --metrics "${metrics_out}" --trace "${trace_out}"
+else
+    echo "bench_smoke: python3 not found, skipping schema check"
+fi
+
+echo "bench_smoke: wrote ${output}, ${trace_out}, ${metrics_out}"

@@ -1,0 +1,172 @@
+#!/usr/bin/env python3
+"""Validate the observability artifacts bench_smoke emits.
+
+Three artifacts, each optional on the command line:
+
+  --bench BENCH_smoke.json      headline-rate JSON (always produced)
+  --metrics METRICS_smoke.json  metrics-registry dump (--metrics-out)
+  --trace TRACE_smoke.json      chrome://tracing spans (--trace-out)
+
+The checks are structural (required keys, types, histogram bucket
+arity), not numeric — CI archives the numbers as a trend, it does not
+gate on them. Exit status is nonzero on the first violation so the
+bench-smoke job fails loudly when an emitter regresses.
+"""
+
+import argparse
+import json
+import sys
+
+# Keys bench_smoke has always written; CI artifact diffs rely on them.
+BENCH_REQUIRED = {
+    "dataset": str,
+    "vertices": int,
+    "edges": int,
+    "hidden_features": int,
+    "threads": int,
+    "epoch_seconds": float,
+    "final_loss": float,
+    "backward_seconds_unfused": float,
+    "backward_seconds_fused": float,
+    "backward_speedup": float,
+    "aggregation_gflops": float,
+    "dma_aggregation_gflops": float,
+    "gemm_gflops": float,
+}
+
+# Span names a traced bench_smoke run must have exercised (acceptance
+# criterion: aggregation, GEMM, backward and DMA all show up).
+TRACE_REQUIRED_SPANS = [
+    "agg.basic",
+    "gemm",
+    "fused.backward",
+    "dma.pipeline",
+]
+
+HISTOGRAM_BUCKETS = 65  # log2 buckets: bit widths 0..64
+
+
+def fail(message):
+    print(f"check_metrics_schema: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def load(path):
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            return json.load(handle)
+    except (OSError, json.JSONDecodeError) as error:
+        fail(f"{path}: {error}")
+
+
+def expect_number(value, what):
+    # json loads whole-valued floats as int; both are fine for rates.
+    if not isinstance(value, (int, float)) or isinstance(value, bool):
+        fail(f"{what} is {type(value).__name__}, expected a number")
+
+
+def check_bench(path):
+    doc = load(path)
+    if not isinstance(doc, dict):
+        fail(f"{path}: top level is not an object")
+    for key, kind in BENCH_REQUIRED.items():
+        if key not in doc:
+            fail(f"{path}: missing key '{key}'")
+        if kind is float:
+            expect_number(doc[key], f"{path}:{key}")
+        elif not isinstance(doc[key], kind):
+            fail(f"{path}:{key} is {type(doc[key]).__name__}, "
+                 f"expected {kind.__name__}")
+    phases = doc.get("phases")
+    if phases is not None:
+        if not isinstance(phases, dict) or not phases:
+            fail(f"{path}: 'phases' must be a non-empty object")
+        for name, entry in phases.items():
+            if not isinstance(entry, dict):
+                fail(f"{path}: phase '{name}' is not an object")
+            if not isinstance(entry.get("count"), int):
+                fail(f"{path}: phase '{name}' missing integer 'count'")
+            expect_number(entry.get("seconds"), f"phase '{name}' seconds")
+    print(f"check_metrics_schema: OK {path} "
+          f"({len(doc)} keys, phases={'yes' if phases else 'no'})")
+
+
+def check_metrics(path):
+    doc = load(path)
+    for section in ("counters", "gauges", "histograms"):
+        if not isinstance(doc.get(section), dict):
+            fail(f"{path}: missing object '{section}'")
+    for name, value in doc["counters"].items():
+        if not isinstance(value, int) or value < 0:
+            fail(f"{path}: counter '{name}' is not a non-negative int")
+    for name, value in doc["gauges"].items():
+        expect_number(value, f"gauge '{name}'")
+    for name, hist in doc["histograms"].items():
+        if not isinstance(hist, dict):
+            fail(f"{path}: histogram '{name}' is not an object")
+        for key in ("count", "sum", "min", "max"):
+            if not isinstance(hist.get(key), int):
+                fail(f"{path}: histogram '{name}' missing int '{key}'")
+        buckets = hist.get("log2_buckets")
+        if (not isinstance(buckets, list)
+                or len(buckets) != HISTOGRAM_BUCKETS
+                or not all(isinstance(b, int) for b in buckets)):
+            fail(f"{path}: histogram '{name}' needs "
+                 f"{HISTOGRAM_BUCKETS} integer log2_buckets")
+        if sum(buckets) != hist["count"]:
+            fail(f"{path}: histogram '{name}' bucket sum "
+                 f"{sum(buckets)} != count {hist['count']}")
+    print(f"check_metrics_schema: OK {path} "
+          f"({len(doc['counters'])} counters, "
+          f"{len(doc['histograms'])} histograms)")
+
+
+def check_trace(path, required_spans):
+    doc = load(path)
+    events = doc.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        fail(f"{path}: missing non-empty 'traceEvents' array")
+    names = set()
+    for event in events:
+        if not isinstance(event, dict):
+            fail(f"{path}: traceEvents entry is not an object")
+        for key in ("name", "ph", "pid", "tid", "ts", "dur"):
+            if key not in event:
+                fail(f"{path}: trace event missing '{key}'")
+        if event["ph"] != "X":
+            fail(f"{path}: unexpected event phase '{event['ph']}'")
+        expect_number(event["ts"], f"{path}: ts")
+        expect_number(event["dur"], f"{path}: dur")
+        names.add(event["name"])
+    for span in required_spans:
+        if span not in names:
+            fail(f"{path}: required span '{span}' absent "
+                 f"(saw: {', '.join(sorted(names))})")
+    print(f"check_metrics_schema: OK {path} "
+          f"({len(events)} events, {len(names)} distinct spans)")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--bench", help="BENCH_smoke.json path")
+    parser.add_argument("--metrics", help="metrics registry JSON path")
+    parser.add_argument("--trace", help="chrome://tracing JSON path")
+    parser.add_argument("--require-span", action="append", default=None,
+                        help="span name the trace must contain "
+                             "(default: the bench_smoke hot-path set)")
+    args = parser.parse_args()
+    if not (args.bench or args.metrics or args.trace):
+        parser.error("nothing to check: pass --bench/--metrics/--trace")
+    if args.bench:
+        check_bench(args.bench)
+    if args.metrics:
+        check_metrics(args.metrics)
+    if args.trace:
+        spans = args.require_span
+        if spans is None:
+            spans = TRACE_REQUIRED_SPANS
+        check_trace(args.trace, spans)
+
+
+if __name__ == "__main__":
+    main()

@@ -17,8 +17,28 @@ Options::add(const std::string &name, const std::string &defaultValue,
              const std::string &help)
 {
     GRAPHITE_ASSERT(find(name) == nullptr, "duplicate option");
-    entries_.push_back(Entry{name, defaultValue, help});
+    entries_.push_back(Entry{name, defaultValue, defaultValue, help});
 }
+
+namespace {
+
+/**
+ * Is @p token a value (vs the next option)? Anything not starting with
+ * '-' is a value; so is a negative number ("-3", "-0.5", "-.5") —
+ * signed CLI values (trace sampling offsets, negative epsilons) must
+ * survive the `--opt value` form.
+ */
+bool
+looksLikeValue(const char *token)
+{
+    if (token[0] != '-')
+        return true;
+    const char next = token[1];
+    return (next >= '0' && next <= '9') ||
+           (next == '.' && token[2] >= '0' && token[2] <= '9');
+}
+
+} // namespace
 
 void
 Options::parse(int argc, char **argv)
@@ -44,9 +64,14 @@ Options::parse(int argc, char **argv)
         Entry *entry = find(name);
         if (!entry)
             fatal("unknown option '--%s' (try --help)", name.c_str());
+        if (haveValue && value.empty()) {
+            fatal("empty value for '--%s=' (pass --%s=<value>, or drop "
+                  "the '=' for the boolean form)",
+                  name.c_str(), name.c_str());
+        }
         if (!haveValue) {
             // `--flag value` form, or bare boolean `--flag`.
-            if (i + 1 < argc && argv[i + 1][0] != '-') {
+            if (i + 1 < argc && looksLikeValue(argv[i + 1])) {
                 value = argv[++i];
             } else {
                 value = "true";
@@ -62,6 +87,14 @@ Options::getString(const std::string &name) const
     const Entry *entry = find(name);
     GRAPHITE_ASSERT(entry != nullptr, "option not registered");
     return entry->value;
+}
+
+std::string
+Options::getDefault(const std::string &name) const
+{
+    const Entry *entry = find(name);
+    GRAPHITE_ASSERT(entry != nullptr, "option not registered");
+    return entry->defaultValue;
 }
 
 std::int64_t
@@ -107,7 +140,7 @@ Options::printHelp(const char *argv0) const
                 description_.c_str(), argv0);
     for (const auto &entry : entries_) {
         std::printf("  --%-24s %s (default: %s)\n", entry.name.c_str(),
-                    entry.help.c_str(), entry.value.c_str());
+                    entry.help.c_str(), entry.defaultValue.c_str());
     }
 }
 

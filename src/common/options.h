@@ -37,6 +37,9 @@ class Options
     /** String value of @p name (the default if unset). */
     std::string getString(const std::string &name) const;
 
+    /** The default registered for @p name (unchanged by parse()). */
+    std::string getDefault(const std::string &name) const;
+
     /** Integer value of @p name. */
     std::int64_t getInt(const std::string &name) const;
 
@@ -51,6 +54,9 @@ class Options
     {
         std::string name;
         std::string value;
+        /** Registered default, kept verbatim so --help can print it
+         *  even after parse() has overwritten value. */
+        std::string defaultValue;
         std::string help;
     };
 

@@ -6,6 +6,8 @@
 #include <vector>
 
 #include "common/assert.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "parallel/thread_pool.h"
 #include "tensor/gemm.h"
 
@@ -191,8 +193,10 @@ runPipeline(const CsrGraph &graph, const DenseMatrix &in,
     // update is still owed (Algorithm 5's Q'/R bookkeeping).
     std::vector<std::vector<VertexId>> pendingBlock(numThreads);
 
+    GRAPHITE_TRACE_SPAN("dma.pipeline");
     parallelFor(0, numVertices, task,
                 [&](std::size_t begin, std::size_t end, std::size_t tid) {
+        GRAPHITE_TRACE_SPAN("dma.block");
         ThreadEngine &te = engines[tid];
         for (std::size_t j = begin; j < end; j += blockSize) {
             const std::size_t blockEnd = std::min(j + blockSize, end);
@@ -231,6 +235,24 @@ runPipeline(const CsrGraph &graph, const DenseMatrix &in,
         total.descriptors += c.descriptors;
         total.splitDescriptors += c.splitDescriptors;
         total.blocksGathered += c.blocksGathered;
+    }
+
+    // Mirror the run's totals into the metrics registry so DMA traffic
+    // shows up next to the kernel counters on scrape.
+    obs::MetricsRegistry &metrics = obs::MetricsRegistry::global();
+    if (metrics.enabled()) {
+        static obs::Counter &descriptors =
+            metrics.counter("dma.descriptors");
+        static obs::Counter &splitDescriptors =
+            metrics.counter("dma.split_descriptors");
+        static obs::Counter &blocksGathered =
+            metrics.counter("dma.blocks_gathered");
+        static obs::Counter &bytesGathered =
+            metrics.counter("dma.bytes_gathered");
+        descriptors.add(total.descriptors);
+        splitDescriptors.add(total.splitDescriptors);
+        blocksGathered.add(total.blocksGathered);
+        bytesGathered.add(total.blocksGathered * in.rowBytes());
     }
     return total;
 }

@@ -4,6 +4,7 @@
 
 #include "common/assert.h"
 #include "common/rng.h"
+#include "obs/trace.h"
 #include "kernels/fused_layer.h"
 #include "parallel/thread_pool.h"
 #include "tensor/gemm.h"
@@ -84,6 +85,7 @@ GnnLayer::forwardInference(const CsrGraph &graph,
                            std::span<const VertexId> order,
                            const TechniqueConfig &tech) const
 {
+    GRAPHITE_TRACE_SPAN("layer.forward");
     const UpdateOp update{&weights_, bias_, relu_, &packedWeights()};
     const bool packedIn = tech.compression && inCompressed != nullptr;
     if (tech.fusion) {
@@ -123,6 +125,7 @@ GnnLayer::forwardTraining(const CsrGraph &graph, const AggregationSpec &spec,
                           std::span<const VertexId> order,
                           const TechniqueConfig &tech) const
 {
+    GRAPHITE_TRACE_SPAN("layer.forward");
     const VertexId n = graph.numVertices();
     if (ctx.agg.rows() != n || ctx.agg.cols() != inFeatures_)
         ctx.agg.resize(n, inFeatures_);
@@ -174,6 +177,7 @@ GnnLayer::backward(const CsrGraph &transposed,
                    DenseMatrix *gradIn, std::span<const VertexId> order,
                    const TechniqueConfig &tech)
 {
+    GRAPHITE_TRACE_SPAN("layer.backward");
     GRAPHITE_ASSERT(gradOut.rows() == ctx.output.rows() &&
                         gradOut.cols() == outFeatures_,
                     "gradOut shape mismatch");
@@ -207,6 +211,7 @@ GnnLayer::backward(const CsrGraph &transposed,
 void
 GnnLayer::sgdStep(float learningRate)
 {
+    GRAPHITE_TRACE_SPAN("layer.sgd");
     parallelFor(0, weights_.rows(), 64,
                 [&](std::size_t begin, std::size_t end, std::size_t) {
         for (std::size_t r = begin; r < end; ++r) {

@@ -1,6 +1,7 @@
 #include "gnn/gnn_model.h"
 
 #include "common/assert.h"
+#include "obs/trace.h"
 #include "tensor/row_ops.h"
 
 namespace graphite {
@@ -59,6 +60,7 @@ const DenseMatrix &
 GnnModel::inference(const DenseMatrix &inputFeatures,
                     const TechniqueConfig &tech)
 {
+    GRAPHITE_TRACE_SPAN("model.inference");
     GRAPHITE_ASSERT(inputFeatures.rows() == graph_->numVertices(),
                     "input row count mismatch");
     GRAPHITE_ASSERT(inputFeatures.cols() == config_.featureWidths.front(),
@@ -95,6 +97,7 @@ const DenseMatrix &
 GnnModel::trainForward(const DenseMatrix &inputFeatures,
                        const TechniqueConfig &tech)
 {
+    GRAPHITE_TRACE_SPAN("model.forward");
     GRAPHITE_ASSERT(inputFeatures.rows() == graph_->numVertices(),
                     "input row count mismatch");
     const auto order = localityOrderFor(tech);
@@ -128,6 +131,7 @@ GnnModel::trainForward(const DenseMatrix &inputFeatures,
 void
 GnnModel::trainBackward(DenseMatrix &lossGrad, const TechniqueConfig &tech)
 {
+    GRAPHITE_TRACE_SPAN("model.backward");
     const auto order = transposedLocalityOrderFor(tech);
     DenseMatrix *gradOut = &lossGrad;
     for (std::size_t k = layers_.size(); k-- > 0;) {
@@ -151,6 +155,7 @@ GnnModel::trainBackward(DenseMatrix &lossGrad, const TechniqueConfig &tech)
 void
 GnnModel::sgdStep(float learningRate)
 {
+    GRAPHITE_TRACE_SPAN("model.sgd");
     for (auto &layer : layers_)
         layer->sgdStep(learningRate);
 }

@@ -6,6 +6,8 @@
 #include "common/assert.h"
 #include "common/rng.h"
 #include "common/timer.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "tensor/row_ops.h"
 
 namespace graphite {
@@ -57,28 +59,58 @@ makeSplitMasks(std::size_t numVertices, double trainFraction,
 EpochStats
 Trainer::trainEpoch()
 {
+    GRAPHITE_TRACE_SPAN("epoch");
     Timer timer;
-    const DenseMatrix &logits =
-        model_.trainForward(inputFeatures_, config_.tech);
-    if (config_.checkNumerics)
-        requireFinite(logits, "forward logits");
-    lossGradScratch_.reshape(logits.rows(), logits.cols());
-    EpochStats stats;
-    if (config_.trainMask.empty()) {
-        stats.loss = softmaxCrossEntropy(logits, labels_,
-                                         lossGradScratch_);
-        stats.trainAccuracy = accuracy(logits, labels_);
-    } else {
-        stats.loss = softmaxCrossEntropyMasked(
-            logits, labels_, config_.trainMask, lossGradScratch_);
-        stats.trainAccuracy =
-            accuracyMasked(logits, labels_, config_.trainMask);
+    // checkNumerics sweeps are validation, not training: time them
+    // separately so stats.seconds stays comparable whether or not the
+    // sweep is enabled (it used to be silently folded in).
+    double numericsSeconds = 0.0;
+    const auto sweep = [&](const DenseMatrix &m, const char *what) {
+        GRAPHITE_TRACE_SPAN("epoch.numerics");
+        Timer sweepTimer;
+        requireFinite(m, what);
+        numericsSeconds += sweepTimer.seconds();
+    };
+
+    const DenseMatrix *logits = nullptr;
+    {
+        GRAPHITE_TRACE_SPAN("epoch.forward");
+        logits = &model_.trainForward(inputFeatures_, config_.tech);
     }
     if (config_.checkNumerics)
-        requireFinite(lossGradScratch_, "loss gradient");
-    model_.trainBackward(lossGradScratch_, config_.tech);
-    model_.sgdStep(config_.learningRate);
-    stats.seconds = timer.seconds();
+        sweep(*logits, "forward logits");
+    lossGradScratch_.reshape(logits->rows(), logits->cols());
+    EpochStats stats;
+    {
+        GRAPHITE_TRACE_SPAN("epoch.loss");
+        if (config_.trainMask.empty()) {
+            stats.loss = softmaxCrossEntropy(*logits, labels_,
+                                             lossGradScratch_);
+            stats.trainAccuracy = accuracy(*logits, labels_);
+        } else {
+            stats.loss = softmaxCrossEntropyMasked(
+                *logits, labels_, config_.trainMask, lossGradScratch_);
+            stats.trainAccuracy =
+                accuracyMasked(*logits, labels_, config_.trainMask);
+        }
+    }
+    if (config_.checkNumerics)
+        sweep(lossGradScratch_, "loss gradient");
+    {
+        GRAPHITE_TRACE_SPAN("epoch.backward");
+        model_.trainBackward(lossGradScratch_, config_.tech);
+    }
+    {
+        GRAPHITE_TRACE_SPAN("epoch.sgd");
+        model_.sgdStep(config_.learningRate);
+    }
+    stats.numericsSeconds = numericsSeconds;
+    stats.seconds = timer.seconds() - numericsSeconds;
+    if (numericsSeconds > 0.0) {
+        static obs::Counter &numericsNs =
+            obs::MetricsRegistry::global().counter("trainer.numerics_ns");
+        numericsNs.add(static_cast<std::uint64_t>(numericsSeconds * 1e9));
+    }
     return stats;
 }
 

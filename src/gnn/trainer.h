@@ -19,7 +19,15 @@ struct EpochStats
 {
     double loss = 0.0;
     double trainAccuracy = 0.0;
+    /**
+     * Wall-clock seconds of the epoch's training work (forward + loss
+     * + backward + SGD). Excludes the optional checkNumerics sweeps —
+     * those are validation, not training, and folding them in used to
+     * silently inflate every reported epoch time when the sweep was on.
+     */
     double seconds = 0.0;
+    /** Wall-clock seconds spent in checkNumerics sweeps (0 when off). */
+    double numericsSeconds = 0.0;
 };
 
 /** Hyper-parameters of a training run. */

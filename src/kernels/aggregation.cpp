@@ -5,6 +5,8 @@
 #include <cstring>
 
 #include "common/assert.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "parallel/thread_pool.h"
 
 #if defined(__AVX512F__)
@@ -200,6 +202,24 @@ aggregateVertexGeneric(const CsrGraph &graph, const DenseMatrix &in,
 }
 
 /**
+ * Rows gathered by the vertices at order positions [begin, end): one
+ * per neighbour plus the self row. Only walked when the metrics
+ * registry is enabled (the aggregation loop itself stays untouched).
+ */
+std::uint64_t
+rowsGathered(const CsrGraph &graph, std::span<const VertexId> order,
+             std::size_t begin, std::size_t end)
+{
+    std::uint64_t rows = 0;
+    for (std::size_t i = begin; i < end; ++i) {
+        const VertexId v =
+            order.empty() ? static_cast<VertexId>(i) : order[i];
+        rows += graph.rowEnd(v) - graph.rowBegin(v) + 1;
+    }
+    return rows;
+}
+
+/**
  * Prefetch the first @p lines cache lines of the feature vectors vertex
  * @p v's aggregation will gather (Algorithm 1 lines 8-9).
  */
@@ -251,8 +271,15 @@ aggregateBasic(const CsrGraph &graph, const DenseMatrix &in,
                             kFeatureAlignment == 0,
                     "input features must be cache-line aligned");
 
+    GRAPHITE_TRACE_SPAN("agg.basic");
+    obs::MetricsRegistry &metrics = obs::MetricsRegistry::global();
+    static obs::Counter &bytesGathered =
+        metrics.counter("agg.bytes_gathered");
+    static obs::Counter &flops = metrics.counter("agg.flops");
+
     parallelFor(0, n, config.taskSize,
                 [&](std::size_t begin, std::size_t end, std::size_t) {
+        GRAPHITE_TRACE_SPAN("agg.block");
         for (std::size_t i = begin; i < end; ++i) {
             const VertexId v =
                 order.empty() ? static_cast<VertexId>(i) : order[i];
@@ -265,6 +292,12 @@ aggregateBasic(const CsrGraph &graph, const DenseMatrix &in,
                 prefetchVertexInputs(graph, in, next,
                                      config.prefetchLines);
             }
+        }
+        if (metrics.enabled()) {
+            const std::uint64_t rows =
+                rowsGathered(graph, order, begin, end);
+            bytesGathered.add(rows * in.rowBytes());
+            flops.add(2 * rows * in.cols());
         }
     });
 }
@@ -287,8 +320,16 @@ aggregateCompressed(const CsrGraph &graph, const CompressedMatrix &in,
         panic("aggregateCompressed: %s", error);
     const std::size_t stride = out.rowStride();
 
+    GRAPHITE_TRACE_SPAN("agg.compressed");
+    obs::MetricsRegistry &metrics = obs::MetricsRegistry::global();
+    static obs::Counter &flops = metrics.counter("agg.flops");
+
     parallelFor(0, n, config.taskSize,
                 [&](std::size_t begin, std::size_t end, std::size_t) {
+        GRAPHITE_TRACE_SPAN("agg.block");
+        if (metrics.enabled())
+            flops.add(2 * rowsGathered(graph, order, begin, end) *
+                      in.cols());
         for (std::size_t i = begin; i < end; ++i) {
             const VertexId v =
                 order.empty() ? static_cast<VertexId>(i) : order[i];

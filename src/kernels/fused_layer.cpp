@@ -5,6 +5,8 @@
 #include <vector>
 
 #include "common/assert.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "parallel/thread_pool.h"
 #include "tensor/gemm.h"
 #include "tensor/row_ops.h"
@@ -115,8 +117,23 @@ fusedDriver(const CsrGraph &graph, std::size_t inCols,
         (inCols + kFloatsPerLine - 1) / kFloatsPerLine * kFloatsPerLine;
     const std::size_t outStride = out.rowStride();
 
+    // Per-block accounting (paper Fig. 13's per-phase byte/FLOP story):
+    // rows gathered feed the bytes counter, aggregation + micro-GEMM
+    // FLOPs feed the other. Near-no-op when the registry is disabled.
+    obs::MetricsRegistry &metrics = obs::MetricsRegistry::global();
+    static obs::Counter &bytesGathered =
+        metrics.counter("fused.bytes_gathered");
+    static obs::Counter &flops = metrics.counter("fused.flops");
+    static obs::Histogram &blockMicros =
+        metrics.histogram("fused.block_us");
+
     parallelFor(0, n, taskVertices,
                 [&](std::size_t begin, std::size_t end, std::size_t) {
+        GRAPHITE_TRACE_SPAN("fused.block");
+        const bool metricsOn = metrics.enabled();
+        const obs::TraceNs taskStart =
+            metricsOn ? obs::TraceRecorder::now() : 0;
+        std::uint64_t rowsPulled = 0;
         Feature *agg = aggScratch(blockSize * aggStride);
         Feature *upd = updScratch(blockSize * outStride);
         for (std::size_t j = begin; j < end; j += blockSize) {
@@ -128,6 +145,8 @@ fusedDriver(const CsrGraph &graph, std::size_t inCols,
                 const VertexId v =
                     order.empty() ? static_cast<VertexId>(i) : order[i];
                 aggregateOne(v, agg + m * aggStride);
+                if (metricsOn)
+                    rowsPulled += graph.rowEnd(v) - graph.rowBegin(v) + 1;
                 if (config.agg.prefetchDistance > 0 &&
                     i + config.agg.prefetchDistance < end) {
                     const std::size_t ahead =
@@ -163,6 +182,15 @@ fusedDriver(const CsrGraph &graph, std::size_t inCols,
                     outCompressed->compressRowFrom(v, upd + m * outStride);
             }
         }
+        if (metricsOn) {
+            const std::uint64_t taskRows = end - begin;
+            bytesGathered.add(rowsPulled * inCols * sizeof(Feature));
+            // Aggregation multiply-adds plus the per-block micro-GEMM.
+            flops.add(2 * rowsPulled * inCols +
+                      2 * taskRows * inCols * out.cols());
+            blockMicros.observe(
+                (obs::TraceRecorder::now() - taskStart) / 1000);
+        }
     });
 }
 
@@ -195,6 +223,7 @@ fusedLayerTraining(const CsrGraph &graph, const DenseMatrix &in,
                    std::span<const VertexId> order,
                    const FusedConfig &config)
 {
+    GRAPHITE_TRACE_SPAN("fused.forward");
     GRAPHITE_ASSERT(in.rows() == graph.numVertices(), "row mismatch");
     GRAPHITE_ASSERT(aggOut.rows() == in.rows() &&
                         aggOut.cols() == in.cols(),
@@ -227,6 +256,7 @@ fusedLayerInference(const CsrGraph &graph, const DenseMatrix &in,
                     DenseMatrix &out, std::span<const VertexId> order,
                     const FusedConfig &config)
 {
+    GRAPHITE_TRACE_SPAN("fused.forward");
     GRAPHITE_ASSERT(in.rows() == graph.numVertices(), "row mismatch");
     if (const char *error = validateSpec(spec, graph))
         panic("fusedLayerInference: %s", error);
@@ -260,6 +290,7 @@ fusedLayerTrainingCompressed(const CsrGraph &graph,
                              std::span<const VertexId> order,
                              const FusedConfig &config)
 {
+    GRAPHITE_TRACE_SPAN("fused.forward");
     GRAPHITE_ASSERT(in.rows() == graph.numVertices(), "row mismatch");
     GRAPHITE_ASSERT(aggOut.rows() == in.rows() &&
                         aggOut.cols() == in.cols(),
@@ -294,6 +325,7 @@ fusedLayerInferenceCompressed(const CsrGraph &graph,
                               std::span<const VertexId> order,
                               const FusedConfig &config)
 {
+    GRAPHITE_TRACE_SPAN("fused.forward");
     GRAPHITE_ASSERT(in.rows() == graph.numVertices(), "row mismatch");
     if (const char *error = validateSpec(spec, graph))
         panic("fusedLayerInferenceCompressed: %s", error);
@@ -323,6 +355,7 @@ fusedLayerBackward(const CsrGraph &transposed, const DenseMatrix &dz,
                    std::span<const VertexId> order,
                    const FusedConfig &config)
 {
+    GRAPHITE_TRACE_SPAN("fused.backward");
     GRAPHITE_ASSERT(dz.rows() == transposed.numVertices(),
                     "row mismatch");
     GRAPHITE_ASSERT(gradIn.rows() == dz.rows(), "gradIn row mismatch");

@@ -1,0 +1,340 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <limits>
+
+#include "common/assert.h"
+#include "common/logging.h"
+
+namespace graphite::obs {
+
+namespace detail {
+
+std::size_t
+threadSlot()
+{
+    static std::atomic<std::size_t> next{0};
+    thread_local const std::size_t slot =
+        next.fetch_add(1, std::memory_order_relaxed);
+    return slot;
+}
+
+} // namespace detail
+
+namespace {
+
+/** Bit width of @p v: 0 for 0, else position of the highest set bit + 1. */
+std::size_t
+bucketOf(std::uint64_t v)
+{
+    return v == 0 ? 0 : 64 - static_cast<std::size_t>(__builtin_clzll(v));
+}
+
+std::uint64_t
+sumCells(const detail::ShardCell (&cells)[kMetricShards])
+{
+    std::uint64_t total = 0;
+    for (const auto &cell : cells)
+        total += cell.value.load(std::memory_order_relaxed);
+    return total;
+}
+
+/** Relaxed atomic min/max via check-then-CAS (rare after warm-up). */
+void
+atomicMin(std::atomic<std::uint64_t> &slot, std::uint64_t v)
+{
+    std::uint64_t cur = slot.load(std::memory_order_relaxed);
+    while (v < cur &&
+           !slot.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+}
+
+void
+atomicMax(std::atomic<std::uint64_t> &slot, std::uint64_t v)
+{
+    std::uint64_t cur = slot.load(std::memory_order_relaxed);
+    while (v > cur &&
+           !slot.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+}
+
+/** JSON string escaping for metric names (quotes, backslash, control). */
+std::string
+escapeJson(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        switch (c) {
+          case '"':  out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          case '\r': out += "\\r"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+std::uint64_t
+Counter::value() const
+{
+    return sumCells(cells_);
+}
+
+double
+Gauge::value() const
+{
+    const std::uint64_t bits = bits_.load(std::memory_order_relaxed);
+    double v;
+    __builtin_memcpy(&v, &bits, sizeof(v));
+    return v;
+}
+
+Histogram::Histogram(std::string name, const std::atomic<bool> *enabled)
+    : name_(std::move(name)), enabled_(enabled),
+      min_(std::numeric_limits<std::uint64_t>::max()), max_(0)
+{
+    for (auto &bucket : buckets_)
+        bucket.store(0, std::memory_order_relaxed);
+}
+
+void
+Histogram::observe(std::uint64_t v)
+{
+    if (!enabled_->load(std::memory_order_relaxed))
+        return;
+    const std::size_t slot = detail::threadSlot() % kMetricShards;
+    counts_[slot].value.fetch_add(1, std::memory_order_relaxed);
+    sums_[slot].value.fetch_add(v, std::memory_order_relaxed);
+    buckets_[bucketOf(v)].fetch_add(1, std::memory_order_relaxed);
+    atomicMin(min_, v);
+    atomicMax(max_, v);
+}
+
+std::uint64_t
+Histogram::count() const
+{
+    return sumCells(counts_);
+}
+
+std::uint64_t
+Histogram::sum() const
+{
+    return sumCells(sums_);
+}
+
+std::uint64_t
+Histogram::min() const
+{
+    const std::uint64_t v = min_.load(std::memory_order_relaxed);
+    return v == std::numeric_limits<std::uint64_t>::max() ? 0 : v;
+}
+
+std::uint64_t
+Histogram::max() const
+{
+    return max_.load(std::memory_order_relaxed);
+}
+
+std::vector<std::uint64_t>
+Histogram::buckets() const
+{
+    std::vector<std::uint64_t> out(kBuckets);
+    for (std::size_t i = 0; i < kBuckets; ++i)
+        out[i] = buckets_[i].load(std::memory_order_relaxed);
+    return out;
+}
+
+MetricsRegistry &
+MetricsRegistry::global()
+{
+    static MetricsRegistry registry;
+    return registry;
+}
+
+MetricsRegistry::Kind *
+MetricsRegistry::findKind(const std::string &name)
+{
+    for (auto &entry : kinds_) {
+        if (entry.first == name)
+            return &entry.second;
+    }
+    return nullptr;
+}
+
+Counter &
+MetricsRegistry::counter(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (const Kind *kind = findKind(name)) {
+        if (*kind != Kind::Counter)
+            panic("metric '%s' already registered with another kind",
+                  name.c_str());
+        for (const auto &c : counters_) {
+            if (c->name() == name)
+                return *c;
+        }
+    }
+    kinds_.emplace_back(name, Kind::Counter);
+    counters_.push_back(
+        std::unique_ptr<Counter>(new Counter(name, &enabled_)));
+    return *counters_.back();
+}
+
+Gauge &
+MetricsRegistry::gauge(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (const Kind *kind = findKind(name)) {
+        if (*kind != Kind::Gauge)
+            panic("metric '%s' already registered with another kind",
+                  name.c_str());
+        for (const auto &g : gauges_) {
+            if (g->name() == name)
+                return *g;
+        }
+    }
+    kinds_.emplace_back(name, Kind::Gauge);
+    gauges_.push_back(std::unique_ptr<Gauge>(new Gauge(name, &enabled_)));
+    return *gauges_.back();
+}
+
+Histogram &
+MetricsRegistry::histogram(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (const Kind *kind = findKind(name)) {
+        if (*kind != Kind::Histogram)
+            panic("metric '%s' already registered with another kind",
+                  name.c_str());
+        for (const auto &h : histograms_) {
+            if (h->name() == name)
+                return *h;
+        }
+    }
+    kinds_.emplace_back(name, Kind::Histogram);
+    histograms_.push_back(
+        std::unique_ptr<Histogram>(new Histogram(name, &enabled_)));
+    return *histograms_.back();
+}
+
+void
+MetricsRegistry::reset()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto &c : counters_) {
+        for (auto &cell : c->cells_)
+            cell.value.store(0, std::memory_order_relaxed);
+    }
+    for (auto &g : gauges_)
+        g->bits_.store(0, std::memory_order_relaxed);
+    for (auto &h : histograms_) {
+        for (std::size_t s = 0; s < kMetricShards; ++s) {
+            h->counts_[s].value.store(0, std::memory_order_relaxed);
+            h->sums_[s].value.store(0, std::memory_order_relaxed);
+        }
+        for (auto &bucket : h->buckets_)
+            bucket.store(0, std::memory_order_relaxed);
+        h->min_.store(std::numeric_limits<std::uint64_t>::max(),
+                      std::memory_order_relaxed);
+        h->max_.store(0, std::memory_order_relaxed);
+    }
+}
+
+MetricsSnapshot
+MetricsRegistry::snapshot() const
+{
+    MetricsSnapshot snap;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        for (const auto &c : counters_)
+            snap.counters.emplace_back(c->name(), c->value());
+        for (const auto &g : gauges_)
+            snap.gauges.emplace_back(g->name(), g->value());
+        for (const auto &h : histograms_) {
+            snap.histograms.push_back({h->name(), h->count(), h->sum(),
+                                       h->min(), h->max(), h->buckets()});
+        }
+    }
+    std::sort(snap.counters.begin(), snap.counters.end());
+    std::sort(snap.gauges.begin(), snap.gauges.end());
+    std::sort(snap.histograms.begin(), snap.histograms.end(),
+              [](const auto &a, const auto &b) { return a.name < b.name; });
+    return snap;
+}
+
+std::string
+MetricsRegistry::toJson() const
+{
+    const MetricsSnapshot snap = snapshot();
+    std::string out = "{\n  \"counters\": {";
+    bool first = true;
+    for (const auto &[name, value] : snap.counters) {
+        out += first ? "\n" : ",\n";
+        first = false;
+        out += "    \"" + escapeJson(name) +
+               "\": " + std::to_string(value);
+    }
+    out += first ? "},\n" : "\n  },\n";
+    out += "  \"gauges\": {";
+    first = true;
+    for (const auto &[name, value] : snap.gauges) {
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "%.9g", value);
+        out += first ? "\n" : ",\n";
+        first = false;
+        out += "    \"" + escapeJson(name) + "\": " + buf;
+    }
+    out += first ? "},\n" : "\n  },\n";
+    out += "  \"histograms\": {";
+    first = true;
+    for (const auto &h : snap.histograms) {
+        out += first ? "\n" : ",\n";
+        first = false;
+        out += "    \"" + escapeJson(h.name) + "\": {\"count\": " +
+               std::to_string(h.count) + ", \"sum\": " +
+               std::to_string(h.sum) + ", \"min\": " +
+               std::to_string(h.min) + ", \"max\": " +
+               std::to_string(h.max) + ", \"log2_buckets\": [";
+        for (std::size_t i = 0; i < h.buckets.size(); ++i) {
+            if (i != 0)
+                out += ", ";
+            out += std::to_string(h.buckets[i]);
+        }
+        out += "]}";
+    }
+    out += first ? "}\n" : "\n  }\n";
+    out += "}\n";
+    return out;
+}
+
+bool
+MetricsRegistry::writeJson(const std::string &path) const
+{
+    std::FILE *file = std::fopen(path.c_str(), "w");
+    if (file == nullptr) {
+        warn("metrics: cannot open '%s' for writing", path.c_str());
+        return false;
+    }
+    const std::string json = toJson();
+    const bool ok =
+        std::fwrite(json.data(), 1, json.size(), file) == json.size();
+    std::fclose(file);
+    if (!ok)
+        warn("metrics: short write to '%s'", path.c_str());
+    return ok;
+}
+
+} // namespace graphite::obs

@@ -1,0 +1,232 @@
+/**
+ * @file
+ * Metrics registry: named counters, gauges and histograms with
+ * lock-free per-thread accumulation, merged on scrape.
+ *
+ * The paper's whole argument is a cycle/byte accounting exercise
+ * (aggregation vs update, DRAM traffic saved by fusion/compression —
+ * Sections 4 and 7), so the hot paths publish what they move:
+ * bytes gathered, FLOPs retired, DMA descriptors issued, simulated
+ * cache hits. Handles write into per-thread shards (cache-line padded,
+ * relaxed atomics) so instrumented inner loops never share a write
+ * line; scrape() sums the shards.
+ *
+ * A disabled registry is a near-no-op: every mutation starts with one
+ * relaxed load of the registry's enabled flag and a predictable branch.
+ * Handles returned by counter()/gauge()/histogram() are stable for the
+ * registry's lifetime — reset() zeroes values but never invalidates
+ * handles, so call sites may cache them in function-local statics.
+ *
+ * Scraping while instrumented code is running is safe (atomics) but
+ * yields a torn-in-time view; quiesce first for exact numbers.
+ */
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace graphite::obs {
+
+/** Shard count: enough that pool workers rarely collide. */
+inline constexpr std::size_t kMetricShards = 64;
+
+namespace detail {
+
+/** Stable per-thread slot in [0, inf); callers take it mod kMetricShards. */
+std::size_t threadSlot();
+
+/** One cache line per shard so concurrent adds never false-share. */
+struct alignas(64) ShardCell
+{
+    std::atomic<std::uint64_t> value{0};
+};
+
+} // namespace detail
+
+class MetricsRegistry;
+
+/** Monotonic counter (merged across threads on value()). */
+class Counter
+{
+  public:
+    void
+    add(std::uint64_t n)
+    {
+        if (!enabled_->load(std::memory_order_relaxed))
+            return;
+        cells_[detail::threadSlot() % kMetricShards].value.fetch_add(
+            n, std::memory_order_relaxed);
+    }
+
+    void increment() { add(1); }
+
+    /** Sum over all thread shards. */
+    std::uint64_t value() const;
+
+    const std::string &name() const { return name_; }
+
+  private:
+    friend class MetricsRegistry;
+    Counter(std::string name, const std::atomic<bool> *enabled)
+        : name_(std::move(name)), enabled_(enabled)
+    {
+    }
+
+    std::string name_;
+    const std::atomic<bool> *enabled_;
+    detail::ShardCell cells_[kMetricShards];
+};
+
+/** Last-writer-wins scalar (doubles stored as bit patterns). */
+class Gauge
+{
+  public:
+    void
+    set(double v)
+    {
+        if (!enabled_->load(std::memory_order_relaxed))
+            return;
+        std::uint64_t bits;
+        static_assert(sizeof(bits) == sizeof(v));
+        __builtin_memcpy(&bits, &v, sizeof(bits));
+        bits_.store(bits, std::memory_order_relaxed);
+    }
+
+    double value() const;
+
+    const std::string &name() const { return name_; }
+
+  private:
+    friend class MetricsRegistry;
+    Gauge(std::string name, const std::atomic<bool> *enabled)
+        : name_(std::move(name)), enabled_(enabled)
+    {
+    }
+
+    std::string name_;
+    const std::atomic<bool> *enabled_;
+    std::atomic<std::uint64_t> bits_{0};
+};
+
+/**
+ * Log2-bucketed histogram of unsigned samples: bucket i counts values
+ * whose bit width is i (bucket 0 = value 0). Count/sum accumulate in
+ * per-thread shards; the bucket array is shared (adjacent samples of
+ * one phase land in the same bucket, which stays cheap because the
+ * instrumented paths observe per *block*, not per element).
+ */
+class Histogram
+{
+  public:
+    /** Bucket count: bit widths 0..64. */
+    static constexpr std::size_t kBuckets = 65;
+
+    void observe(std::uint64_t v);
+
+    std::uint64_t count() const;
+    std::uint64_t sum() const;
+    std::uint64_t min() const;
+    std::uint64_t max() const;
+    /** Snapshot of the bucket counts (kBuckets entries). */
+    std::vector<std::uint64_t> buckets() const;
+
+    const std::string &name() const { return name_; }
+
+  private:
+    friend class MetricsRegistry;
+    Histogram(std::string name, const std::atomic<bool> *enabled);
+
+    std::string name_;
+    const std::atomic<bool> *enabled_;
+    detail::ShardCell counts_[kMetricShards];
+    detail::ShardCell sums_[kMetricShards];
+    std::atomic<std::uint64_t> min_;
+    std::atomic<std::uint64_t> max_;
+    std::atomic<std::uint64_t> buckets_[kBuckets];
+};
+
+/** Point-in-time merged view of a registry (for tests and emitters). */
+struct MetricsSnapshot
+{
+    std::vector<std::pair<std::string, std::uint64_t>> counters;
+    std::vector<std::pair<std::string, double>> gauges;
+    struct HistogramEntry
+    {
+        std::string name;
+        std::uint64_t count;
+        std::uint64_t sum;
+        std::uint64_t min;
+        std::uint64_t max;
+        std::vector<std::uint64_t> buckets;
+    };
+    std::vector<HistogramEntry> histograms;
+};
+
+/**
+ * Named-metric registry. Metric creation takes a mutex (cold:
+ * call sites cache handles); mutation is lock-free on the handles.
+ */
+class MetricsRegistry
+{
+  public:
+    MetricsRegistry() = default;
+    MetricsRegistry(const MetricsRegistry &) = delete;
+    MetricsRegistry &operator=(const MetricsRegistry &) = delete;
+
+    /** Process-wide registry the built-in instrumentation writes to. */
+    static MetricsRegistry &global();
+
+    void
+    setEnabled(bool enabled)
+    {
+        enabled_.store(enabled, std::memory_order_relaxed);
+    }
+
+    bool
+    enabled() const
+    {
+        return enabled_.load(std::memory_order_relaxed);
+    }
+
+    /**
+     * Find-or-create. Registering the same name under a different
+     * metric kind is a panic (one namespace for all three kinds).
+     * @{
+     */
+    Counter &counter(const std::string &name);
+    Gauge &gauge(const std::string &name);
+    Histogram &histogram(const std::string &name);
+    /** @} */
+
+    /** Zero every metric. Handles stay valid. */
+    void reset();
+
+    /** Merged values, sorted by name within each kind. */
+    MetricsSnapshot snapshot() const;
+
+    /** Snapshot serialised as a JSON object (counters/gauges/histograms). */
+    std::string toJson() const;
+
+    /** toJson() to @p path; false (with a log line) on I/O failure. */
+    bool writeJson(const std::string &path) const;
+
+  private:
+    enum class Kind { Counter, Gauge, Histogram };
+
+    /** Registered name → kind, guarding cross-kind collisions. */
+    Kind *findKind(const std::string &name);
+
+    std::atomic<bool> enabled_{false};
+    mutable std::mutex mutex_;
+    std::vector<std::pair<std::string, Kind>> kinds_;
+    std::vector<std::unique_ptr<Counter>> counters_;
+    std::vector<std::unique_ptr<Gauge>> gauges_;
+    std::vector<std::unique_ptr<Histogram>> histograms_;
+};
+
+} // namespace graphite::obs

@@ -1,0 +1,191 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <map>
+
+#include "common/logging.h"
+
+namespace graphite::obs {
+
+/**
+ * One thread's bounded event ring. Written only by the owning thread;
+ * read by collect()/summarize() at quiescent points.
+ */
+struct TraceRecorder::ThreadLog
+{
+    explicit ThreadLog(std::uint32_t id, std::size_t capacity)
+        : tid(id), cap(capacity)
+    {
+        ring.reserve(std::min<std::size_t>(capacity, 1024));
+    }
+
+    std::uint32_t tid;
+    std::size_t cap;
+    std::vector<TraceEvent> ring;
+    /** Overwrite cursor once the ring is full. */
+    std::size_t wrap = 0;
+    /** Events ever recorded (dropped = total - ring.size()). */
+    std::uint64_t total = 0;
+    /** Open-span nesting depth of the owning thread. */
+    std::uint32_t depth = 0;
+
+    void
+    push(const TraceEvent &event)
+    {
+        ++total;
+        if (ring.size() < cap) {
+            ring.push_back(event);
+            return;
+        }
+        ring[wrap] = event;
+        wrap = (wrap + 1) % cap;
+    }
+};
+
+TraceRecorder &
+TraceRecorder::global()
+{
+    static TraceRecorder recorder;
+    return recorder;
+}
+
+TraceNs
+TraceRecorder::now()
+{
+    static const auto epoch = std::chrono::steady_clock::now();
+    return static_cast<TraceNs>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - epoch)
+            .count());
+}
+
+void
+TraceRecorder::setCapacityPerThread(std::size_t capacity)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    capacity_ = std::max<std::size_t>(1, capacity);
+}
+
+TraceRecorder::ThreadLog &
+TraceRecorder::threadLog()
+{
+    thread_local ThreadLog *log = nullptr;
+    if (log == nullptr) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        logs_.push_back(std::make_unique<ThreadLog>(
+            static_cast<std::uint32_t>(logs_.size()), capacity_));
+        log = logs_.back().get();
+    }
+    return *log;
+}
+
+void
+TraceRecorder::spanOpened()
+{
+    ++threadLog().depth;
+}
+
+void
+TraceRecorder::record(const char *name, TraceNs start, TraceNs end)
+{
+    ThreadLog &log = threadLog();
+    // The span closing now was the deepest open one on this thread.
+    if (log.depth > 0)
+        --log.depth;
+    TraceEvent event;
+    event.name = name;
+    event.start = start;
+    event.duration = end >= start ? end - start : 0;
+    event.tid = log.tid;
+    event.depth = log.depth;
+    log.push(event);
+}
+
+std::vector<TraceEvent>
+TraceRecorder::collect() const
+{
+    std::vector<TraceEvent> events;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        for (const auto &log : logs_)
+            events.insert(events.end(), log->ring.begin(),
+                          log->ring.end());
+    }
+    std::sort(events.begin(), events.end(),
+              [](const TraceEvent &a, const TraceEvent &b) {
+                  return a.start < b.start;
+              });
+    return events;
+}
+
+std::uint64_t
+TraceRecorder::droppedEvents() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::uint64_t dropped = 0;
+    for (const auto &log : logs_)
+        dropped += log->total - log->ring.size();
+    return dropped;
+}
+
+std::vector<PhaseSummary>
+TraceRecorder::summarize() const
+{
+    std::map<std::string, PhaseSummary> byName;
+    for (const TraceEvent &event : collect()) {
+        PhaseSummary &phase = byName[event.name];
+        phase.name = event.name;
+        ++phase.count;
+        phase.seconds += static_cast<double>(event.duration) * 1e-9;
+    }
+    std::vector<PhaseSummary> out;
+    out.reserve(byName.size());
+    for (auto &[name, phase] : byName)
+        out.push_back(std::move(phase));
+    return out;
+}
+
+void
+TraceRecorder::reset()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto &log : logs_) {
+        log->ring.clear();
+        log->wrap = 0;
+        log->total = 0;
+    }
+}
+
+bool
+TraceRecorder::writeChromeJson(const std::string &path) const
+{
+    std::FILE *file = std::fopen(path.c_str(), "w");
+    if (file == nullptr) {
+        warn("trace: cannot open '%s' for writing", path.c_str());
+        return false;
+    }
+    std::fprintf(file, "{\n  \"displayTimeUnit\": \"ms\",\n"
+                       "  \"traceEvents\": [");
+    bool first = true;
+    for (const TraceEvent &event : collect()) {
+        std::fprintf(
+            file,
+            "%s\n    {\"name\": \"%s\", \"cat\": \"graphite\", "
+            "\"ph\": \"X\", \"pid\": 1, \"tid\": %u, \"ts\": %.3f, "
+            "\"dur\": %.3f, \"args\": {\"depth\": %u}}",
+            first ? "" : ",", event.name, event.tid,
+            static_cast<double>(event.start) * 1e-3,
+            static_cast<double>(event.duration) * 1e-3, event.depth);
+        first = false;
+    }
+    std::fprintf(file, "\n  ]\n}\n");
+    const bool ok = std::ferror(file) == 0;
+    std::fclose(file);
+    if (!ok)
+        warn("trace: short write to '%s'", path.c_str());
+    return ok;
+}
+
+} // namespace graphite::obs

@@ -1,0 +1,179 @@
+/**
+ * @file
+ * RAII trace spans recorded into per-thread ring buffers and emitted as
+ * chrome://tracing JSON plus a flat per-phase summary.
+ *
+ * Spans are named by string literals (the recorder stores the pointer,
+ * not a copy), timestamped off one process-wide steady-clock epoch, and
+ * written lock-free: each thread owns a bounded ring that only it
+ * writes; the recorder only walks the rings from collect()/write paths,
+ * which must run at a quiescent point (after the pool has joined —
+ * every bench scrapes after its parallel region, and the fork-join
+ * pool's completion handshake provides the happens-before edge).
+ *
+ * Disabled tracing costs one relaxed atomic load and a branch per span
+ * — the same near-no-op contract as the metrics registry, so the hooks
+ * can live permanently in the aggregation/fused/DMA hot paths.
+ *
+ * Use the macro form at call sites:
+ *
+ *     void layerForward(...) {
+ *         GRAPHITE_TRACE_SPAN("layer.forward");
+ *         ...
+ *     }
+ */
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace graphite::obs {
+
+/** Nanoseconds since the process trace epoch (steady clock). */
+using TraceNs = std::uint64_t;
+
+/** One completed span. */
+struct TraceEvent
+{
+    const char *name = nullptr;
+    TraceNs start = 0;
+    TraceNs duration = 0;
+    std::uint32_t tid = 0;
+    /** Nesting depth at open (0 = top level on that thread). */
+    std::uint32_t depth = 0;
+};
+
+/** Totals of all spans sharing one name (the flat phase summary). */
+struct PhaseSummary
+{
+    std::string name;
+    std::uint64_t count = 0;
+    double seconds = 0.0;
+};
+
+/**
+ * Process-wide span recorder. Per-thread rings are created on first
+ * use and survive thread exit; when a ring fills, the oldest events
+ * are overwritten (droppedEvents() reports how many).
+ */
+class TraceRecorder
+{
+  public:
+    static TraceRecorder &global();
+
+    TraceRecorder(const TraceRecorder &) = delete;
+    TraceRecorder &operator=(const TraceRecorder &) = delete;
+
+    void
+    setEnabled(bool enabled)
+    {
+        enabled_.store(enabled, std::memory_order_relaxed);
+    }
+
+    bool
+    enabled() const
+    {
+        return enabled_.load(std::memory_order_relaxed);
+    }
+
+    /**
+     * Per-thread ring capacity (events). Applies to rings created
+     * after the call; set before enabling. Default 1 << 15.
+     */
+    void setCapacityPerThread(std::size_t capacity);
+
+    /** TraceSpan open notification (tracks per-thread nesting depth). */
+    void spanOpened();
+
+    /** Append one completed span to the calling thread's ring. */
+    void record(const char *name, TraceNs start, TraceNs end);
+
+    /** Nanoseconds since the trace epoch (first call wins the epoch). */
+    static TraceNs now();
+
+    /**
+     * Copy out every buffered event, sorted by start time. Quiescent
+     * points only (see file comment).
+     */
+    std::vector<TraceEvent> collect() const;
+
+    /** Events overwritten by ring wrap-around since the last reset. */
+    std::uint64_t droppedEvents() const;
+
+    /** Per-name totals of the buffered events, sorted by name. */
+    std::vector<PhaseSummary> summarize() const;
+
+    /** Drop all buffered events (rings stay allocated). */
+    void reset();
+
+    /**
+     * Emit the buffered events as chrome://tracing "traceEvents" JSON
+     * (load via chrome://tracing or https://ui.perfetto.dev). False on
+     * I/O failure.
+     */
+    bool writeChromeJson(const std::string &path) const;
+
+  private:
+    struct ThreadLog;
+
+    TraceRecorder() = default;
+
+    ThreadLog &threadLog();
+
+    std::atomic<bool> enabled_{false};
+    mutable std::mutex mutex_;
+    std::vector<std::unique_ptr<ThreadLog>> logs_;
+    std::size_t capacity_ = std::size_t{1} << 15;
+};
+
+/**
+ * RAII span: opens on construction (when tracing is enabled at that
+ * moment), records on destruction. Prefer GRAPHITE_TRACE_SPAN.
+ */
+class TraceSpan
+{
+  public:
+    explicit TraceSpan(const char *name)
+    {
+        if (!TraceRecorder::global().enabled()) {
+            name_ = nullptr;
+            return;
+        }
+        name_ = name;
+        TraceRecorder::global().spanOpened();
+        start_ = TraceRecorder::now();
+    }
+
+    TraceSpan(const TraceSpan &) = delete;
+    TraceSpan &operator=(const TraceSpan &) = delete;
+
+    ~TraceSpan()
+    {
+        if (name_ != nullptr) {
+            TraceRecorder::global().record(name_, start_,
+                                           TraceRecorder::now());
+        }
+    }
+
+  private:
+    const char *name_;
+    TraceNs start_ = 0;
+};
+
+} // namespace graphite::obs
+
+#define GRAPHITE_TRACE_CONCAT2(a, b) a##b
+#define GRAPHITE_TRACE_CONCAT(a, b) GRAPHITE_TRACE_CONCAT2(a, b)
+
+/** Scoped trace span named by a string literal. */
+#define GRAPHITE_TRACE_SPAN(name)                                           \
+    ::graphite::obs::TraceSpan GRAPHITE_TRACE_CONCAT(graphiteTraceSpan_,    \
+                                                     __LINE__)              \
+    {                                                                       \
+        name                                                                \
+    }

@@ -6,7 +6,16 @@
 
 namespace graphite::sim {
 
-MemorySystem::MemorySystem(const MachineParams &params) : params_(params)
+MemorySystem::MemorySystem(const MachineParams &params)
+    : params_(params),
+      mL1Hits_(obs::MetricsRegistry::global().counter("sim.l1_hits")),
+      mL2Hits_(obs::MetricsRegistry::global().counter("sim.l2_hits")),
+      mL3Hits_(obs::MetricsRegistry::global().counter("sim.l3_hits")),
+      mDramLines_(obs::MetricsRegistry::global().counter("sim.dram_lines")),
+      mDramPrefetchLines_(
+          obs::MetricsRegistry::global().counter("sim.dram_prefetch_lines")),
+      mDramQueueCycles_(
+          obs::MetricsRegistry::global().counter("sim.dram_queue_cycles"))
 {
     for (unsigned c = 0; c < params.numCores; ++c) {
         l1_.push_back(std::make_unique<CacheModel>(params.l1));
@@ -36,6 +45,8 @@ MemorySystem::dramAccess(Cycles now, Cycles &queueing)
     queueing = start - now;
     ++dramStats_.lineTransfers;
     dramStats_.totalQueueing += queueing;
+    mDramLines_.add(1);
+    mDramQueueCycles_.add(queueing);
     return start + params_.dramLatency;
 }
 
@@ -48,6 +59,7 @@ MemorySystem::access(unsigned core, LineAddr line, bool isWrite, Cycles now,
 
     if (!bypassPrivate) {
         if (l1_[core]->access(line, isWrite)) {
+            mL1Hits_.add(1);
             outcome.level = ServiceLevel::L1;
             outcome.completion = now + params_.l1.latency;
             return outcome;
@@ -55,12 +67,14 @@ MemorySystem::access(unsigned core, LineAddr line, bool isWrite, Cycles now,
         if (l2_[core]->access(line, isWrite)) {
             // Fill upward into L1.
             l1_[core]->insert(line, isWrite);
+            mL2Hits_.add(1);
             outcome.level = ServiceLevel::L2;
             outcome.completion = now + params_.l2.latency;
             return outcome;
         }
     }
     if (l3_->access(line, isWrite)) {
+        mL3Hits_.add(1);
         if (!bypassPrivate) {
             l1_[core]->insert(line, isWrite);
             l2_[core]->insert(line, false);
@@ -102,6 +116,7 @@ MemorySystem::access(unsigned core, LineAddr line, bool isWrite, Cycles now,
                 Cycles pfQueue = 0;
                 dramAccess(now, pfQueue);
                 ++dramStats_.prefetchTransfers;
+                mDramPrefetchLines_.add(1);
                 l3_->insert(next, false);
             }
             l2_[core]->insert(next, false);

@@ -15,6 +15,7 @@
 #include <memory>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "sim/cache_model.h"
 
 namespace graphite::sim {
@@ -96,6 +97,19 @@ class MemorySystem
     std::uint32_t epochCapacity_ = 0;
     std::vector<std::uint32_t> epochUse_;
     DramStats dramStats_;
+
+    /**
+     * Hierarchy traffic mirrored into the metrics registry (adds are
+     * no-ops while the registry is disabled). Unlike dramStats_, these
+     * accumulate across clearStats() — they describe the process, not
+     * one measured phase.
+     */
+    obs::Counter &mL1Hits_;
+    obs::Counter &mL2Hits_;
+    obs::Counter &mL3Hits_;
+    obs::Counter &mDramLines_;
+    obs::Counter &mDramPrefetchLines_;
+    obs::Counter &mDramQueueCycles_;
 };
 
 } // namespace graphite::sim

@@ -5,6 +5,8 @@
 #include <vector>
 
 #include "common/assert.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "parallel/thread_pool.h"
 
 namespace graphite {
@@ -256,6 +258,14 @@ gemm(GemmMode mode, const DenseMatrix &a, const GemmPlan &plan,
     const std::size_t n = c.cols();
     if (m == 0 || n == 0)
         return;
+    GRAPHITE_TRACE_SPAN("gemm");
+    {
+        obs::MetricsRegistry &metrics = obs::MetricsRegistry::global();
+        if (metrics.enabled()) {
+            static obs::Counter &flops = metrics.counter("gemm.flops");
+            flops.add(2 * static_cast<std::uint64_t>(m) * n * plan.k());
+        }
+    }
     if (plan.k() == 0) {
         // Empty inner dimension: the product is all zeros.
         if (acc == GemmAccumulate::Overwrite)

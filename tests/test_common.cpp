@@ -159,6 +159,69 @@ TEST(Options, DefaultsApplyWhenUnset)
     EXPECT_DOUBLE_EQ(opts.getDouble("rate"), 0.5);
 }
 
+TEST(Options, NegativeValuesParseInBothForms)
+{
+    Options opts("test");
+    opts.add("bias", "0", "help");
+    opts.add("rate", "0.0", "help");
+    // The space form used to mistake "-3" for the next flag.
+    const char *argv[] = {"prog", "--bias", "-3", "--rate", "-0.25"};
+    opts.parse(5, const_cast<char **>(argv));
+    EXPECT_EQ(opts.getInt("bias"), -3);
+    EXPECT_DOUBLE_EQ(opts.getDouble("rate"), -0.25);
+}
+
+TEST(Options, NegativeValueEqualsForm)
+{
+    Options opts("test");
+    opts.add("bias", "0", "help");
+    const char *argv[] = {"prog", "--bias=-7"};
+    opts.parse(2, const_cast<char **>(argv));
+    EXPECT_EQ(opts.getInt("bias"), -7);
+}
+
+TEST(Options, SpaceFormStillTreatsFlagAsBoolean)
+{
+    Options opts("test");
+    opts.add("flag", "false", "help");
+    opts.add("other", "false", "help");
+    // "--other" is not a value, so "--flag" takes its boolean form.
+    const char *argv[] = {"prog", "--flag", "--other"};
+    opts.parse(3, const_cast<char **>(argv));
+    EXPECT_TRUE(opts.getBool("flag"));
+    EXPECT_TRUE(opts.getBool("other"));
+}
+
+TEST(OptionsDeathTest, EmptyEqualsValueIsFatal)
+{
+    Options opts("test");
+    opts.add("path", "x", "help");
+    const char *argv[] = {"prog", "--path="};
+    // An explicit "=" with nothing after it used to silently clear the
+    // option; now it is a configuration error.
+    EXPECT_DEATH(opts.parse(2, const_cast<char **>(argv)),
+                 "empty value");
+}
+
+TEST(Options, RepeatedFlagLastWins)
+{
+    Options opts("test");
+    opts.add("alpha", "1", "help");
+    const char *argv[] = {"prog", "--alpha=2", "--alpha", "5"};
+    opts.parse(4, const_cast<char **>(argv));
+    EXPECT_EQ(opts.getInt("alpha"), 5);
+}
+
+TEST(Options, GetDefaultSurvivesParse)
+{
+    Options opts("test");
+    opts.add("alpha", "1", "help");
+    const char *argv[] = {"prog", "--alpha=42"};
+    opts.parse(2, const_cast<char **>(argv));
+    EXPECT_EQ(opts.getInt("alpha"), 42);
+    EXPECT_EQ(opts.getDefault("alpha"), "1");
+}
+
 TEST(Timer, MeasuresElapsedTime)
 {
     Timer timer;

@@ -1,0 +1,393 @@
+/**
+ * @file
+ * Unit tests for the observability layer: metrics registry merging,
+ * disabled-path no-ops, trace span nesting, ring overflow, and the JSON
+ * emitters' well-formedness (checked with a tiny JSON parser below).
+ *
+ * The tests exercise the process-global registry/recorder the real
+ * instrumentation writes to, so every test starts by resetting both and
+ * restores the disabled state on exit.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "parallel/thread_pool.h"
+
+namespace graphite {
+namespace {
+
+using obs::MetricsRegistry;
+using obs::TraceRecorder;
+
+/** Enable both global sinks for one test; reset + disable on exit. */
+class ObsTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        MetricsRegistry::global().reset();
+        TraceRecorder::global().reset();
+        MetricsRegistry::global().setEnabled(true);
+        TraceRecorder::global().setEnabled(true);
+    }
+
+    void
+    TearDown() override
+    {
+        MetricsRegistry::global().setEnabled(false);
+        TraceRecorder::global().setEnabled(false);
+        MetricsRegistry::global().reset();
+        TraceRecorder::global().reset();
+    }
+};
+
+/**
+ * Minimal recursive-descent JSON validator: structure only, no value
+ * extraction. Good enough to catch trailing commas, unbalanced braces
+ * and unescaped strings in the emitters.
+ */
+class JsonChecker
+{
+  public:
+    explicit JsonChecker(const std::string &text) : text_(text) {}
+
+    bool
+    valid()
+    {
+        pos_ = 0;
+        if (!value())
+            return false;
+        skipSpace();
+        return pos_ == text_.size();
+    }
+
+  private:
+    bool
+    value()
+    {
+        skipSpace();
+        if (pos_ >= text_.size())
+            return false;
+        const char c = text_[pos_];
+        if (c == '{')
+            return object();
+        if (c == '[')
+            return array();
+        if (c == '"')
+            return string();
+        if (c == '-' || (c >= '0' && c <= '9'))
+            return number();
+        return literal("true") || literal("false") || literal("null");
+    }
+
+    bool
+    object()
+    {
+        ++pos_; // '{'
+        skipSpace();
+        if (peek() == '}') {
+            ++pos_;
+            return true;
+        }
+        while (true) {
+            skipSpace();
+            if (!string())
+                return false;
+            skipSpace();
+            if (peek() != ':')
+                return false;
+            ++pos_;
+            if (!value())
+                return false;
+            skipSpace();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            if (peek() == '}') {
+                ++pos_;
+                return true;
+            }
+            return false;
+        }
+    }
+
+    bool
+    array()
+    {
+        ++pos_; // '['
+        skipSpace();
+        if (peek() == ']') {
+            ++pos_;
+            return true;
+        }
+        while (true) {
+            if (!value())
+                return false;
+            skipSpace();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            if (peek() == ']') {
+                ++pos_;
+                return true;
+            }
+            return false;
+        }
+    }
+
+    bool
+    string()
+    {
+        if (peek() != '"')
+            return false;
+        ++pos_;
+        while (pos_ < text_.size() && text_[pos_] != '"') {
+            if (text_[pos_] == '\\')
+                ++pos_;
+            ++pos_;
+        }
+        if (pos_ >= text_.size())
+            return false;
+        ++pos_; // closing '"'
+        return true;
+    }
+
+    bool
+    number()
+    {
+        const std::size_t start = pos_;
+        if (peek() == '-')
+            ++pos_;
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '.' || text_[pos_] == 'e' ||
+                text_[pos_] == 'E' || text_[pos_] == '+' ||
+                text_[pos_] == '-')) {
+            ++pos_;
+        }
+        return pos_ > start;
+    }
+
+    bool
+    literal(const char *word)
+    {
+        const std::size_t n = std::string(word).size();
+        if (text_.compare(pos_, n, word) != 0)
+            return false;
+        pos_ += n;
+        return true;
+    }
+
+    char
+    peek() const
+    {
+        return pos_ < text_.size() ? text_[pos_] : '\0';
+    }
+
+    void
+    skipSpace()
+    {
+        while (pos_ < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[pos_])))
+            ++pos_;
+    }
+
+    const std::string &text_;
+    std::size_t pos_ = 0;
+};
+
+std::string
+slurp(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (f == nullptr)
+        return {};
+    std::string out;
+    char buf[4096];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof buf, f)) > 0)
+        out.append(buf, n);
+    std::fclose(f);
+    return out;
+}
+
+TEST_F(ObsTest, CounterMergesAcrossPoolWorkers)
+{
+    obs::Counter &c = MetricsRegistry::global().counter("test.pool_adds");
+    constexpr std::size_t kItems = 10000;
+    parallelFor(0, kItems, 64,
+                [&](std::size_t begin, std::size_t end, std::size_t) {
+        for (std::size_t i = begin; i < end; ++i)
+            c.add(1);
+    });
+    EXPECT_EQ(c.value(), kItems);
+}
+
+TEST_F(ObsTest, DisabledRegistryDropsWrites)
+{
+    obs::Counter &c = MetricsRegistry::global().counter("test.disabled");
+    obs::Gauge &g = MetricsRegistry::global().gauge("test.disabled_g");
+    obs::Histogram &h =
+        MetricsRegistry::global().histogram("test.disabled_h");
+    MetricsRegistry::global().setEnabled(false);
+    c.add(42);
+    g.set(3.5);
+    h.observe(7);
+    EXPECT_EQ(c.value(), 0u);
+    EXPECT_EQ(g.value(), 0.0);
+    EXPECT_EQ(h.count(), 0u);
+
+    MetricsRegistry::global().setEnabled(true);
+    c.add(1);
+    EXPECT_EQ(c.value(), 1u); // same handle works once re-enabled
+}
+
+TEST_F(ObsTest, GaugeLastWriterWins)
+{
+    obs::Gauge &g = MetricsRegistry::global().gauge("test.gauge");
+    g.set(1.25);
+    g.set(-7.5);
+    EXPECT_DOUBLE_EQ(g.value(), -7.5);
+}
+
+TEST_F(ObsTest, HistogramAccounting)
+{
+    obs::Histogram &h = MetricsRegistry::global().histogram("test.hist");
+    h.observe(0);
+    h.observe(1);
+    h.observe(5);
+    h.observe(1024);
+    EXPECT_EQ(h.count(), 4u);
+    EXPECT_EQ(h.sum(), 1030u);
+    EXPECT_EQ(h.min(), 0u);
+    EXPECT_EQ(h.max(), 1024u);
+    const std::vector<std::uint64_t> buckets = h.buckets();
+    ASSERT_EQ(buckets.size(), obs::Histogram::kBuckets);
+    EXPECT_EQ(buckets[0], 1u);  // value 0
+    EXPECT_EQ(buckets[1], 1u);  // value 1 (bit width 1)
+    EXPECT_EQ(buckets[3], 1u);  // value 5 (bit width 3)
+    EXPECT_EQ(buckets[11], 1u); // value 1024 (bit width 11)
+}
+
+TEST_F(ObsTest, ResetZeroesButKeepsHandles)
+{
+    obs::Counter &c = MetricsRegistry::global().counter("test.reset");
+    c.add(9);
+    MetricsRegistry::global().reset();
+    EXPECT_EQ(c.value(), 0u);
+    c.add(2);
+    EXPECT_EQ(c.value(), 2u);
+}
+
+TEST_F(ObsTest, SpanNestingDepthAndContainment)
+{
+    {
+        GRAPHITE_TRACE_SPAN("outer");
+        {
+            GRAPHITE_TRACE_SPAN("inner");
+        }
+    }
+    const std::vector<obs::TraceEvent> events =
+        TraceRecorder::global().collect();
+    ASSERT_EQ(events.size(), 2u);
+    // collect() sorts by start: outer opened first.
+    EXPECT_STREQ(events[0].name, "outer");
+    EXPECT_STREQ(events[1].name, "inner");
+    EXPECT_EQ(events[0].depth, 0u);
+    EXPECT_EQ(events[1].depth, 1u);
+    // The child interval nests inside the parent's.
+    EXPECT_GE(events[1].start, events[0].start);
+    EXPECT_LE(events[1].start + events[1].duration,
+              events[0].start + events[0].duration);
+}
+
+TEST_F(ObsTest, SpansFromPoolWorkersAllCollected)
+{
+    constexpr std::size_t kItems = 256;
+    parallelFor(0, kItems, 16,
+                [&](std::size_t begin, std::size_t end, std::size_t) {
+        for (std::size_t i = begin; i < end; ++i) {
+            GRAPHITE_TRACE_SPAN("worker.unit");
+        }
+    });
+    const std::vector<obs::PhaseSummary> phases =
+        TraceRecorder::global().summarize();
+    ASSERT_EQ(phases.size(), 1u);
+    EXPECT_EQ(phases[0].name, "worker.unit");
+    EXPECT_EQ(phases[0].count, kItems);
+    EXPECT_GE(phases[0].seconds, 0.0);
+}
+
+TEST_F(ObsTest, RingOverflowDropsOldestAndCounts)
+{
+    // Default per-thread capacity is 1 << 15; overflow it from this
+    // thread only.
+    constexpr std::size_t kSpans = (std::size_t{1} << 15) + 100;
+    for (std::size_t i = 0; i < kSpans; ++i) {
+        GRAPHITE_TRACE_SPAN("spin");
+    }
+    EXPECT_EQ(TraceRecorder::global().droppedEvents(), 100u);
+    const std::vector<obs::TraceEvent> events =
+        TraceRecorder::global().collect();
+    EXPECT_EQ(events.size(), std::size_t{1} << 15);
+}
+
+TEST_F(ObsTest, DisabledTracingRecordsNothing)
+{
+    TraceRecorder::global().setEnabled(false);
+    {
+        GRAPHITE_TRACE_SPAN("ghost");
+    }
+    EXPECT_TRUE(TraceRecorder::global().collect().empty());
+}
+
+TEST_F(ObsTest, MetricsJsonIsWellFormed)
+{
+    MetricsRegistry::global().counter("test.counter\"quoted").add(3);
+    MetricsRegistry::global().gauge("test.gauge").set(0.5);
+    MetricsRegistry::global().histogram("test.hist").observe(17);
+    const std::string json = MetricsRegistry::global().toJson();
+    JsonChecker checker(json);
+    EXPECT_TRUE(checker.valid()) << json;
+    EXPECT_NE(json.find("counters"), std::string::npos);
+    EXPECT_NE(json.find("gauges"), std::string::npos);
+    EXPECT_NE(json.find("histograms"), std::string::npos);
+}
+
+TEST_F(ObsTest, ChromeTraceJsonIsWellFormed)
+{
+    {
+        GRAPHITE_TRACE_SPAN("phase.a");
+        GRAPHITE_TRACE_SPAN("phase.b");
+    }
+    const std::string path = "test_obs_trace.json";
+    ASSERT_TRUE(TraceRecorder::global().writeChromeJson(path));
+    const std::string json = slurp(path);
+    std::remove(path.c_str());
+    ASSERT_FALSE(json.empty());
+    JsonChecker checker(json);
+    EXPECT_TRUE(checker.valid()) << json;
+    EXPECT_NE(json.find("traceEvents"), std::string::npos);
+    EXPECT_NE(json.find("phase.a"), std::string::npos);
+    EXPECT_NE(json.find("phase.b"), std::string::npos);
+}
+
+TEST_F(ObsTest, CrossKindNameCollisionDies)
+{
+    MetricsRegistry::global().counter("test.kind_clash");
+    EXPECT_DEATH(MetricsRegistry::global().gauge("test.kind_clash"),
+                 "kind");
+}
+
+} // namespace
+} // namespace graphite

@@ -30,6 +30,8 @@
 #include "graph/edge_list_io.h"
 #include "graph/graph_stats.h"
 #include "graph/reorder.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "tensor/row_ops.h"
 
 using namespace graphite;
@@ -237,18 +239,41 @@ main(int argc, char **argv)
     options.add("dropout", "0.5", "dropout rate");
     options.add("save", "", "write checkpoint after training");
     options.add("load", "", "read checkpoint before inference");
+    options.add("trace-out", "",
+                "write a chrome://tracing span JSON on exit");
+    options.add("metrics-out", "",
+                "write a metrics-registry JSON on exit");
     options.parse(argc, argv);
 
+    const std::string traceOut = options.getString("trace-out");
+    const std::string metricsOut = options.getString("metrics-out");
+    if (!traceOut.empty())
+        obs::TraceRecorder::global().setEnabled(true);
+    if (!metricsOut.empty())
+        obs::MetricsRegistry::global().setEnabled(true);
+
     const std::string mode = options.getString("mode");
+    int rc = -1;
     if (mode == "stats")
-        return runStats(options);
-    if (mode == "convert")
-        return runConvert(options);
-    if (mode == "reorder")
-        return runReorder(options);
-    if (mode == "train")
-        return runTrain(options);
-    if (mode == "infer")
-        return runInfer(options);
-    fatal("unknown mode '%s'", mode.c_str());
+        rc = runStats(options);
+    else if (mode == "convert")
+        rc = runConvert(options);
+    else if (mode == "reorder")
+        rc = runReorder(options);
+    else if (mode == "train")
+        rc = runTrain(options);
+    else if (mode == "infer")
+        rc = runInfer(options);
+    else
+        fatal("unknown mode '%s'", mode.c_str());
+
+    if (!traceOut.empty()) {
+        obs::TraceRecorder::global().writeChromeJson(traceOut);
+        inform("trace written to '%s'", traceOut.c_str());
+    }
+    if (!metricsOut.empty()) {
+        obs::MetricsRegistry::global().writeJson(metricsOut);
+        inform("metrics written to '%s'", metricsOut.c_str());
+    }
+    return rc;
 }
