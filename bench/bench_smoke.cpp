@@ -132,6 +132,49 @@ main(int argc, char **argv)
                 "GFLOP/s\n",
                 aggGflops, gemmGflops);
 
+    // --- bf16 precision path ----------------------------------------------
+    // Same shapes at half storage width: bf16 gathers and the
+    // bf16-in/fp32-accumulate GEMM, with the fp32 columns above as the
+    // direct comparison point.
+    Bf16Matrix featuresBf16(numVertices, data.hiddenFeatures);
+    featuresBf16.fromDense(features);
+    const double aggBf16Seconds = timeMedian(reps, [&] {
+        aggregateBf16(graph, featuresBf16, aggOut, spec);
+    });
+    const double aggBf16Gflops = aggFlops / aggBf16Seconds * 1e-9;
+
+    GemmPlan planBf16;
+    planBf16.pack(GemmMode::NN, weights, Precision::Bf16);
+    const double gemmBf16Seconds = timeMedian(reps, [&] {
+        gemm(GemmMode::NN, features, planBf16, gemmOut);
+    });
+    const double gemmBf16Gflops = gemmFlops / gemmBf16Seconds * 1e-9;
+    std::printf("bf16 (%s): agg %7.2f GFLOP/s   gemm %7.2f GFLOP/s\n",
+                bf16GemmIsNative() ? "native" : "emulated", aggBf16Gflops,
+                gemmBf16Gflops);
+
+    // Gather-traffic accounting: one run of each aggregation under the
+    // metrics registry; bf16 rows are half the stored width, so the
+    // bf16/fp32 byte ratio should sit at ~0.5 (stride padding aside).
+    obs::MetricsRegistry &registry = obs::MetricsRegistry::global();
+    const bool metricsWereEnabled = registry.enabled();
+    registry.setEnabled(true);
+    obs::Counter &gatherBytes = registry.counter("agg.bytes_gathered");
+    const std::uint64_t bytesBase = gatherBytes.value();
+    aggregateBasic(graph, features, aggOut, spec);
+    const std::uint64_t bytesFp32 = gatherBytes.value() - bytesBase;
+    aggregateBf16(graph, featuresBf16, aggOut, spec);
+    const std::uint64_t bytesBf16 =
+        gatherBytes.value() - bytesBase - bytesFp32;
+    registry.setEnabled(metricsWereEnabled);
+    const double gatherRatio =
+        bytesFp32 == 0 ? 0.0
+                       : static_cast<double>(bytesBf16) /
+                             static_cast<double>(bytesFp32);
+    std::printf("bytes gathered: fp32 %llu   bf16 %llu   ratio %.3f\n",
+                static_cast<unsigned long long>(bytesFp32),
+                static_cast<unsigned long long>(bytesBf16), gatherRatio);
+
     // --- DMA pipelined aggregation ---------------------------------------
     // Same aggregation as aggregateBasic, driven through the functional
     // DMA engines; its spans/counters are what a traced run archives.
@@ -163,6 +206,22 @@ main(int argc, char **argv)
                                           : median(std::move(epochSeconds));
     std::printf("steady-state epoch: %.4f s (final loss %.4f)\n",
                 steadyEpochSeconds, history.back().loss);
+
+    // Same run at bf16: fused + half-width inter-layer activations.
+    GnnModel modelBf16(graph, modelConfig);
+    TrainerConfig trainerConfigBf16 = trainerConfig;
+    trainerConfigBf16.tech.precision = Precision::Bf16;
+    Trainer trainerBf16(modelBf16, task.features, task.labels,
+                        trainerConfigBf16);
+    const std::vector<EpochStats> historyBf16 = trainerBf16.train();
+    std::vector<double> epochSecondsBf16;
+    for (std::size_t i = 1; i < historyBf16.size(); ++i)
+        epochSecondsBf16.push_back(historyBf16[i].seconds);
+    const double steadyEpochSecondsBf16 =
+        epochSecondsBf16.empty() ? historyBf16.back().seconds
+                                 : median(std::move(epochSecondsBf16));
+    std::printf("steady-state epoch (bf16): %.4f s (final loss %.4f)\n",
+                steadyEpochSecondsBf16, historyBf16.back().loss);
 
     // --- Backward pass: fusion off vs on ----------------------------------
     // One forward fixes the layer contexts; the backward only reads them
@@ -206,15 +265,29 @@ main(int argc, char **argv)
     std::fprintf(out, "  \"threads\": %zu,\n",
                  ThreadPool::global().numThreads());
     std::fprintf(out, "  \"epoch_seconds\": %.6f,\n", steadyEpochSeconds);
+    std::fprintf(out, "  \"epoch_seconds_bf16\": %.6f,\n",
+                 steadyEpochSecondsBf16);
     std::fprintf(out, "  \"final_loss\": %.6f,\n", history.back().loss);
+    std::fprintf(out, "  \"final_loss_bf16\": %.6f,\n",
+                 historyBf16.back().loss);
+    std::fprintf(out, "  \"bf16_native\": %s,\n",
+                 bf16GemmIsNative() ? "true" : "false");
+    std::fprintf(out, "  \"bytes_gathered_fp32\": %llu,\n",
+                 static_cast<unsigned long long>(bytesFp32));
+    std::fprintf(out, "  \"bytes_gathered_bf16\": %llu,\n",
+                 static_cast<unsigned long long>(bytesBf16));
+    std::fprintf(out, "  \"gather_traffic_ratio\": %.4f,\n", gatherRatio);
     std::fprintf(out, "  \"backward_seconds_unfused\": %.6f,\n",
                  unfusedSeconds);
     std::fprintf(out, "  \"backward_seconds_fused\": %.6f,\n",
                  fusedSeconds);
     std::fprintf(out, "  \"backward_speedup\": %.3f,\n", speedup);
     std::fprintf(out, "  \"aggregation_gflops\": %.3f,\n", aggGflops);
+    std::fprintf(out, "  \"aggregation_bf16_gflops\": %.3f,\n",
+                 aggBf16Gflops);
     std::fprintf(out, "  \"dma_aggregation_gflops\": %.3f,\n",
                  dmaAggGflops);
+    std::fprintf(out, "  \"gemm_bf16_gflops\": %.3f,\n", gemmBf16Gflops);
     std::fprintf(out, "  \"gemm_gflops\": %.3f", gemmGflops);
     // When tracing was on, fold the flat per-phase summary into the same
     // artifact so CI diffs phase totals alongside the headline rates.

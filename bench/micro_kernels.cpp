@@ -367,6 +367,42 @@ BM_GemmPrepacked(benchmark::State &state)
 }
 BENCHMARK(BM_GemmPrepacked)->Arg(4096)->Arg(32768);
 
+/**
+ * Prepacked bf16 GEMM, acceptance shape, fp32 A rounded at the A pack.
+ * Arg(1) forces the emulated widening kernel so both dispatch targets
+ * get a number on any host; Arg(0) uses whatever the cpuid dispatch
+ * picks (vdpbf16ps where available). Compare against BM_GemmPrepacked
+ * for the fp32 baseline at the same shape.
+ */
+void
+BM_GemmPrepackedBf16(benchmark::State &state)
+{
+    const bool forceEmulated = state.range(0) != 0;
+    setBf16GemmEmulated(forceEmulated);
+    const std::size_t m = 4096;
+    const std::size_t n = 256;
+    const std::size_t k = 256;
+    DenseMatrix a(m, k);
+    DenseMatrix b(k, n);
+    a.fillUniform(-1.0f, 1.0f, 8);
+    b.fillUniform(-1.0f, 1.0f, 9);
+    GemmPlan plan;
+    plan.pack(GemmMode::NN, b, Precision::Bf16);
+    DenseMatrix c(m, n);
+    for (auto _ : state) {
+        gemm(GemmMode::NN, a, plan, c);
+        benchmark::DoNotOptimize(c.data());
+    }
+    setBf16GemmEmulated(false);
+    state.SetLabel(!forceEmulated && bf16GemmIsNative() ? "native"
+                                                        : "emulated");
+    const double flops = 2.0 * static_cast<double>(m) * 256.0 * 256.0 *
+                         static_cast<double>(state.iterations());
+    state.counters["GFLOP/s"] =
+        benchmark::Counter(flops * 1e-9, benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_GemmPrepackedBf16)->Arg(0)->Arg(1);
+
 void
 BM_AggregateBf16(benchmark::State &state)
 {
@@ -433,6 +469,37 @@ BM_FusedLayerCompressed(benchmark::State &state)
     }
 }
 BENCHMARK(BM_FusedLayerCompressed);
+
+/**
+ * Fused inference with bf16 activations end to end: bf16 gathers
+ * (widened in registers) feeding the bf16 per-block micro-GEMM. The
+ * precision counterpart of BM_FusedLayerCompressed — both halve (or
+ * better) gather traffic, by different means: bf16 is a fixed 2x on
+ * every row regardless of content, mask compression is data-dependent
+ * (see EXPERIMENTS.md for the comparison).
+ */
+void
+BM_FusedLayerInferenceBf16(benchmark::State &state)
+{
+    AggFixture fx(256);
+    Bf16Matrix packed(fx.graph.numVertices(), 256);
+    packed.fromDense(fx.features);
+    DenseMatrix weights(256, 256);
+    weights.fillUniform(-0.1f, 0.1f, 3);
+    std::vector<Feature> bias(256, 0.01f);
+    GemmPlan plan;
+    plan.pack(GemmMode::NN, weights, Precision::Bf16);
+    const UpdateOp update{&weights, bias, true, &plan, Precision::Bf16};
+    DenseMatrix out(fx.graph.numVertices(), 256);
+    for (auto _ : state) {
+        fusedLayerInferenceBf16(fx.graph, packed, fx.spec, update, out);
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(fx.gatheredBytes() / 2 *
+                                  state.iterations()));
+}
+BENCHMARK(BM_FusedLayerInferenceBf16);
 
 void
 BM_LocalityOrderConstruction(benchmark::State &state)

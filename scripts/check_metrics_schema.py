@@ -25,12 +25,20 @@ BENCH_REQUIRED = {
     "hidden_features": int,
     "threads": int,
     "epoch_seconds": float,
+    "epoch_seconds_bf16": float,
     "final_loss": float,
+    "final_loss_bf16": float,
+    "bf16_native": bool,
+    "bytes_gathered_fp32": int,
+    "bytes_gathered_bf16": int,
+    "gather_traffic_ratio": float,
     "backward_seconds_unfused": float,
     "backward_seconds_fused": float,
     "backward_speedup": float,
     "aggregation_gflops": float,
+    "aggregation_bf16_gflops": float,
     "dma_aggregation_gflops": float,
+    "gemm_bf16_gflops": float,
     "gemm_gflops": float,
 }
 
@@ -77,6 +85,14 @@ def check_bench(path):
         elif not isinstance(doc[key], kind):
             fail(f"{path}:{key} is {type(doc[key]).__name__}, "
                  f"expected {kind.__name__}")
+    # One deliberate numeric gate: the bf16 path exists to halve gather
+    # traffic, so the measured byte ratio must sit at ~0.5 (strides pad
+    # both forms identically). A drift here means the element-size
+    # accounting or the bf16 gather path regressed.
+    ratio = doc["gather_traffic_ratio"]
+    if doc["bytes_gathered_fp32"] > 0 and not 0.4 <= ratio <= 0.6:
+        fail(f"{path}: gather_traffic_ratio {ratio} outside [0.4, 0.6] "
+             f"— bf16 gathers no longer halve traffic")
     phases = doc.get("phases")
     if phases is not None:
         if not isinstance(phases, dict) or not phases:

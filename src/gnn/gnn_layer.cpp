@@ -56,21 +56,25 @@ GnnLayer::initWeights(std::uint64_t seed)
 }
 
 const GemmPlan &
-GnnLayer::packedWeights() const
+GnnLayer::packedWeights(Precision precision) const
 {
-    if (weightsAliased_ || packedNNVersion_ != weightsVersion_) {
-        packedNN_.pack(GemmMode::NN, weights_);
+    if (weightsAliased_ || packedNNVersion_ != weightsVersion_ ||
+        packedNNPrecision_ != precision) {
+        packedNN_.pack(GemmMode::NN, weights_, precision);
         packedNNVersion_ = weightsVersion_;
+        packedNNPrecision_ = precision;
     }
     return packedNN_;
 }
 
 const GemmPlan &
-GnnLayer::packedWeightsTransposed() const
+GnnLayer::packedWeightsTransposed(Precision precision) const
 {
-    if (weightsAliased_ || packedNTVersion_ != weightsVersion_) {
-        packedNT_.pack(GemmMode::NT, weights_);
+    if (weightsAliased_ || packedNTVersion_ != weightsVersion_ ||
+        packedNTPrecision_ != precision) {
+        packedNT_.pack(GemmMode::NT, weights_, precision);
         packedNTVersion_ = weightsVersion_;
+        packedNTPrecision_ = precision;
     }
     return packedNT_;
 }
@@ -80,25 +84,37 @@ GnnLayer::forwardInference(const CsrGraph &graph,
                            const AggregationSpec &spec,
                            const DenseMatrix &in,
                            const CompressedMatrix *inCompressed,
-                           DenseMatrix &out,
+                           const Bf16Matrix *inBf16, DenseMatrix &out,
                            CompressedMatrix *outCompressed,
+                           Bf16Matrix *outBf16,
                            std::span<const VertexId> order,
                            const TechniqueConfig &tech) const
 {
     GRAPHITE_TRACE_SPAN("layer.forward");
-    const UpdateOp update{&weights_, bias_, relu_, &packedWeights()};
+    const UpdateOp update{&weights_, bias_, relu_,
+                          &packedWeights(tech.precision), tech.precision};
     const bool packedIn = tech.compression && inCompressed != nullptr;
+    const bool bf16In = !packedIn &&
+                        tech.precision == Precision::Bf16 &&
+                        inBf16 != nullptr;
     if (tech.fusion) {
         if (packedIn) {
             fusedLayerInferenceCompressed(graph, *inCompressed, spec,
                                           update, out, outCompressed,
                                           order, tech.fused);
+        } else if (bf16In) {
+            fusedLayerInferenceBf16(graph, *inBf16, spec, update, out,
+                                    order, tech.fused, outBf16);
+            outBf16 = nullptr; // converted write-side by the kernel
         } else {
             fusedLayerInference(graph, in, spec, update, out, order,
-                                tech.fused);
-            if (outCompressed)
-                outCompressed->compressFrom(out);
+                                tech.fused, outBf16);
+            outBf16 = nullptr;
         }
+        if (outCompressed)
+            outCompressed->compressFrom(out);
+        if (outBf16)
+            outBf16->fromDense(out);
         return;
     }
     // Unfused path: aggregation materialises a^k, then one big GEMM.
@@ -106,22 +122,26 @@ GnnLayer::forwardInference(const CsrGraph &graph,
     if (packedIn)
         aggregateCompressed(graph, *inCompressed, agg, spec, order,
                             tech.agg);
+    else if (bf16In)
+        aggregateBf16(graph, *inBf16, agg, spec, order, tech.agg);
     else
         aggregateBasic(graph, in, agg, spec, order, tech.agg);
-    gemm(GemmMode::NN, agg, packedWeights(), out);
+    gemm(GemmMode::NN, agg, packedWeights(tech.precision), out);
     if (!bias_.empty())
         addBias(out, bias_);
     if (relu_)
         reluForward(out);
     if (outCompressed)
         outCompressed->compressFrom(out);
+    if (outBf16)
+        outBf16->fromDense(out);
 }
 
 void
 GnnLayer::forwardTraining(const CsrGraph &graph, const AggregationSpec &spec,
                           const DenseMatrix &in,
                           const CompressedMatrix *inCompressed,
-                          LayerContext &ctx,
+                          const Bf16Matrix *inBf16, LayerContext &ctx,
                           std::span<const VertexId> order,
                           const TechniqueConfig &tech) const
 {
@@ -141,13 +161,22 @@ GnnLayer::forwardTraining(const CsrGraph &graph, const AggregationSpec &spec,
         outCompressed = &ctx.outputCompressed;
     }
 
-    const UpdateOp update{&weights_, bias_, relu_, &packedWeights()};
+    const UpdateOp update{&weights_, bias_, relu_,
+                          &packedWeights(tech.precision), tech.precision};
     const bool packedIn = tech.compression && inCompressed != nullptr;
+    const bool bf16In = !packedIn &&
+                        tech.precision == Precision::Bf16 &&
+                        inBf16 != nullptr;
     if (tech.fusion) {
         if (packedIn) {
             fusedLayerTrainingCompressed(graph, *inCompressed, spec,
                                          update, ctx.agg, ctx.output,
                                          outCompressed, order, tech.fused);
+        } else if (bf16In) {
+            fusedLayerTrainingBf16(graph, *inBf16, spec, update, ctx.agg,
+                                   ctx.output, order, tech.fused);
+            if (outCompressed)
+                outCompressed->compressFrom(ctx.output);
         } else {
             fusedLayerTraining(graph, in, spec, update, ctx.agg,
                                ctx.output, order, tech.fused);
@@ -159,9 +188,11 @@ GnnLayer::forwardTraining(const CsrGraph &graph, const AggregationSpec &spec,
     if (packedIn)
         aggregateCompressed(graph, *inCompressed, ctx.agg, spec, order,
                             tech.agg);
+    else if (bf16In)
+        aggregateBf16(graph, *inBf16, ctx.agg, spec, order, tech.agg);
     else
         aggregateBasic(graph, in, ctx.agg, spec, order, tech.agg);
-    gemm(GemmMode::NN, ctx.agg, packedWeights(), ctx.output);
+    gemm(GemmMode::NN, ctx.agg, packedWeights(tech.precision), ctx.output);
     if (!bias_.empty())
         addBias(ctx.output, bias_);
     if (relu_)
@@ -186,8 +217,10 @@ GnnLayer::backward(const CsrGraph &transposed,
     if (relu_)
         reluBackward(ctx.output, gradOut);
 
-    // dW = aᵀ·dz and db = colsum(dz).
-    gemm(GemmMode::TN, ctx.agg, gradOut, weightGrad_);
+    // dW = aᵀ·dz and db = colsum(dz). At bf16 both GEMM operands are
+    // rounded at pack time; accumulation stays fp32.
+    gemm(GemmMode::TN, ctx.agg, gradOut, weightGrad_,
+         GemmAccumulate::Overwrite, tech.precision);
     columnSum(gradOut, biasGrad_, colSumScratch_);
 
     if (!gradIn)
@@ -197,13 +230,28 @@ GnnLayer::backward(const CsrGraph &transposed,
     if (tech.fusion) {
         // Fused: per-block (Aggᵀ dz)·Wᵀ, dAgg never materialised (see
         // kernels/fused_layer.h on the commuted fusion direction).
-        fusedLayerBackward(transposed, gradOut, transposedSpec,
-                           packedWeightsTransposed(), *gradIn, order,
-                           tech.fused);
+        if (tech.precision == Precision::Bf16) {
+            // Round dz once; the fused kernel then gathers it at half
+            // width over the transposed graph — gradients themselves
+            // keep accumulating in fp32.
+            dzBf16Scratch_.reshape(gradOut.rows(), outFeatures_);
+            dzBf16Scratch_.fromDense(gradOut);
+            fusedLayerBackwardBf16(transposed, dzBf16Scratch_,
+                                   transposedSpec,
+                                   packedWeightsTransposed(tech.precision),
+                                   *gradIn, order, tech.fused);
+        } else {
+            fusedLayerBackward(transposed, gradOut, transposedSpec,
+                               packedWeightsTransposed(), *gradIn, order,
+                               tech.fused);
+        }
         return;
     }
     dAggScratch_.reshape(gradOut.rows(), inFeatures_);
-    gemm(GemmMode::NT, gradOut, packedWeightsTransposed(), dAggScratch_);
+    gemm(GemmMode::NT, gradOut, packedWeightsTransposed(tech.precision),
+         dAggScratch_);
+    // dAgg rows stay fp32 here: converting a transient scratch to bf16
+    // would add a full extra pass for no stored-traffic win.
     aggregateBasic(transposed, dAggScratch_, *gradIn, transposedSpec,
                    order, tech.agg);
 }

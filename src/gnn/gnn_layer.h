@@ -45,6 +45,13 @@ struct LayerContext
     /** Compressed copy of output, maintained when compression is on. */
     CompressedMatrix outputCompressed;
     bool hasCompressed = false;
+    /**
+     * Bf16 copy of output (post-dropout), maintained by GnnModel when
+     * the precision technique is on so the next layer gathers at half
+     * width.
+     */
+    Bf16Matrix outputBf16;
+    bool hasBf16 = false;
 };
 
 /** A single aggregation+update GNN layer with trainable W and b. */
@@ -84,16 +91,18 @@ class GnnLayer
     const std::vector<Feature> &bias() const { return bias_; }
 
     /**
-     * W packed for the forward/update GEMM (NN mode), repacked lazily
-     * after any weight mutation and otherwise reused across blocks,
-     * layers calls and epochs — the amortisation the packed micro-kernel
-     * design exists for. Not safe to call concurrently with weight
-     * updates (no forward is).
+     * W packed for the forward/update GEMM (NN mode) at @p precision,
+     * repacked lazily after any weight mutation or precision switch and
+     * otherwise reused across blocks, layers calls and epochs — the
+     * amortisation the packed micro-kernel design exists for. Not safe
+     * to call concurrently with weight updates (no forward is).
      */
-    const GemmPlan &packedWeights() const;
+    const GemmPlan &
+    packedWeights(Precision precision = Precision::Fp32) const;
 
     /** W packed for the dX backward GEMM (NT mode), cached likewise. */
-    const GemmPlan &packedWeightsTransposed() const;
+    const GemmPlan &
+    packedWeightsTransposed(Precision precision = Precision::Fp32) const;
 
     /**
      * Inference forward: writes h^k into @p out; a^k is only
@@ -101,22 +110,32 @@ class GnnLayer
      * GEMM input). When compression is on and @p inCompressed is
      * non-null, gathers read packed features; when @p outCompressed is
      * non-null the produced features are also packed for the next layer.
+     * When tech.precision is Bf16 and @p inBf16 is non-null, gathers
+     * read half-width features instead (compression wins when both are
+     * supplied); a non-null @p outBf16 additionally rounds the produced
+     * rows to bf16 for the next layer.
      */
     void forwardInference(const CsrGraph &graph, const AggregationSpec &spec,
                           const DenseMatrix &in,
                           const CompressedMatrix *inCompressed,
-                          DenseMatrix &out, CompressedMatrix *outCompressed,
+                          const Bf16Matrix *inBf16, DenseMatrix &out,
+                          CompressedMatrix *outCompressed,
+                          Bf16Matrix *outBf16,
                           std::span<const VertexId> order,
                           const TechniqueConfig &tech) const;
 
     /**
      * Training forward: fills @p ctx with a^k and h^k (and the packed
-     * copy when compression is on).
+     * copy when compression is on). @p inBf16, when non-null under the
+     * Bf16 precision technique, supplies the half-width gather source;
+     * ctx.outputBf16 is the *model's* responsibility (conversion must
+     * happen after inter-layer dropout).
      */
     void forwardTraining(const CsrGraph &graph, const AggregationSpec &spec,
                          const DenseMatrix &in,
                          const CompressedMatrix *inCompressed,
-                         LayerContext &ctx, std::span<const VertexId> order,
+                         const Bf16Matrix *inBf16, LayerContext &ctx,
+                         std::span<const VertexId> order,
                          const TechniqueConfig &tech) const;
 
     /**
@@ -165,11 +184,16 @@ class GnnLayer
     /** weightsVersion_ the cached plans were packed at (~0 = never). */
     mutable std::uint64_t packedNNVersion_ = ~std::uint64_t{0};
     mutable std::uint64_t packedNTVersion_ = ~std::uint64_t{0};
+    /** Precision the cached plans were packed at (part of the key). */
+    mutable Precision packedNNPrecision_ = Precision::Fp32;
+    mutable Precision packedNTPrecision_ = Precision::Fp32;
 
     /** dAgg workspace of the unfused backward, reused across epochs. */
     DenseMatrix dAggScratch_;
     /** columnSum partials workspace, reused across epochs. */
     std::vector<Feature> colSumScratch_;
+    /** dz rounded to bf16 for the fused bf16 backward, reused. */
+    Bf16Matrix dzBf16Scratch_;
 };
 
 } // namespace graphite

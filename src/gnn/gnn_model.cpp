@@ -56,6 +56,21 @@ GnnModel::transposedLocalityOrderFor(const TechniqueConfig &tech) const
     return cachedTransposedOrder_;
 }
 
+const Bf16Matrix &
+GnnModel::inputAsBf16(const DenseMatrix &inputFeatures)
+{
+    if (inputBf16Key_ != inputFeatures.data() ||
+        inputBf16Rows_ != inputFeatures.rows() ||
+        inputBf16Cols_ != inputFeatures.cols()) {
+        inputBf16_.reshape(inputFeatures.rows(), inputFeatures.cols());
+        inputBf16_.fromDense(inputFeatures);
+        inputBf16Key_ = inputFeatures.data();
+        inputBf16Rows_ = inputFeatures.rows();
+        inputBf16Cols_ = inputFeatures.cols();
+    }
+    return inputBf16_;
+}
+
 const DenseMatrix &
 GnnModel::inference(const DenseMatrix &inputFeatures,
                     const TechniqueConfig &tech)
@@ -68,7 +83,13 @@ GnnModel::inference(const DenseMatrix &inputFeatures,
     const auto order = localityOrderFor(tech);
     const VertexId n = graph_->numVertices();
 
+    // Bf16 activations flow between layers only when compression does
+    // not already own the gather path (the two share the same slot; the
+    // packed form carries strictly more traffic savings when present).
+    const bool bf16Flow =
+        tech.precision == Precision::Bf16 && !tech.compression;
     bool havePacked = false;
+    bool haveBf16 = false;
     for (std::size_t k = 0; k < layers_.size(); ++k) {
         const GnnLayer &layer = *layers_[k];
         // Layer k reads parity k+1 (or the input features) and writes
@@ -84,11 +105,25 @@ GnnModel::inference(const DenseMatrix &inputFeatures,
             packedPtr = &inferPacked_[k % 2];
             packedPtr->reshape(n, layer.outFeatures());
         }
+        // Likewise the logits layer never needs a bf16 copy.
+        Bf16Matrix *outBf16 = nullptr;
+        if (bf16Flow && k + 1 < layers_.size()) {
+            outBf16 = &inferBf16_[k % 2];
+            outBf16->reshape(n, layer.outFeatures());
+        }
+        const Bf16Matrix *inBf16 = nullptr;
+        if (bf16Flow) {
+            inBf16 = k == 0 ? &inputAsBf16(inputFeatures)
+                            : (haveBf16 ? &inferBf16_[(k + 1) % 2]
+                                        : nullptr);
+        }
         layer.forwardInference(*graph_, spec_, in,
                                havePacked ? &inferPacked_[(k + 1) % 2]
                                           : nullptr,
-                               out, packedPtr, order, tech);
+                               inBf16, out, packedPtr, outBf16, order,
+                               tech);
         havePacked = packedPtr != nullptr;
+        haveBf16 = outBf16 != nullptr;
     }
     return inferBufs_[(layers_.size() + 1) % 2];
 }
@@ -103,13 +138,22 @@ GnnModel::trainForward(const DenseMatrix &inputFeatures,
     const auto order = localityOrderFor(tech);
     ++dropoutEpoch_;
 
+    const bool bf16Flow =
+        tech.precision == Precision::Bf16 && !tech.compression;
     for (std::size_t k = 0; k < layers_.size(); ++k) {
         const DenseMatrix &in =
             k == 0 ? inputFeatures : contexts_[k - 1].output;
         const CompressedMatrix *inPacked =
             (k > 0 && contexts_[k - 1].hasCompressed)
                 ? &contexts_[k - 1].outputCompressed : nullptr;
-        layers_[k]->forwardTraining(*graph_, spec_, in, inPacked,
+        const Bf16Matrix *inBf16 = nullptr;
+        if (bf16Flow) {
+            inBf16 = k == 0 ? &inputAsBf16(inputFeatures)
+                            : (contexts_[k - 1].hasBf16
+                                   ? &contexts_[k - 1].outputBf16
+                                   : nullptr);
+        }
+        layers_[k]->forwardTraining(*graph_, spec_, in, inPacked, inBf16,
                                     contexts_[k], order, tech);
         // Inter-layer dropout on hidden activations; the packed copy is
         // rebuilt afterwards so the next layer sees the post-dropout
@@ -123,6 +167,15 @@ GnnModel::trainForward(const DenseMatrix &inputFeatures,
             if (contexts_[k].hasCompressed)
                 contexts_[k].outputCompressed.compressFrom(
                     contexts_[k].output);
+        }
+        // Bf16 copies are made *after* dropout so the next layer's
+        // half-width gathers see the post-dropout activations (same
+        // reasoning as the compressed rebuild above).
+        contexts_[k].hasBf16 = bf16Flow && k + 1 < layers_.size();
+        if (contexts_[k].hasBf16) {
+            contexts_[k].outputBf16.reshape(contexts_[k].output.rows(),
+                                            layers_[k]->outFeatures());
+            contexts_[k].outputBf16.fromDense(contexts_[k].output);
         }
     }
     return contexts_.back().output;
@@ -167,11 +220,15 @@ GnnModel::workspacePointers() const
     for (const LayerContext &ctx : contexts_) {
         pointers.push_back(ctx.agg.data());
         pointers.push_back(ctx.output.data());
+        pointers.push_back(ctx.outputBf16.data());
     }
     for (const DenseMatrix &buf : gradBufs_)
         pointers.push_back(buf.data());
     for (const DenseMatrix &buf : inferBufs_)
         pointers.push_back(buf.data());
+    for (const Bf16Matrix &buf : inferBf16_)
+        pointers.push_back(buf.data());
+    pointers.push_back(inputBf16_.data());
     return pointers;
 }
 

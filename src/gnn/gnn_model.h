@@ -130,6 +130,23 @@ class GnnModel
     // Inference workspace (see inference()).
     std::array<DenseMatrix, 2> inferBufs_;
     std::array<CompressedMatrix, 2> inferPacked_;
+    /** Bf16 inter-layer ping-pong of the inference path. */
+    std::array<Bf16Matrix, 2> inferBf16_;
+    /**
+     * Layer 0's gather source under the bf16 technique: a one-time
+     * rounding of the caller's input features, keyed on their data
+     * pointer and shape. Assumes the input matrix is not mutated in
+     * place between calls (true of every driver here — features are
+     * loaded once per run); pass a different matrix object to force a
+     * rebuild.
+     */
+    Bf16Matrix inputBf16_;
+    const void *inputBf16Key_ = nullptr;
+    std::size_t inputBf16Rows_ = 0;
+    std::size_t inputBf16Cols_ = 0;
+
+    /** Round @p inputFeatures into inputBf16_ if the cache is stale. */
+    const Bf16Matrix &inputAsBf16(const DenseMatrix &inputFeatures);
 };
 
 } // namespace graphite

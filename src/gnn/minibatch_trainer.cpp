@@ -83,8 +83,9 @@ MiniBatchTrainer::forwardBatch(const MiniBatch &batch,
         // weights come from the layer's cache (repacked only after the
         // in-loop SGD update mutates W).
         gemmBlockSerial(ctx.agg.row(0), numDst, ctx.agg.rowStride(),
-                        layer.packedWeights(), ctx.output.row(0),
-                        ctx.output.rowStride(), layer.inFeatures());
+                        layer.packedWeights(config_.precision),
+                        ctx.output.row(0), ctx.output.rowStride(),
+                        layer.inFeatures());
         addBias(ctx.output, layer.bias());
         if (layer.hasRelu())
             reluForward(ctx.output);
@@ -122,8 +123,8 @@ MiniBatchTrainer::backwardBatch(const MiniBatch &batch,
         }
 
         DenseMatrix dAgg(gradOut.rows(), layer.inFeatures());
-        gemm(GemmMode::NT, gradOut, layer.packedWeightsTransposed(),
-             dAgg);
+        gemm(GemmMode::NT, gradOut,
+             layer.packedWeightsTransposed(config_.precision), dAgg);
 
         // Parameter update (plain SGD per mini-batch).
         DenseMatrix &weights = layer.weights();

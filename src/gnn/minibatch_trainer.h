@@ -30,6 +30,14 @@ struct MiniBatchConfig
     std::vector<VertexId> fanouts = {10, 10};
     float learningRate = 0.05f;
     std::uint64_t seed = 1;
+    /**
+     * GEMM precision. At Bf16 the per-block update and backward GEMMs
+     * run through the bf16 micro-kernel; the per-batch feature gathers
+     * stay fp32, because converting a transient sampled block to bf16
+     * costs a pass over data touched exactly once — nothing amortises
+     * it (unlike full-batch activations, reread every epoch).
+     */
+    Precision precision = Precision::Fp32;
 };
 
 /** Per-epoch record with the Figure 2 cost split. */

@@ -44,17 +44,22 @@ TechniqueConfig::combinedLocality()
 std::string
 TechniqueConfig::label() const
 {
+    std::string base;
     if (fusion && compression && locality)
-        return "c-locality";
-    if (fusion && compression)
-        return "combined";
-    if (fusion)
-        return "fusion";
-    if (compression)
-        return "compression";
-    if (locality)
-        return "locality";
-    return "basic";
+        base = "c-locality";
+    else if (fusion && compression)
+        base = "combined";
+    else if (fusion)
+        base = "fusion";
+    else if (compression)
+        base = "compression";
+    else if (locality)
+        base = "locality";
+    else
+        base = "basic";
+    if (precision == Precision::Bf16)
+        base += "-bf16";
+    return base;
 }
 
 std::string
@@ -66,6 +71,26 @@ gnnKindName(GnnKind kind)
       case GnnKind::Gin:  return "GIN";
     }
     return "?";
+}
+
+const char *
+precisionName(Precision precision)
+{
+    return precision == Precision::Bf16 ? "bf16" : "fp32";
+}
+
+bool
+parsePrecision(const std::string &text, Precision &out)
+{
+    if (text == "fp32") {
+        out = Precision::Fp32;
+        return true;
+    }
+    if (text == "bf16") {
+        out = Precision::Bf16;
+        return true;
+    }
+    return false;
 }
 
 } // namespace graphite

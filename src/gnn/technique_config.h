@@ -24,6 +24,15 @@ struct TechniqueConfig
     bool compression = false;
     /** Temporal-locality processing order (Section 4.4, training only). */
     bool locality = false;
+    /**
+     * Compute precision. Bf16 stores inter-layer activations as
+     * bfloat16 (halving gather traffic) and runs the update GEMMs
+     * through the bf16-in/fp32-accumulate micro-kernel. When
+     * compression is also on, the packed (sparsity-exploiting) form
+     * wins the gather path and bf16 still applies to the GEMMs — the
+     * two techniques target different traffic.
+     */
+    Precision precision = Precision::Fp32;
     /** Aggregation kernel knobs (Algorithm 1 constants). */
     AggregationConfig agg;
     /** Fused kernel knobs (Algorithm 2 constants). */
@@ -49,5 +58,15 @@ enum class GnnKind { Gcn, Sage, Gin };
 
 /** Model name for tables ("GCN" / "GraphSAGE" / "GIN"). */
 std::string gnnKindName(GnnKind kind);
+
+/** Precision name for tables and CLI round-trips ("fp32" / "bf16"). */
+const char *precisionName(Precision precision);
+
+/**
+ * Parse a --precision value ("fp32" or "bf16", case-sensitive).
+ * @return false when @p text names no known precision (@p out
+ *         untouched).
+ */
+bool parsePrecision(const std::string &text, Precision &out);
 
 } // namespace graphite

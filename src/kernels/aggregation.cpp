@@ -405,6 +405,22 @@ combineBf16Row(const std::uint16_t *src, std::size_t f, Feature factor,
 } // namespace
 
 void
+aggregateVertexBf16(const CsrGraph &graph, const Bf16Matrix &in,
+                    VertexId v, const AggregationSpec &spec, Feature *dst,
+                    std::size_t width)
+{
+    // Seed the accumulator with the self term (Sum-combining into zeros
+    // yields selfFactor * h_v for either reduce op).
+    std::fill(dst, dst + width, 0.0f);
+    combineBf16Row(in.row(v), width, spec.selfFactor(v), dst,
+                   ReduceOp::Sum);
+    for (EdgeId e = graph.rowBegin(v); e < graph.rowEnd(v); ++e) {
+        combineBf16Row(in.row(graph.colIdx()[e]), width,
+                       spec.edgeFactor(e), dst, spec.reduce);
+    }
+}
+
+void
 aggregateBf16(const CsrGraph &graph, const Bf16Matrix &in,
               DenseMatrix &out, const AggregationSpec &spec,
               std::span<const VertexId> order,
@@ -420,22 +436,19 @@ aggregateBf16(const CsrGraph &graph, const Bf16Matrix &in,
         panic("aggregateBf16: %s", error);
     const std::size_t stride = out.rowStride();
 
+    GRAPHITE_TRACE_SPAN("agg.bf16");
+    obs::MetricsRegistry &metrics = obs::MetricsRegistry::global();
+    static obs::Counter &bytesGathered =
+        metrics.counter("agg.bytes_gathered");
+    static obs::Counter &flops = metrics.counter("agg.flops");
+
     parallelFor(0, n, config.taskSize,
                 [&](std::size_t begin, std::size_t end, std::size_t) {
+        GRAPHITE_TRACE_SPAN("agg.block");
         for (std::size_t i = begin; i < end; ++i) {
             const VertexId v =
                 order.empty() ? static_cast<VertexId>(i) : order[i];
-            Feature *dst = out.row(v);
-            // Seed the accumulator with the self term (Sum-combining
-            // into zeros yields selfFactor * h_v for either reduce op).
-            std::fill(dst, dst + stride, 0.0f);
-            combineBf16Row(in.row(v), stride, spec.selfFactor(v), dst,
-                           ReduceOp::Sum);
-            for (EdgeId e = graph.rowBegin(v); e < graph.rowEnd(v);
-                 ++e) {
-                combineBf16Row(in.row(graph.colIdx()[e]), stride,
-                               spec.edgeFactor(e), dst, spec.reduce);
-            }
+            aggregateVertexBf16(graph, in, v, spec, out.row(v), stride);
             if (config.prefetchDistance > 0 &&
                 i + config.prefetchDistance < end) {
                 const std::size_t ahead =
@@ -445,6 +458,14 @@ aggregateBf16(const CsrGraph &graph, const Bf16Matrix &in,
                 for (VertexId u : graph.neighbors(next))
                     __builtin_prefetch(in.row(u), 0, 3);
             }
+        }
+        if (metrics.enabled()) {
+            const std::uint64_t rows =
+                rowsGathered(graph, order, begin, end);
+            // in.rowBytes() is 2 bytes per element: the traffic halving
+            // the bytes-gathered comparison against fp32 runs measures.
+            bytesGathered.add(rows * in.rowBytes());
+            flops.add(2 * rows * in.cols());
         }
     });
 }

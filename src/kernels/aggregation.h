@@ -153,6 +153,18 @@ void aggregateBf16(const CsrGraph &graph, const Bf16Matrix &in,
 void aggregateVertex(const CsrGraph &graph, const DenseMatrix &in,
                      VertexId v, const AggregationSpec &spec, Feature *dst);
 
+/**
+ * Serial single-vertex aggregation from bf16 features: gathered rows
+ * are widened to fp32 in registers and accumulated into @p dst[0,
+ * @p width) — the bf16 counterpart of aggregateVertex, shared by
+ * aggregateBf16 and the fused bf16 kernels. @p width must be a
+ * multiple of the fp32 row padding (it is never wider than the bf16
+ * row stride, so over-reading the source padding is safe).
+ */
+void aggregateVertexBf16(const CsrGraph &graph, const Bf16Matrix &in,
+                         VertexId v, const AggregationSpec &spec,
+                         Feature *dst, std::size_t width);
+
 /** Reference scalar implementation used as the test oracle. */
 void aggregateReference(const CsrGraph &graph, const DenseMatrix &in,
                         DenseMatrix &out, const AggregationSpec &spec);

@@ -92,11 +92,12 @@ aggregateVertexCompressed(const CsrGraph &graph, const CompressedMatrix &in,
 template <typename AggregateFn, typename PrefetchFn>
 void
 fusedDriver(const CsrGraph &graph, std::size_t inCols,
-            const GemmPlan &weightPlan, std::span<const Feature> bias,
-            bool relu, DenseMatrix &out,
+            std::size_t inRowBytes, const GemmPlan &weightPlan,
+            std::span<const Feature> bias, bool relu, DenseMatrix &out,
             std::span<const VertexId> order, const FusedConfig &config,
             AggregateFn &&aggregateOne, PrefetchFn &&prefetchFor,
-            DenseMatrix *aggOut, CompressedMatrix *outCompressed)
+            DenseMatrix *aggOut, CompressedMatrix *outCompressed,
+            Bf16Matrix *outBf16)
 {
     const VertexId n = graph.numVertices();
     GRAPHITE_ASSERT(order.empty() || order.size() == n,
@@ -180,11 +181,18 @@ fusedDriver(const CsrGraph &graph, std::size_t inCols,
                             outStride * sizeof(Feature));
                 if (outCompressed)
                     outCompressed->compressRowFrom(v, upd + m * outStride);
+                if (outBf16)
+                    convertRowToBf16(upd + m * outStride, outBf16->cols(),
+                                     outBf16->row(v));
             }
         }
         if (metricsOn) {
             const std::uint64_t taskRows = end - begin;
-            bytesGathered.add(rowsPulled * inCols * sizeof(Feature));
+            // inRowBytes is the stored size of one gathered row (4 B/elem
+            // for fp32, 2 for bf16, the mean packed size for compressed),
+            // so the counter reflects actual traffic rather than assuming
+            // every input is fp32.
+            bytesGathered.add(rowsPulled * inRowBytes);
             // Aggregation multiply-adds plus the per-block micro-GEMM.
             flops.add(2 * rowsPulled * inCols +
                       2 * taskRows * inCols * out.cols());
@@ -208,9 +216,13 @@ resolveForwardPlan(const UpdateOp &update, std::size_t inCols,
                     "weight rows must equal input feature width");
     GRAPHITE_ASSERT(update.weights->cols() == outCols,
                     "weight cols must equal output feature width");
-    if (update.packedWeights != nullptr)
+    if (update.packedWeights != nullptr) {
+        GRAPHITE_ASSERT(update.packedWeights->precision() ==
+                            update.precision,
+                        "cached weight plan precision mismatch");
         return *update.packedWeights;
-    localPlan.pack(GemmMode::NN, *update.weights);
+    }
+    localPlan.pack(GemmMode::NN, *update.weights, update.precision);
     return localPlan;
 }
 
@@ -234,8 +246,8 @@ fusedLayerTraining(const CsrGraph &graph, const DenseMatrix &in,
     const GemmPlan &plan =
         resolveForwardPlan(update, in.cols(), out.cols(), localPlan);
     fusedDriver(
-        graph, in.cols(), plan, update.bias, update.relu, out, order,
-        config,
+        graph, in.cols(), in.rowBytes(), plan, update.bias, update.relu,
+        out, order, config,
         [&](VertexId v, Feature *dst) {
             aggregateVertex(graph, in, v, spec, dst);
         },
@@ -247,25 +259,29 @@ fusedLayerTraining(const CsrGraph &graph, const DenseMatrix &in,
                                    0, 3);
             }
         },
-        &aggOut, nullptr);
+        &aggOut, nullptr, nullptr);
 }
 
 void
 fusedLayerInference(const CsrGraph &graph, const DenseMatrix &in,
                     const AggregationSpec &spec, const UpdateOp &update,
                     DenseMatrix &out, std::span<const VertexId> order,
-                    const FusedConfig &config)
+                    const FusedConfig &config, Bf16Matrix *outBf16)
 {
     GRAPHITE_TRACE_SPAN("fused.forward");
     GRAPHITE_ASSERT(in.rows() == graph.numVertices(), "row mismatch");
+    GRAPHITE_ASSERT(outBf16 == nullptr ||
+                        (outBf16->rows() == out.rows() &&
+                         outBf16->cols() == out.cols()),
+                    "outBf16 shape mismatch");
     if (const char *error = validateSpec(spec, graph))
         panic("fusedLayerInference: %s", error);
     GemmPlan localPlan;
     const GemmPlan &plan =
         resolveForwardPlan(update, in.cols(), out.cols(), localPlan);
     fusedDriver(
-        graph, in.cols(), plan, update.bias, update.relu, out, order,
-        config,
+        graph, in.cols(), in.rowBytes(), plan, update.bias, update.relu,
+        out, order, config,
         [&](VertexId v, Feature *dst) {
             aggregateVertex(graph, in, v, spec, dst);
         },
@@ -277,7 +293,73 @@ fusedLayerInference(const CsrGraph &graph, const DenseMatrix &in,
                                    0, 3);
             }
         },
-        nullptr, nullptr);
+        nullptr, nullptr, outBf16);
+}
+
+void
+fusedLayerTrainingBf16(const CsrGraph &graph, const Bf16Matrix &in,
+                       const AggregationSpec &spec, const UpdateOp &update,
+                       DenseMatrix &aggOut, DenseMatrix &out,
+                       std::span<const VertexId> order,
+                       const FusedConfig &config)
+{
+    GRAPHITE_TRACE_SPAN("fused.forward");
+    GRAPHITE_ASSERT(in.rows() == graph.numVertices(), "row mismatch");
+    GRAPHITE_ASSERT(aggOut.rows() == in.rows() &&
+                        aggOut.cols() == in.cols(),
+                    "aggOut shape mismatch");
+    if (const char *error = validateSpec(spec, graph))
+        panic("fusedLayerTrainingBf16: %s", error);
+    GemmPlan localPlan;
+    const GemmPlan &plan =
+        resolveForwardPlan(update, in.cols(), out.cols(), localPlan);
+    // Width of one fp32 block row; never exceeds the wider-padded bf16
+    // source rows (see aggregateVertexBf16).
+    const std::size_t aggWidth =
+        (in.cols() + kFloatsPerLine - 1) / kFloatsPerLine * kFloatsPerLine;
+    fusedDriver(
+        graph, in.cols(), in.rowBytes(), plan, update.bias, update.relu,
+        out, order, config,
+        [&](VertexId v, Feature *dst) {
+            aggregateVertexBf16(graph, in, v, spec, dst, aggWidth);
+        },
+        [&](VertexId next) {
+            for (VertexId u : graph.neighbors(next))
+                __builtin_prefetch(in.row(u), 0, 3);
+        },
+        &aggOut, nullptr, nullptr);
+}
+
+void
+fusedLayerInferenceBf16(const CsrGraph &graph, const Bf16Matrix &in,
+                        const AggregationSpec &spec, const UpdateOp &update,
+                        DenseMatrix &out, std::span<const VertexId> order,
+                        const FusedConfig &config, Bf16Matrix *outBf16)
+{
+    GRAPHITE_TRACE_SPAN("fused.forward");
+    GRAPHITE_ASSERT(in.rows() == graph.numVertices(), "row mismatch");
+    GRAPHITE_ASSERT(outBf16 == nullptr ||
+                        (outBf16->rows() == out.rows() &&
+                         outBf16->cols() == out.cols()),
+                    "outBf16 shape mismatch");
+    if (const char *error = validateSpec(spec, graph))
+        panic("fusedLayerInferenceBf16: %s", error);
+    GemmPlan localPlan;
+    const GemmPlan &plan =
+        resolveForwardPlan(update, in.cols(), out.cols(), localPlan);
+    const std::size_t aggWidth =
+        (in.cols() + kFloatsPerLine - 1) / kFloatsPerLine * kFloatsPerLine;
+    fusedDriver(
+        graph, in.cols(), in.rowBytes(), plan, update.bias, update.relu,
+        out, order, config,
+        [&](VertexId v, Feature *dst) {
+            aggregateVertexBf16(graph, in, v, spec, dst, aggWidth);
+        },
+        [&](VertexId next) {
+            for (VertexId u : graph.neighbors(next))
+                __builtin_prefetch(in.row(u), 0, 3);
+        },
+        nullptr, nullptr, outBf16);
 }
 
 void
@@ -301,9 +383,14 @@ fusedLayerTrainingCompressed(const CsrGraph &graph,
     const GemmPlan &plan =
         resolveForwardPlan(update, in.cols(), out.cols(), localPlan);
     const std::size_t stride = in.rowStride();
+    // Mean stored bytes of one packed row (values + mask) — gathered
+    // traffic depends on each row's sparsity, so the counter uses the
+    // matrix-wide average.
+    const std::size_t rowBytes =
+        in.rows() > 0 ? in.compressedTrafficBytes() / in.rows() : 0;
     fusedDriver(
-        graph, in.cols(), plan, update.bias, update.relu, out, order,
-        config,
+        graph, in.cols(), rowBytes, plan, update.bias, update.relu, out,
+        order, config,
         [&](VertexId v, Feature *dst) {
             aggregateVertexCompressed(graph, in, v, spec, dst, stride);
         },
@@ -313,7 +400,7 @@ fusedLayerTrainingCompressed(const CsrGraph &graph,
                 __builtin_prefetch(in.mask(u), 0, 3);
             }
         },
-        &aggOut, outCompressed);
+        &aggOut, outCompressed, nullptr);
 }
 
 void
@@ -333,9 +420,11 @@ fusedLayerInferenceCompressed(const CsrGraph &graph,
     const GemmPlan &plan =
         resolveForwardPlan(update, in.cols(), out.cols(), localPlan);
     const std::size_t stride = in.rowStride();
+    const std::size_t rowBytes =
+        in.rows() > 0 ? in.compressedTrafficBytes() / in.rows() : 0;
     fusedDriver(
-        graph, in.cols(), plan, update.bias, update.relu, out, order,
-        config,
+        graph, in.cols(), rowBytes, plan, update.bias, update.relu, out,
+        order, config,
         [&](VertexId v, Feature *dst) {
             aggregateVertexCompressed(graph, in, v, spec, dst, stride);
         },
@@ -345,7 +434,7 @@ fusedLayerInferenceCompressed(const CsrGraph &graph,
                 __builtin_prefetch(in.mask(u), 0, 3);
             }
         },
-        nullptr, outCompressed);
+        nullptr, outCompressed, nullptr);
 }
 
 void
@@ -373,8 +462,8 @@ fusedLayerBackward(const CsrGraph &transposed, const DenseMatrix &dz,
     // into the L2-resident block buffer, then micro-GEMM it through the
     // prepacked NT plan straight into gradIn. dAgg = dz·Wᵀ never exists.
     fusedDriver(
-        transposed, dz.cols(), weightsNT, {}, false, gradIn, order,
-        config,
+        transposed, dz.cols(), dz.rowBytes(), weightsNT, {}, false,
+        gradIn, order, config,
         [&](VertexId v, Feature *dst) {
             aggregateVertex(transposed, dz, v, transposedSpec, dst);
         },
@@ -386,7 +475,42 @@ fusedLayerBackward(const CsrGraph &transposed, const DenseMatrix &dz,
                                    0, 3);
             }
         },
-        nullptr, nullptr);
+        nullptr, nullptr, nullptr);
+}
+
+void
+fusedLayerBackwardBf16(const CsrGraph &transposed, const Bf16Matrix &dz,
+                       const AggregationSpec &transposedSpec,
+                       const GemmPlan &weightsNT, DenseMatrix &gradIn,
+                       std::span<const VertexId> order,
+                       const FusedConfig &config)
+{
+    GRAPHITE_TRACE_SPAN("fused.backward");
+    GRAPHITE_ASSERT(dz.rows() == transposed.numVertices(),
+                    "row mismatch");
+    GRAPHITE_ASSERT(gradIn.rows() == dz.rows(), "gradIn row mismatch");
+    GRAPHITE_ASSERT(transposedSpec.reduce == ReduceOp::Sum,
+                    "fused backward requires a sum-reduce aggregation");
+    GRAPHITE_ASSERT(weightsNT.precision() == Precision::Bf16,
+                    "bf16 fused backward needs a bf16 NT plan");
+    if (const char *error = validateSpec(transposedSpec, transposed))
+        panic("fusedLayerBackwardBf16: %s", error);
+    const std::size_t aggWidth =
+        (dz.cols() + kFloatsPerLine - 1) / kFloatsPerLine * kFloatsPerLine;
+    // Same commuted pull-shape as fusedLayerBackward; only the gathered
+    // dz rows and the packed W operands are bf16-rounded.
+    fusedDriver(
+        transposed, dz.cols(), dz.rowBytes(), weightsNT, {}, false,
+        gradIn, order, config,
+        [&](VertexId v, Feature *dst) {
+            aggregateVertexBf16(transposed, dz, v, transposedSpec, dst,
+                                aggWidth);
+        },
+        [&](VertexId next) {
+            for (VertexId u : transposed.neighbors(next))
+                __builtin_prefetch(dz.row(u), 0, 3);
+        },
+        nullptr, nullptr, nullptr);
 }
 
 void

@@ -37,9 +37,16 @@ struct UpdateOp
     /**
      * Optional NN-mode pack of @c weights (GnnLayer's epoch-cached
      * plan). When null, consumers that need the packed form pack once
-     * per layer invocation themselves.
+     * per layer invocation themselves. A supplied plan must have been
+     * packed at @c precision.
      */
     const GemmPlan *packedWeights = nullptr;
+    /**
+     * Precision of the per-block micro-GEMM: Bf16 rounds the weights
+     * (at pack time) and the aggregated block rows (at the A pack) to
+     * bf16 and accumulates in fp32.
+     */
+    Precision precision = Precision::Fp32;
 };
 
 /** Tuning knobs of the fused kernel (Algorithm 2's constants). */
@@ -71,12 +78,42 @@ void fusedLayerTraining(const CsrGraph &graph, const DenseMatrix &in,
 /**
  * Fused aggregation + update for inference (Figure 5c): a^k lives only
  * in a per-thread reusable block buffer and is never written to memory.
+ *
+ * @param outBf16 when non-null, each produced h^k row is also rounded
+ *                to bf16 while cache-resident — the write-side
+ *                conversion that feeds the next layer's bf16 gathers
+ *                without an extra pass over DRAM. Must be |V| x F_out.
  */
 void fusedLayerInference(const CsrGraph &graph, const DenseMatrix &in,
                          const AggregationSpec &spec, const UpdateOp &update,
                          DenseMatrix &out,
                          std::span<const VertexId> order = {},
-                         const FusedConfig &config = {});
+                         const FusedConfig &config = {},
+                         Bf16Matrix *outBf16 = nullptr);
+
+/**
+ * Bf16-input fused variants (the precision analogue of the compressed
+ * pair): gathered rows are widened from bf16 to fp32 in registers
+ * during aggregation, so half-width features never round-trip through
+ * a DRAM scratch, and the per-block micro-GEMM runs at the update op's
+ * precision. @p aggOut still persists fp32 aggregation rows (backprop
+ * consumes them at full precision).
+ * @{
+ */
+void fusedLayerTrainingBf16(const CsrGraph &graph, const Bf16Matrix &in,
+                            const AggregationSpec &spec,
+                            const UpdateOp &update, DenseMatrix &aggOut,
+                            DenseMatrix &out,
+                            std::span<const VertexId> order = {},
+                            const FusedConfig &config = {});
+
+void fusedLayerInferenceBf16(const CsrGraph &graph, const Bf16Matrix &in,
+                             const AggregationSpec &spec,
+                             const UpdateOp &update, DenseMatrix &out,
+                             std::span<const VertexId> order = {},
+                             const FusedConfig &config = {},
+                             Bf16Matrix *outBf16 = nullptr);
+/** @} */
 
 /**
  * Compressed-input variants (Section 4.3 combined with fusion): gathered
@@ -135,6 +172,19 @@ void fusedLayerBackward(const CsrGraph &transposed, const DenseMatrix &dz,
                         const GemmPlan &weightsNT, DenseMatrix &gradIn,
                         std::span<const VertexId> order = {},
                         const FusedConfig &config = {});
+
+/**
+ * Bf16 fused backward: dz is gathered at half width (widened to fp32
+ * in registers) and the `·Wᵀ` micro-GEMM consumes the bf16 NT plan.
+ * Gradients accumulate in fp32 throughout; only the gathered operands
+ * are rounded.
+ */
+void fusedLayerBackwardBf16(const CsrGraph &transposed,
+                            const Bf16Matrix &dz,
+                            const AggregationSpec &transposedSpec,
+                            const GemmPlan &weightsNT, DenseMatrix &gradIn,
+                            std::span<const VertexId> order = {},
+                            const FusedConfig &config = {});
 
 /**
  * Unfused reference layer: aggregateBasic over the full graph, then a

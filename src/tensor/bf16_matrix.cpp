@@ -10,14 +10,8 @@ namespace graphite {
 void
 convertRowToBf16(const Feature *src, std::size_t n, std::uint16_t *dst)
 {
-    for (std::size_t i = 0; i < n; ++i) {
-        std::uint32_t bits;
-        std::memcpy(&bits, &src[i], sizeof(bits));
-        // Round to nearest even: add half-ulp plus the sticky lsb.
-        const std::uint32_t rounded =
-            bits + 0x7fffu + ((bits >> 16) & 1u);
-        dst[i] = static_cast<std::uint16_t>(rounded >> 16);
-    }
+    for (std::size_t i = 0; i < n; ++i)
+        dst[i] = bf16FromFloat(src[i]);
 }
 
 void
@@ -44,6 +38,22 @@ Bf16Matrix::Bf16Matrix(std::size_t rows, std::size_t cols)
     : rows_(rows), cols_(cols), rowStride_(paddedStride(cols)),
       storage_(rows * paddedStride(cols))
 {
+}
+
+void
+Bf16Matrix::reshape(std::size_t rows, std::size_t cols)
+{
+    const std::size_t stride = paddedStride(cols);
+    const std::size_t needed = rows * stride;
+    if (rows == rows_ && cols == cols_ && storage_.size() >= needed)
+        return; // steady-state: nothing moved, padding still zero
+    if (storage_.size() < needed)
+        storage_.resize(needed); // allocates zero-initialised
+    else
+        storage_.zero(); // clear stale padding from the old shape
+    rows_ = rows;
+    cols_ = cols;
+    rowStride_ = stride;
 }
 
 void

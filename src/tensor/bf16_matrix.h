@@ -16,11 +16,41 @@
 #pragma once
 
 #include <cstdint>
+#include <cstring>
 
 #include "common/aligned_buffer.h"
 #include "tensor/dense_matrix.h"
 
 namespace graphite {
+
+/**
+ * Round one float to bf16 (round-to-nearest-even). Inf passes through
+ * and NaN stays NaN: the RNE increment would carry a NaN mantissa into
+ * the exponent and turn it into Inf, so all-ones-exponent inputs take a
+ * separate path that quietens the payload instead. Values above the
+ * bf16 range (e.g. FLT_MAX) round to Inf, matching hardware cvtneps.
+ */
+inline std::uint16_t
+bf16FromFloat(Feature value)
+{
+    std::uint32_t bits;
+    std::memcpy(&bits, &value, sizeof(bits));
+    const bool special = (bits & 0x7f800000u) == 0x7f800000u;
+    const std::uint32_t rounded = bits + 0x7fffu + ((bits >> 16) & 1u);
+    const std::uint32_t kept =
+        (bits >> 16) | ((bits & 0x007fffffu) != 0 ? 0x0040u : 0u);
+    return static_cast<std::uint16_t>(special ? kept : rounded >> 16);
+}
+
+/** Expand one bf16 value back to float (exact). */
+inline Feature
+bf16ToFloat(std::uint16_t value)
+{
+    const std::uint32_t bits = static_cast<std::uint32_t>(value) << 16;
+    Feature out;
+    std::memcpy(&out, &bits, sizeof(out));
+    return out;
+}
 
 /** Convert @p n floats to bf16 with round-to-nearest-even. */
 void convertRowToBf16(const Feature *src, std::size_t n,
@@ -39,9 +69,27 @@ class Bf16Matrix
     /** Allocate rows x cols (stride padded to 32 elements = 64 B). */
     Bf16Matrix(std::size_t rows, std::size_t cols);
 
+    /**
+     * Redimension without reallocating when the existing storage is
+     * large enough (grow-only otherwise) — the reuse primitive behind
+     * the model's bf16 activation buffers, mirroring
+     * DenseMatrix::reshape. Storage is re-zeroed whenever the shape
+     * actually changes so row padding stays zero (the gather kernels
+     * read rows at full stride); a same-shape call is a no-op.
+     */
+    void reshape(std::size_t rows, std::size_t cols);
+
     std::size_t rows() const { return rows_; }
     std::size_t cols() const { return cols_; }
     std::size_t rowStride() const { return rowStride_; }
+    /** Bytes per padded row — what a full-row gather transfers. */
+    std::size_t rowBytes() const
+    {
+        return rowStride_ * sizeof(std::uint16_t);
+    }
+
+    /** Storage base (workspace-pinning diagnostics). */
+    const std::uint16_t *data() const { return storage_.data(); }
 
     std::uint16_t *row(std::size_t r)
     {

@@ -1,6 +1,8 @@
 #include "tensor/gemm.h"
 
 #include <algorithm>
+#include <atomic>
+#include <cstdlib>
 #include <cstring>
 #include <vector>
 
@@ -8,6 +10,14 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "parallel/thread_pool.h"
+#include "tensor/bf16_matrix.h"
+
+#if defined(__x86_64__) || defined(__i386__)
+#define GRAPHITE_GEMM_X86_BF16 1
+#include <immintrin.h>
+#else
+#define GRAPHITE_GEMM_X86_BF16 0
+#endif
 
 namespace graphite {
 
@@ -177,6 +187,355 @@ packAColMajor(const DenseMatrix &a, std::size_t m0, std::size_t mLen,
     }
 }
 
+/*
+ * ---- bf16-in / fp32-accumulate micro-kernels -------------------------
+ *
+ * Operands arrive as k-pair uint32 words: low 16 bits hold bf16 element
+ * 2kp, high 16 bits element 2kp+1 (see GemmPlan). Each k step of the
+ * kernel consumes one pair, so a KC slice takes kBlockPairs iterations.
+ * The native kernel feeds the pairs to vdpbf16ps (two products summed
+ * into an fp32 lane per instruction); the emulated kernel widens each
+ * half to fp32 by bit shifts — bf16 -> fp32 is exact — and runs two
+ * FMAs, so both paths accumulate in fp32 and agree to fp32 rounding.
+ */
+
+/** Integer twin of Vec for the emulated widening shifts. */
+typedef std::uint32_t VecI __attribute__((vector_size(64), may_alias));
+static_assert(kNRV == 2, "bf16 kernels assume NR = two zmm vectors");
+
+inline Feature
+floatFromBits(std::uint32_t bits)
+{
+    Feature out;
+    std::memcpy(&out, &bits, sizeof(out));
+    return out;
+}
+
+/**
+ * Portable bf16 micro-kernel: same register-tile shape as microKernel,
+ * with each k-pair contributing two widening FMAs per accumulator.
+ */
+template <std::size_t Rows>
+void
+microKernelBf16Emu(const std::uint32_t *ap, const std::uint32_t *bp,
+                   std::size_t kcPairs, Feature *c, std::size_t cStride,
+                   std::size_t nValid, bool accumulate)
+{
+    Vec acc[Rows][kNRV];
+    #pragma GCC unroll 8
+    for (std::size_t i = 0; i < Rows; ++i)
+        #pragma GCC unroll 2
+        for (std::size_t v = 0; v < kNRV; ++v)
+            acc[i][v] = Vec{};
+
+    for (std::size_t kp = 0; kp < kcPairs; ++kp) {
+        const VecI *bv =
+            reinterpret_cast<const VecI *>(bp + kp * kGemmNR);
+        const std::uint32_t *a = ap + kp * kGemmMR;
+        #pragma GCC unroll 8
+        for (std::size_t i = 0; i < Rows; ++i) {
+            const Feature aLo = floatFromBits(a[i] << 16);
+            const Feature aHi = floatFromBits(a[i] & 0xffff0000u);
+            // Widening shifts spelled inline: a 64-byte Vec return
+            // across a function boundary trips -Wpsabi on non-AVX512
+            // targets. Low half = element 2kp, high half = 2kp+1.
+            #pragma GCC unroll 2
+            for (std::size_t v = 0; v < kNRV; ++v) {
+                acc[i][v] += (Vec)(bv[v] << 16) * aLo;
+                acc[i][v] += (Vec)(bv[v] & 0xffff0000u) * aHi;
+            }
+        }
+    }
+
+    if (nValid == kGemmNR) {
+        #pragma GCC unroll 8
+        for (std::size_t i = 0; i < Rows; ++i) {
+            VecU *cv = reinterpret_cast<VecU *>(c + i * cStride);
+            #pragma GCC unroll 2
+            for (std::size_t v = 0; v < kNRV; ++v) {
+                if (accumulate)
+                    cv[v] += acc[i][v];
+                else
+                    cv[v] = acc[i][v];
+            }
+        }
+    } else {
+        alignas(64) Feature tmp[kGemmNR];
+        for (std::size_t i = 0; i < Rows; ++i) {
+            for (std::size_t v = 0; v < kNRV; ++v)
+                *reinterpret_cast<Vec *>(tmp + v * kVecLanes) = acc[i][v];
+            Feature *cRow = c + i * cStride;
+            if (accumulate) {
+                #pragma omp simd
+                for (std::size_t j = 0; j < nValid; ++j)
+                    cRow[j] += tmp[j];
+            } else {
+                #pragma omp simd
+                for (std::size_t j = 0; j < nValid; ++j)
+                    cRow[j] = tmp[j];
+            }
+        }
+    }
+}
+
+#if GRAPHITE_GEMM_X86_BF16
+
+/**
+ * Native AVX512-BF16 micro-kernel: one vdpbf16ps per (row, B vector)
+ * per k-pair — the A word broadcast to every lane, the B vector holding
+ * 16 column pairs. Compiled with a target attribute so the portable
+ * build (GRAPHITE_NATIVE_ARCH=OFF) still carries it; only dispatched
+ * after a cpuid check.
+ */
+template <std::size_t Rows>
+__attribute__((target("avx512f,avx512bw,avx512vl,avx512bf16")))
+void
+microKernelBf16Native(const std::uint32_t *ap, const std::uint32_t *bp,
+                      std::size_t kcPairs, Feature *c, std::size_t cStride,
+                      std::size_t nValid, bool accumulate)
+{
+    __m512 acc[Rows][kNRV];
+    #pragma GCC unroll 8
+    for (std::size_t i = 0; i < Rows; ++i) {
+        acc[i][0] = _mm512_setzero_ps();
+        acc[i][1] = _mm512_setzero_ps();
+    }
+
+    for (std::size_t kp = 0; kp < kcPairs; ++kp) {
+        const std::uint32_t *b = bp + kp * kGemmNR;
+        const __m512bh b0 = (__m512bh)_mm512_loadu_si512(b);
+        const __m512bh b1 = (__m512bh)_mm512_loadu_si512(b + kVecLanes);
+        const std::uint32_t *a = ap + kp * kGemmMR;
+        #pragma GCC unroll 8
+        for (std::size_t i = 0; i < Rows; ++i) {
+            const __m512bh av =
+                (__m512bh)_mm512_set1_epi32(static_cast<int>(a[i]));
+            acc[i][0] = _mm512_dpbf16_ps(acc[i][0], av, b0);
+            acc[i][1] = _mm512_dpbf16_ps(acc[i][1], av, b1);
+        }
+    }
+
+    if (nValid == kGemmNR) {
+        #pragma GCC unroll 8
+        for (std::size_t i = 0; i < Rows; ++i) {
+            Feature *cRow = c + i * cStride;
+            #pragma GCC unroll 2
+            for (std::size_t v = 0; v < kNRV; ++v) {
+                __m512 res = acc[i][v];
+                if (accumulate)
+                    res = _mm512_add_ps(
+                        _mm512_loadu_ps(cRow + v * kVecLanes), res);
+                _mm512_storeu_ps(cRow + v * kVecLanes, res);
+            }
+        }
+    } else {
+        alignas(64) Feature tmp[kGemmNR];
+        for (std::size_t i = 0; i < Rows; ++i) {
+            _mm512_store_ps(tmp, acc[i][0]);
+            _mm512_store_ps(tmp + kVecLanes, acc[i][1]);
+            Feature *cRow = c + i * cStride;
+            if (accumulate) {
+                for (std::size_t j = 0; j < nValid; ++j)
+                    cRow[j] += tmp[j];
+            } else {
+                for (std::size_t j = 0; j < nValid; ++j)
+                    cRow[j] = tmp[j];
+            }
+        }
+    }
+}
+
+#endif // GRAPHITE_GEMM_X86_BF16
+
+/**
+ * Startup value of the emulation override: GRAPHITE_BF16_EMULATE set to
+ * anything but "0" forces the portable kernel (the CI parity legs use
+ * this so the emulated path is tested on bf16-capable runners too).
+ */
+bool
+bf16EmulateFromEnv()
+{
+    const char *env = std::getenv("GRAPHITE_BF16_EMULATE");
+    return env != nullptr && env[0] != '\0' &&
+           !(env[0] == '0' && env[1] == '\0');
+}
+
+/** Atomic so tests can flip it around concurrently-timed GEMMs. */
+std::atomic<bool> &
+bf16EmulatedFlag()
+{
+    static std::atomic<bool> flag{bf16EmulateFromEnv()};
+    return flag;
+}
+
+/** Ragged bottom edge dispatch for the bf16 kernels. */
+void
+microDispatchBf16(bool native, std::size_t rows, const std::uint32_t *ap,
+                  const std::uint32_t *bp, std::size_t kcPairs, Feature *c,
+                  std::size_t cStride, std::size_t nValid, bool accumulate)
+{
+#if GRAPHITE_GEMM_X86_BF16
+    if (native) {
+        switch (rows) {
+          case 1: microKernelBf16Native<1>(ap, bp, kcPairs, c, cStride,
+                                           nValid, accumulate);
+            break;
+          case 2: microKernelBf16Native<2>(ap, bp, kcPairs, c, cStride,
+                                           nValid, accumulate);
+            break;
+          case 3: microKernelBf16Native<3>(ap, bp, kcPairs, c, cStride,
+                                           nValid, accumulate);
+            break;
+          case 4: microKernelBf16Native<4>(ap, bp, kcPairs, c, cStride,
+                                           nValid, accumulate);
+            break;
+          case 5: microKernelBf16Native<5>(ap, bp, kcPairs, c, cStride,
+                                           nValid, accumulate);
+            break;
+          case 6: microKernelBf16Native<6>(ap, bp, kcPairs, c, cStride,
+                                           nValid, accumulate);
+            break;
+          case 7: microKernelBf16Native<7>(ap, bp, kcPairs, c, cStride,
+                                           nValid, accumulate);
+            break;
+          default:
+            microKernelBf16Native<kGemmMR>(ap, bp, kcPairs, c, cStride,
+                                           nValid, accumulate);
+            break;
+        }
+        return;
+    }
+#else
+    (void)native;
+#endif
+    switch (rows) {
+      case 1: microKernelBf16Emu<1>(ap, bp, kcPairs, c, cStride, nValid,
+                                    accumulate);
+        break;
+      case 2: microKernelBf16Emu<2>(ap, bp, kcPairs, c, cStride, nValid,
+                                    accumulate);
+        break;
+      case 3: microKernelBf16Emu<3>(ap, bp, kcPairs, c, cStride, nValid,
+                                    accumulate);
+        break;
+      case 4: microKernelBf16Emu<4>(ap, bp, kcPairs, c, cStride, nValid,
+                                    accumulate);
+        break;
+      case 5: microKernelBf16Emu<5>(ap, bp, kcPairs, c, cStride, nValid,
+                                    accumulate);
+        break;
+      case 6: microKernelBf16Emu<6>(ap, bp, kcPairs, c, cStride, nValid,
+                                    accumulate);
+        break;
+      case 7: microKernelBf16Emu<7>(ap, bp, kcPairs, c, cStride, nValid,
+                                    accumulate);
+        break;
+      default:
+        microKernelBf16Emu<kGemmMR>(ap, bp, kcPairs, c, cStride, nValid,
+                                    accumulate);
+        break;
+    }
+}
+
+/**
+ * Pack row-major A rows into MR-wide k-pair panels, rounding to bf16:
+ * word (kp, i) pairs elements (2kp, 2kp+1) of row i, odd tails and
+ * missing rows zero-padded. Mirrors packARowMajor's panel walk.
+ */
+void
+packARowMajorBf16(const Feature *aBase, std::size_t aStride,
+                  std::size_t mLen, std::size_t k0, std::size_t kcLen,
+                  std::uint32_t *ap)
+{
+    const std::size_t pairs = (kcLen + 1) / 2;
+    for (std::size_t ip = 0; ip * kGemmMR < mLen; ++ip) {
+        std::uint32_t *panel = ap + ip * pairs * kGemmMR;
+        const std::size_t rows = std::min(kGemmMR, mLen - ip * kGemmMR);
+        for (std::size_t i = 0; i < rows; ++i) {
+            const Feature *src =
+                aBase + (ip * kGemmMR + i) * aStride + k0;
+            for (std::size_t kp = 0; kp < pairs; ++kp) {
+                const std::uint32_t lo = bf16FromFloat(src[2 * kp]);
+                const std::uint32_t hi =
+                    2 * kp + 1 < kcLen ? bf16FromFloat(src[2 * kp + 1])
+                                       : 0u;
+                panel[kp * kGemmMR + i] = lo | (hi << 16);
+            }
+        }
+        for (std::size_t i = rows; i < kGemmMR; ++i) {
+            for (std::size_t kp = 0; kp < pairs; ++kp)
+                panel[kp * kGemmMR + i] = 0u;
+        }
+    }
+}
+
+/** Bf16 A-pair packing for TN mode (effective A(m, k) = a(k, m)). */
+void
+packAColMajorBf16(const DenseMatrix &a, std::size_t m0, std::size_t mLen,
+                  std::size_t k0, std::size_t kcLen, std::uint32_t *ap)
+{
+    const std::size_t pairs = (kcLen + 1) / 2;
+    for (std::size_t ip = 0; ip * kGemmMR < mLen; ++ip) {
+        std::uint32_t *panel = ap + ip * pairs * kGemmMR;
+        const std::size_t rows = std::min(kGemmMR, mLen - ip * kGemmMR);
+        for (std::size_t kp = 0; kp < pairs; ++kp) {
+            const Feature *srcLo = a.row(k0 + 2 * kp) + m0 + ip * kGemmMR;
+            const Feature *srcHi =
+                2 * kp + 1 < kcLen ? a.row(k0 + 2 * kp + 1) + m0 +
+                                         ip * kGemmMR
+                                   : nullptr;
+            std::uint32_t *dst = panel + kp * kGemmMR;
+            for (std::size_t i = 0; i < rows; ++i) {
+                const std::uint32_t lo = bf16FromFloat(srcLo[i]);
+                const std::uint32_t hi =
+                    srcHi ? bf16FromFloat(srcHi[i]) : 0u;
+                dst[i] = lo | (hi << 16);
+            }
+            for (std::size_t i = rows; i < kGemmMR; ++i)
+                dst[i] = 0u;
+        }
+    }
+}
+
+/** uint32 words of A-pair pack scratch one M tile needs. */
+constexpr std::size_t kApPairWords = kGemmTileM * (kGemmKC / 2);
+
+/**
+ * Bf16 twin of computeTile: KC slices advance by kBlockPairs pair
+ * words, and the kernel choice (native vs emulated) is hoisted out of
+ * the block loops.
+ */
+template <typename PackASlice>
+void
+computeTileBf16(const GemmPlan &plan, Feature *cBase, std::size_t cStride,
+                std::size_t mLen, std::size_t jp0, std::size_t jp1,
+                GemmAccumulate acc, std::uint32_t *apBuf,
+                PackASlice &&packASlice)
+{
+    const bool native = bf16GemmIsNative();
+    const std::size_t nTotal = plan.n();
+    for (std::size_t kb = 0; kb < plan.numKBlocks(); ++kb) {
+        const std::size_t kcLen = plan.kBlockLen(kb);
+        const std::size_t pairs = plan.kBlockPairs(kb);
+        packASlice(kb * kGemmKC, kcLen, apBuf);
+        const bool accumulate =
+            kb > 0 || acc == GemmAccumulate::Add;
+        for (std::size_t jp = jp0; jp < jp1; ++jp) {
+            const std::uint32_t *bp = plan.pairPanel(kb, jp);
+            const std::size_t n0 = jp * kGemmNR;
+            const std::size_t nValid = std::min(kGemmNR, nTotal - n0);
+            for (std::size_t ip = 0; ip * kGemmMR < mLen; ++ip) {
+                const std::size_t rows =
+                    std::min(kGemmMR, mLen - ip * kGemmMR);
+                microDispatchBf16(native, rows,
+                                  apBuf + ip * pairs * kGemmMR, bp, pairs,
+                                  cBase + ip * kGemmMR * cStride + n0,
+                                  cStride, nValid, accumulate);
+            }
+        }
+    }
+}
+
 /**
  * Serial tile driver: C rows [0, mLen) x panel columns [jp0, jp1) of
  * the effective product, looping KC slices of @p plan. @p packASlice
@@ -249,6 +608,30 @@ checkPlanShapes(GemmMode mode, const DenseMatrix &a, const GemmPlan &plan,
 
 } // namespace
 
+bool
+bf16GemmHardwareSupported()
+{
+#if GRAPHITE_GEMM_X86_BF16
+    static const bool supported = __builtin_cpu_supports("avx512bf16");
+    return supported;
+#else
+    return false;
+#endif
+}
+
+void
+setBf16GemmEmulated(bool emulated)
+{
+    bf16EmulatedFlag().store(emulated, std::memory_order_relaxed);
+}
+
+bool
+bf16GemmIsNative()
+{
+    return bf16GemmHardwareSupported() &&
+           !bf16EmulatedFlag().load(std::memory_order_relaxed);
+}
+
 void
 gemm(GemmMode mode, const DenseMatrix &a, const GemmPlan &plan,
      DenseMatrix &c, GemmAccumulate acc)
@@ -283,6 +666,51 @@ gemm(GemmMode mode, const DenseMatrix &a, const GemmPlan &plan,
     const std::size_t tasks = mTiles * nTiles;
 
     const std::size_t numThreads = ThreadPool::global().numThreads();
+
+    if (plan.precision() == Precision::Bf16) {
+        // A is rounded to bf16 pair words during the per-slice pack;
+        // the scratch is a distinct uint32 allocation (not a reuse of
+        // the fp32 buffer) so the kernels never type-pun Feature
+        // storage.
+        std::vector<AlignedBuffer<std::uint32_t>> apPairBuf;
+        apPairBuf.reserve(numThreads);
+        for (std::size_t t = 0; t < numThreads; ++t)
+            apPairBuf.emplace_back(kApPairWords);
+
+        parallelFor(0, tasks, 1,
+                    [&](std::size_t begin, std::size_t end,
+                        std::size_t tid) {
+            std::uint32_t *ap = apPairBuf[tid].data();
+            for (std::size_t task = begin; task < end; ++task) {
+                const std::size_t mt = task % mTiles;
+                const std::size_t nt = task / mTiles;
+                const std::size_t m0 = mt * kGemmTileM;
+                const std::size_t mLen = std::min(kGemmTileM, m - m0);
+                const std::size_t jp0 = nt * kPanelsPerTile;
+                const std::size_t jp1 =
+                    std::min(jp0 + kPanelsPerTile, plan.numColPanels());
+                Feature *cBase = c.row(m0);
+                if (mode == GemmMode::TN) {
+                    computeTileBf16(plan, cBase, c.rowStride(), mLen, jp0,
+                                    jp1, acc, ap,
+                                    [&](std::size_t k0, std::size_t kcLen,
+                                        std::uint32_t *dst) {
+                        packAColMajorBf16(a, m0, mLen, k0, kcLen, dst);
+                    });
+                } else {
+                    computeTileBf16(plan, cBase, c.rowStride(), mLen, jp0,
+                                    jp1, acc, ap,
+                                    [&](std::size_t k0, std::size_t kcLen,
+                                        std::uint32_t *dst) {
+                        packARowMajorBf16(a.row(m0), a.rowStride(), mLen,
+                                          k0, kcLen, dst);
+                    });
+                }
+            }
+        });
+        return;
+    }
+
     std::vector<AlignedBuffer<Feature>> apBuf;
     apBuf.reserve(numThreads);
     for (std::size_t t = 0; t < numThreads; ++t)
@@ -322,10 +750,10 @@ gemm(GemmMode mode, const DenseMatrix &a, const GemmPlan &plan,
 
 void
 gemm(GemmMode mode, const DenseMatrix &a, const DenseMatrix &b,
-     DenseMatrix &c, GemmAccumulate acc)
+     DenseMatrix &c, GemmAccumulate acc, Precision precision)
 {
     checkShapes(mode, a, b, c);
-    const GemmPlan plan(mode, b);
+    const GemmPlan plan(mode, b, precision);
     gemm(mode, a, plan, c, acc);
 }
 
@@ -341,6 +769,23 @@ gemmBlockSerial(const Feature *aRows, std::size_t rows,
         for (std::size_t r = 0; r < rows; ++r)
             std::fill(cRows + r * cStride, cRows + r * cStride + plan.n(),
                       0.0f);
+        return;
+    }
+    if (plan.precision() == Precision::Bf16) {
+        thread_local std::vector<std::uint32_t> apPairScratch;
+        if (apPairScratch.size() < kApPairWords)
+            apPairScratch.resize(kApPairWords);
+        for (std::size_t m0 = 0; m0 < rows; m0 += kGemmTileM) {
+            const std::size_t mLen = std::min(kGemmTileM, rows - m0);
+            computeTileBf16(plan, cRows + m0 * cStride, cStride, mLen, 0,
+                            plan.numColPanels(), GemmAccumulate::Overwrite,
+                            apPairScratch.data(),
+                            [&](std::size_t k0, std::size_t kcLen,
+                                std::uint32_t *dst) {
+                packARowMajorBf16(aRows + m0 * aStride, aStride, mLen, k0,
+                                  kcLen, dst);
+            });
+        }
         return;
     }
     // Per-calling-thread pack scratch: the fused kernels call this from

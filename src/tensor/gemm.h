@@ -31,19 +31,43 @@ namespace graphite {
  * internally; call the GemmPlan overload to amortise that pack across
  * calls with a constant right-hand operand (layer weights).
  *
- * @param mode operand transposition (see file comment).
- * @param acc  overwrite C or accumulate into it.
+ * @param mode      operand transposition (see file comment).
+ * @param acc       overwrite C or accumulate into it.
+ * @param precision Bf16 rounds both operands to bf16 during packing and
+ *                  runs the bf16-in/fp32-accumulate micro-kernel.
  */
 void gemm(GemmMode mode, const DenseMatrix &a, const DenseMatrix &b,
-          DenseMatrix &c, GemmAccumulate acc = GemmAccumulate::Overwrite);
+          DenseMatrix &c, GemmAccumulate acc = GemmAccumulate::Overwrite,
+          Precision precision = Precision::Fp32);
 
 /**
  * Parallel blocked GEMM with a prepacked right-hand operand. @p plan
  * must have been packed with the same @p mode it is used under (the
- * plan stores the mode-resolved K x N operand).
+ * plan stores the mode-resolved K x N operand). The plan's precision
+ * selects the micro-kernel: a bf16 plan routes through the
+ * bf16-in/fp32-accumulate tile (A is rounded to bf16 pairs during the
+ * per-KC A pack), dispatched at runtime to AVX512-BF16 vdpbf16ps where
+ * the CPU has it and a widening-FMA emulation elsewhere.
  */
 void gemm(GemmMode mode, const DenseMatrix &a, const GemmPlan &plan,
           DenseMatrix &c, GemmAccumulate acc = GemmAccumulate::Overwrite);
+
+/**
+ * True when this CPU can run the native AVX512-BF16 micro-kernel
+ * (checked once via cpuid; the binary always carries both kernels).
+ */
+bool bf16GemmHardwareSupported();
+
+/**
+ * Force (or release) the emulated bf16 micro-kernel regardless of CPU
+ * support — the test/CI hook that makes both paths exercisable on any
+ * host. Also settable via the GRAPHITE_BF16_EMULATE=1 environment
+ * variable, read once at startup.
+ */
+void setBf16GemmEmulated(bool emulated);
+
+/** True when bf16 GEMMs will dispatch to the native vdpbf16ps kernel. */
+bool bf16GemmIsNative();
 
 /**
  * Serial small-block GEMM: c[0..rows) = aRows * b, where aRows points
@@ -68,7 +92,8 @@ void gemmBlockSerial(const Feature *aRows, std::size_t rows,
  * Serial small-block GEMM through a prepacked NN-mode weight plan — the
  * fused fast path: the caller packs W once per layer invocation and
  * every block task streams the shared panels through the register-tile
- * micro-kernel.
+ * micro-kernel. A bf16 plan routes the block through the bf16 tile
+ * (the fused kernels' update phase at reduced precision).
  */
 void gemmBlockSerial(const Feature *aRows, std::size_t rows,
                      std::size_t aStride, const GemmPlan &plan,

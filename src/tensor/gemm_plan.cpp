@@ -4,20 +4,85 @@
 #include <cstring>
 
 #include "parallel/thread_pool.h"
+#include "tensor/bf16_matrix.h"
 
 namespace graphite {
 
+namespace {
+
+/** Bf16 pair-words a whole plan of the given blocking stores. */
+std::size_t
+totalPairWords(std::size_t numKBlocks, std::size_t numColPanels,
+               std::size_t lastBlockPairs)
+{
+    if (numKBlocks == 0)
+        return 0;
+    return (numKBlocks - 1) * (kGemmKC / 2) * numColPanels * kGemmNR +
+           lastBlockPairs * numColPanels * kGemmNR;
+}
+
+} // namespace
+
 void
-GemmPlan::pack(GemmMode mode, const DenseMatrix &b)
+GemmPlan::pack(GemmMode mode, const DenseMatrix &b, Precision precision)
 {
     // Only the B operand's own orientation matters here: NN and TN read
     // b as the stored K x N matrix, NT reads it as an N x K matrix whose
     // transpose is consumed.
     const bool transposed = mode == GemmMode::NT;
+    precision_ = precision;
     k_ = transposed ? b.cols() : b.rows();
     n_ = transposed ? b.rows() : b.cols();
     numColPanels_ = (n_ + kGemmNR - 1) / kGemmNR;
     numKBlocks_ = (k_ + kGemmKC - 1) / kGemmKC;
+
+    if (precision == Precision::Bf16) {
+        if (packed_.size() != 0)
+            packed_.resize(0);
+        const std::size_t total = totalPairWords(
+            numKBlocks_, numColPanels_,
+            numKBlocks_ > 0 ? kBlockPairs(numKBlocks_ - 1) : 0);
+        if (packedPairs_.size() != total)
+            packedPairs_.resize(total);
+        // Effective element (k, j) of the K x N operand.
+        const auto at = [&](std::size_t k, std::size_t j) {
+            return transposed ? b.row(j)[k] : b.row(k)[j];
+        };
+        parallelFor(0, numKBlocks_, 1,
+                    [&](std::size_t kbBegin, std::size_t kbEnd,
+                        std::size_t) {
+            for (std::size_t kb = kbBegin; kb < kbEnd; ++kb) {
+                const std::size_t k0 = kb * kGemmKC;
+                const std::size_t kcLen = kBlockLen(kb);
+                const std::size_t pairs = kBlockPairs(kb);
+                for (std::size_t jp = 0; jp < numColPanels_; ++jp) {
+                    const std::size_t j0 = jp * kGemmNR;
+                    const std::size_t jLen = std::min(kGemmNR, n_ - j0);
+                    std::uint32_t *dst =
+                        const_cast<std::uint32_t *>(pairPanel(kb, jp));
+                    for (std::size_t kp = 0; kp < pairs; ++kp) {
+                        const std::size_t kLo = k0 + 2 * kp;
+                        const bool hasHi = 2 * kp + 1 < kcLen;
+                        std::uint32_t *out = dst + kp * kGemmNR;
+                        for (std::size_t j = 0; j < jLen; ++j) {
+                            const std::uint32_t lo =
+                                bf16FromFloat(at(kLo, j0 + j));
+                            const std::uint32_t hi =
+                                hasHi ? bf16FromFloat(at(kLo + 1, j0 + j))
+                                      : 0u;
+                            out[j] = lo | (hi << 16);
+                        }
+                        for (std::size_t j = jLen; j < kGemmNR; ++j)
+                            out[j] = 0u;
+                    }
+                }
+            }
+        });
+        return;
+    }
+
+    if (packedPairs_.size() != 0)
+        packedPairs_.resize(0);
     const std::size_t total =
         numKBlocks_ > 0
             ? (numKBlocks_ - 1) * kGemmKC * numColPanels_ * kGemmNR +
@@ -64,7 +129,8 @@ const char *
 GemmPlan::validate() const
 {
     if (empty()) {
-        if (numColPanels_ != 0 || numKBlocks_ != 0 || packed_.size() != 0)
+        if (numColPanels_ != 0 || numKBlocks_ != 0 ||
+            packed_.size() != 0 || packedPairs_.size() != 0)
             return "empty plan retains packed panels";
         return nullptr;
     }
@@ -74,6 +140,18 @@ GemmPlan::validate() const
         return "column-panel count disagrees with n";
     if (numKBlocks_ != (k_ + kGemmKC - 1) / kGemmKC)
         return "K-block count disagrees with k";
+    if (precision_ == Precision::Bf16) {
+        if (packed_.size() != 0)
+            return "bf16 plan retains fp32 panels";
+        const std::size_t expected = totalPairWords(
+            numKBlocks_, numColPanels_, kBlockPairs(numKBlocks_ - 1));
+        if (packedPairs_.size() != expected)
+            return "packed pair buffer size disagrees with blocking "
+                   "parameters";
+        return nullptr;
+    }
+    if (packedPairs_.size() != 0)
+        return "fp32 plan retains bf16 pair panels";
     const std::size_t expected =
         (numKBlocks_ - 1) * kGemmKC * numColPanels_ * kGemmNR +
         kBlockLen(numKBlocks_ - 1) * numColPanels_ * kGemmNR;

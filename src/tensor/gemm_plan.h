@@ -14,6 +14,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 
 #include "common/aligned_buffer.h"
 #include "tensor/dense_matrix.h"
@@ -22,6 +23,14 @@ namespace graphite {
 
 /** Transposition mode of a GEMM operand pair. */
 enum class GemmMode { NN, NT, TN };
+
+/**
+ * Compute precision of a kernel path. Bf16 stores operands as bfloat16
+ * (round-to-nearest-even) and accumulates in fp32 — the Intel
+ * DGL-on-x86 / DistGNN recipe that halves feature traffic while keeping
+ * training stable.
+ */
+enum class Precision : std::uint8_t { Fp32, Bf16 };
 
 /** Accumulate behaviour. */
 enum class GemmAccumulate { Overwrite, Add };
@@ -49,6 +58,12 @@ inline constexpr std::size_t kGemmTileN = 128;
  * A default-constructed plan is empty; pack() (re)builds it. Packing the
  * same matrix again produces bit-identical panels, so results computed
  * through a reused plan match a freshly packed one exactly.
+ *
+ * Bf16 precision packs the same panels as k-*pair*-major uint32 words:
+ * word (kp, j) holds elements {b[2kp, j], b[2kp+1, j]} rounded to bf16,
+ * element 2kp in the low half — exactly the operand shape AVX512-BF16's
+ * vdpbf16ps pairwise dot consumes (and the emulated kernel widens from).
+ * Odd-K tails zero-pad the high half, so pair counts never branch.
  */
 class GemmPlan
 {
@@ -56,16 +71,27 @@ class GemmPlan
     GemmPlan() = default;
 
     /** Pack operand @p b of a @p mode GEMM (convenience constructor). */
-    GemmPlan(GemmMode mode, const DenseMatrix &b) { pack(mode, b); }
+    GemmPlan(GemmMode mode, const DenseMatrix &b,
+             Precision precision = Precision::Fp32)
+    {
+        pack(mode, b, precision);
+    }
 
     /**
      * (Re)pack @p b as the right-hand operand of a @p mode GEMM. The
      * pack pass is itself parallelised over KC blocks, so repacking a
-     * large operand (e.g. dY in the dW backward GEMM) scales too.
+     * large operand (e.g. dY in the dW backward GEMM) scales too. With
+     * @p precision Bf16, panel values are rounded to bf16 and stored as
+     * k-pair words (see class comment); the consuming kernel is chosen
+     * by the plan's precision, so call sites need no other change.
      */
-    void pack(GemmMode mode, const DenseMatrix &b);
+    void pack(GemmMode mode, const DenseMatrix &b,
+              Precision precision = Precision::Fp32);
 
     bool empty() const { return k_ == 0 && n_ == 0; }
+
+    /** Storage/compute precision this plan was packed for. */
+    Precision precision() const { return precision_; }
 
     /** Effective inner dimension K of the packed operand. */
     std::size_t k() const { return k_; }
@@ -84,10 +110,19 @@ class GemmPlan
         return begin + kGemmKC <= k_ ? kGemmKC : k_ - begin;
     }
 
+    /** bf16 pairs in KC block @p kb (ceil(kBlockLen / 2)). */
+    std::size_t
+    kBlockPairs(std::size_t kb) const
+    {
+        return (kBlockLen(kb) + 1) / 2;
+    }
+
     /** Panel (@p kb, @p jp): kBlockLen(kb) x NR floats, k-major. */
     const Feature *
     panel(std::size_t kb, std::size_t jp) const
     {
+        GRAPHITE_DCHECK(precision_ == Precision::Fp32,
+                        "fp32 panel access on a bf16 plan");
         GRAPHITE_DCHECK(kb < numKBlocks_ && jp < numColPanels_,
                         "GemmPlan panel index out of range");
         return packed_.data() +
@@ -95,8 +130,29 @@ class GemmPlan
                jp * kBlockLen(kb) * kGemmNR;
     }
 
+    /**
+     * Bf16 panel (@p kb, @p jp): kBlockPairs(kb) x NR uint32 words,
+     * pair-major (see class comment on the word layout).
+     */
+    const std::uint32_t *
+    pairPanel(std::size_t kb, std::size_t jp) const
+    {
+        GRAPHITE_DCHECK(precision_ == Precision::Bf16,
+                        "bf16 panel access on an fp32 plan");
+        GRAPHITE_DCHECK(kb < numKBlocks_ && jp < numColPanels_,
+                        "GemmPlan panel index out of range");
+        return packedPairs_.data() +
+               kb * (kGemmKC / 2) * numColPanels_ * kGemmNR +
+               jp * kBlockPairs(kb) * kGemmNR;
+    }
+
     /** Total packed storage (diagnostics / pack-cost accounting). */
-    Bytes packedBytes() const { return packed_.size() * sizeof(Feature); }
+    Bytes
+    packedBytes() const
+    {
+        return packed_.size() * sizeof(Feature) +
+               packedPairs_.size() * sizeof(std::uint32_t);
+    }
 
     /**
      * Check the blocking parameters against the packed buffer: panel and
@@ -116,6 +172,8 @@ class GemmPlan
 
   private:
     AlignedBuffer<Feature> packed_;
+    AlignedBuffer<std::uint32_t> packedPairs_;
+    Precision precision_ = Precision::Fp32;
     std::size_t k_ = 0;
     std::size_t n_ = 0;
     std::size_t numColPanels_ = 0;

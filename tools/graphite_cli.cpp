@@ -63,17 +63,23 @@ TechniqueConfig
 techniqueFor(const Options &options)
 {
     const std::string name = options.getString("technique");
+    TechniqueConfig tech;
     if (name == "basic")
-        return TechniqueConfig::basic();
-    if (name == "fusion")
-        return TechniqueConfig::withFusion();
-    if (name == "compression")
-        return TechniqueConfig::withCompression();
-    if (name == "combined")
-        return TechniqueConfig::combined();
-    if (name == "c-locality")
-        return TechniqueConfig::combinedLocality();
-    fatal("unknown technique '%s'", name.c_str());
+        tech = TechniqueConfig::basic();
+    else if (name == "fusion")
+        tech = TechniqueConfig::withFusion();
+    else if (name == "compression")
+        tech = TechniqueConfig::withCompression();
+    else if (name == "combined")
+        tech = TechniqueConfig::combined();
+    else if (name == "c-locality")
+        tech = TechniqueConfig::combinedLocality();
+    else
+        fatal("unknown technique '%s'", name.c_str());
+    const std::string precisionText = options.getString("precision");
+    if (!parsePrecision(precisionText, tech.precision))
+        fatal("unknown precision '%s'", precisionText.c_str());
+    return tech;
 }
 
 int
@@ -230,6 +236,8 @@ main(int argc, char **argv)
     options.add("scale-shift", "3", "analogue shrink (halvings)");
     options.add("technique", "combined",
                 "basic | fusion | compression | combined | c-locality");
+    options.add("precision", "fp32",
+                "fp32 | bf16 (bf16 gathers + bf16-in/fp32-acc GEMMs)");
     options.add("model", "gcn", "gcn | sage");
     options.add("features", "64", "input feature width");
     options.add("hidden", "128", "hidden feature width");
