@@ -32,6 +32,13 @@ BENCH_REQUIRED = {
     "bytes_gathered_fp32": int,
     "bytes_gathered_bf16": int,
     "gather_traffic_ratio": float,
+    "shard_count": int,
+    "cut_edge_ratio": float,
+    "halo_bytes": int,
+    "bytes_gathered_sharded": int,
+    "epoch_seconds_sharded": float,
+    "sim_dram_lines_global": int,
+    "sim_dram_lines_sharded": int,
     "backward_seconds_unfused": float,
     "backward_seconds_fused": float,
     "backward_speedup": float,

@@ -6,6 +6,7 @@
 #include "common/rng.h"
 #include "obs/trace.h"
 #include "kernels/fused_layer.h"
+#include "kernels/shard_exec.h"
 #include "parallel/thread_pool.h"
 #include "tensor/gemm.h"
 #include "tensor/row_ops.h"
@@ -88,6 +89,7 @@ GnnLayer::forwardInference(const CsrGraph &graph,
                            CompressedMatrix *outCompressed,
                            Bf16Matrix *outBf16,
                            std::span<const VertexId> order,
+                           const PartitionPlan *plan,
                            const TechniqueConfig &tech) const
 {
     GRAPHITE_TRACE_SPAN("layer.forward");
@@ -97,11 +99,36 @@ GnnLayer::forwardInference(const CsrGraph &graph,
     const bool bf16In = !packedIn &&
                         tech.precision == Precision::Bf16 &&
                         inBf16 != nullptr;
-    if (tech.fusion) {
+    const bool sharded = plan != nullptr && plan->numShards() > 1;
+    if (sharded) {
+        GRAPHITE_ASSERT(plan->graph == &graph,
+                        "partition plan built for another graph");
+        // Compressed gathers have no sharded kernel: run the global
+        // kernels over the shard-major order (locality still applies).
+        if (packedIn)
+            order = plan->shardMajorOrder;
+    }
+    const bool shardedKernels = sharded && !packedIn;
+    const bool delayed = shardedKernels && tech.delayedHalo;
+    // Fusion has no delayed-halo variant (the replica phase breaks the
+    // per-block pipeline); delayed runs take the unfused path below.
+    if (tech.fusion && !delayed) {
         if (packedIn) {
             fusedLayerInferenceCompressed(graph, *inCompressed, spec,
                                           update, out, outCompressed,
                                           order, tech.fused);
+        } else if (shardedKernels) {
+            if (bf16In)
+                fusedLayerInferenceShardedBf16(*plan, *inBf16, spec,
+                                               update, out, tech.fused,
+                                               outBf16);
+            else
+                fusedLayerInferenceSharded(*plan, in, spec, update, out,
+                                           tech.fused, outBf16);
+            outBf16 = nullptr; // converted write-side by the kernel
+            if (outCompressed)
+                outCompressed->compressFrom(out);
+            return;
         } else if (bf16In) {
             fusedLayerInferenceBf16(graph, *inBf16, spec, update, out,
                                     order, tech.fused, outBf16);
@@ -122,6 +149,10 @@ GnnLayer::forwardInference(const CsrGraph &graph,
     if (packedIn)
         aggregateCompressed(graph, *inCompressed, agg, spec, order,
                             tech.agg);
+    else if (shardedKernels && bf16In)
+        aggregateShardedBf16(*plan, *inBf16, agg, spec, delayed, tech.agg);
+    else if (shardedKernels)
+        aggregateSharded(*plan, in, agg, spec, delayed, tech.agg);
     else if (bf16In)
         aggregateBf16(graph, *inBf16, agg, spec, order, tech.agg);
     else
@@ -143,6 +174,7 @@ GnnLayer::forwardTraining(const CsrGraph &graph, const AggregationSpec &spec,
                           const CompressedMatrix *inCompressed,
                           const Bf16Matrix *inBf16, LayerContext &ctx,
                           std::span<const VertexId> order,
+                          const PartitionPlan *plan,
                           const TechniqueConfig &tech) const
 {
     GRAPHITE_TRACE_SPAN("layer.forward");
@@ -167,11 +199,31 @@ GnnLayer::forwardTraining(const CsrGraph &graph, const AggregationSpec &spec,
     const bool bf16In = !packedIn &&
                         tech.precision == Precision::Bf16 &&
                         inBf16 != nullptr;
-    if (tech.fusion) {
+    const bool sharded = plan != nullptr && plan->numShards() > 1;
+    if (sharded) {
+        GRAPHITE_ASSERT(plan->graph == &graph,
+                        "partition plan built for another graph");
+        if (packedIn)
+            order = plan->shardMajorOrder;
+    }
+    const bool shardedKernels = sharded && !packedIn;
+    const bool delayed = shardedKernels && tech.delayedHalo;
+    if (tech.fusion && !delayed) {
         if (packedIn) {
             fusedLayerTrainingCompressed(graph, *inCompressed, spec,
                                          update, ctx.agg, ctx.output,
                                          outCompressed, order, tech.fused);
+        } else if (shardedKernels) {
+            if (bf16In)
+                fusedLayerTrainingShardedBf16(*plan, *inBf16, spec,
+                                              update, ctx.agg, ctx.output,
+                                              tech.fused);
+            else
+                fusedLayerTrainingSharded(*plan, in, spec, update,
+                                          ctx.agg, ctx.output,
+                                          tech.fused);
+            if (outCompressed)
+                outCompressed->compressFrom(ctx.output);
         } else if (bf16In) {
             fusedLayerTrainingBf16(graph, *inBf16, spec, update, ctx.agg,
                                    ctx.output, order, tech.fused);
@@ -188,6 +240,11 @@ GnnLayer::forwardTraining(const CsrGraph &graph, const AggregationSpec &spec,
     if (packedIn)
         aggregateCompressed(graph, *inCompressed, ctx.agg, spec, order,
                             tech.agg);
+    else if (shardedKernels && bf16In)
+        aggregateShardedBf16(*plan, *inBf16, ctx.agg, spec, delayed,
+                             tech.agg);
+    else if (shardedKernels)
+        aggregateSharded(*plan, in, ctx.agg, spec, delayed, tech.agg);
     else if (bf16In)
         aggregateBf16(graph, *inBf16, ctx.agg, spec, order, tech.agg);
     else
@@ -206,6 +263,7 @@ GnnLayer::backward(const CsrGraph &transposed,
                    const AggregationSpec &transposedSpec,
                    const LayerContext &ctx, DenseMatrix &gradOut,
                    DenseMatrix *gradIn, std::span<const VertexId> order,
+                   const PartitionPlan *transposedPlan,
                    const TechniqueConfig &tech)
 {
     GRAPHITE_TRACE_SPAN("layer.backward");
@@ -225,9 +283,16 @@ GnnLayer::backward(const CsrGraph &transposed,
 
     if (!gradIn)
         return;
+    const bool sharded = transposedPlan != nullptr &&
+                         transposedPlan->numShards() > 1;
+    if (sharded) {
+        GRAPHITE_ASSERT(transposedPlan->graph == &transposed,
+                        "partition plan built for another graph");
+    }
+    const bool delayed = sharded && tech.delayedHalo;
     // dh_prev = Aggᵀ(dz·Wᵀ) over the transposed graph.
     gradIn->reshape(gradOut.rows(), inFeatures_);
-    if (tech.fusion) {
+    if (tech.fusion && !delayed) {
         // Fused: per-block (Aggᵀ dz)·Wᵀ, dAgg never materialised (see
         // kernels/fused_layer.h on the commuted fusion direction).
         if (tech.precision == Precision::Bf16) {
@@ -236,10 +301,21 @@ GnnLayer::backward(const CsrGraph &transposed,
             // keep accumulating in fp32.
             dzBf16Scratch_.reshape(gradOut.rows(), outFeatures_);
             dzBf16Scratch_.fromDense(gradOut);
-            fusedLayerBackwardBf16(transposed, dzBf16Scratch_,
-                                   transposedSpec,
-                                   packedWeightsTransposed(tech.precision),
-                                   *gradIn, order, tech.fused);
+            if (sharded)
+                fusedLayerBackwardShardedBf16(
+                    *transposedPlan, dzBf16Scratch_, transposedSpec,
+                    packedWeightsTransposed(tech.precision), *gradIn,
+                    tech.fused);
+            else
+                fusedLayerBackwardBf16(
+                    transposed, dzBf16Scratch_, transposedSpec,
+                    packedWeightsTransposed(tech.precision), *gradIn,
+                    order, tech.fused);
+        } else if (sharded) {
+            fusedLayerBackwardSharded(*transposedPlan, gradOut,
+                                      transposedSpec,
+                                      packedWeightsTransposed(), *gradIn,
+                                      tech.fused);
         } else {
             fusedLayerBackward(transposed, gradOut, transposedSpec,
                                packedWeightsTransposed(), *gradIn, order,
@@ -252,8 +328,12 @@ GnnLayer::backward(const CsrGraph &transposed,
          dAggScratch_);
     // dAgg rows stay fp32 here: converting a transient scratch to bf16
     // would add a full extra pass for no stored-traffic win.
-    aggregateBasic(transposed, dAggScratch_, *gradIn, transposedSpec,
-                   order, tech.agg);
+    if (sharded)
+        aggregateSharded(*transposedPlan, dAggScratch_, *gradIn,
+                         transposedSpec, delayed, tech.agg);
+    else
+        aggregateBasic(transposed, dAggScratch_, *gradIn, transposedSpec,
+                       order, tech.agg);
 }
 
 void

@@ -114,6 +114,13 @@ class GnnLayer
      * read half-width features instead (compression wins when both are
      * supplied); a non-null @p outBf16 additionally rounds the produced
      * rows to bf16 for the next layer.
+     *
+     * A non-null @p plan with >= 2 shards switches to shard-major
+     * execution: dense/bf16 paths run the sharded kernels (exact mode
+     * bit-identical; tech.delayedHalo selects the replica mode and, with
+     * fusion, falls back to unfused delayed aggregation + one GEMM);
+     * compressed gathers have no sharded kernel and instead run the
+     * global kernels over the plan's shard-major order.
      */
     void forwardInference(const CsrGraph &graph, const AggregationSpec &spec,
                           const DenseMatrix &in,
@@ -122,6 +129,7 @@ class GnnLayer
                           CompressedMatrix *outCompressed,
                           Bf16Matrix *outBf16,
                           std::span<const VertexId> order,
+                          const PartitionPlan *plan,
                           const TechniqueConfig &tech) const;
 
     /**
@@ -136,6 +144,7 @@ class GnnLayer
                          const CompressedMatrix *inCompressed,
                          const Bf16Matrix *inBf16, LayerContext &ctx,
                          std::span<const VertexId> order,
+                         const PartitionPlan *plan,
                          const TechniqueConfig &tech) const;
 
     /**
@@ -153,11 +162,14 @@ class GnnLayer
      * @param order          processing order for the *transposed* graph
      *                       (GnnModel::transposedLocalityOrderFor), or
      *                       empty for identity.
+     * @param transposedPlan partition plan of the *transposed* graph for
+     *                       shard-major execution, or null for flat.
      */
     void backward(const CsrGraph &transposed,
                   const AggregationSpec &transposedSpec,
                   const LayerContext &ctx, DenseMatrix &gradOut,
                   DenseMatrix *gradIn, std::span<const VertexId> order,
+                  const PartitionPlan *transposedPlan,
                   const TechniqueConfig &tech);
 
     /** SGD parameter update from the last backward()'s gradients. */

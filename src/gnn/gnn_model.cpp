@@ -56,6 +56,41 @@ GnnModel::transposedLocalityOrderFor(const TechniqueConfig &tech) const
     return cachedTransposedOrder_;
 }
 
+const PartitionPlan *
+GnnModel::partitionPlanFor(const TechniqueConfig &tech) const
+{
+    if (tech.shards < 2)
+        return nullptr;
+    if (cachedPlanShards_ != tech.shards ||
+        cachedPlanStrategy_ != tech.partition || cachedPlan_.shards.empty()) {
+        PartitionConfig config;
+        config.numShards = tech.shards;
+        config.strategy = tech.partition;
+        cachedPlan_ = makePartitionPlan(*graph_, config);
+        cachedPlanShards_ = tech.shards;
+        cachedPlanStrategy_ = tech.partition;
+    }
+    return &cachedPlan_;
+}
+
+const PartitionPlan *
+GnnModel::transposedPartitionPlanFor(const TechniqueConfig &tech) const
+{
+    if (tech.shards < 2)
+        return nullptr;
+    if (cachedTransposedPlanShards_ != tech.shards ||
+        cachedTransposedPlanStrategy_ != tech.partition ||
+        cachedTransposedPlan_.shards.empty()) {
+        PartitionConfig config;
+        config.numShards = tech.shards;
+        config.strategy = tech.partition;
+        cachedTransposedPlan_ = makePartitionPlan(transposed_, config);
+        cachedTransposedPlanShards_ = tech.shards;
+        cachedTransposedPlanStrategy_ = tech.partition;
+    }
+    return &cachedTransposedPlan_;
+}
+
 const Bf16Matrix &
 GnnModel::inputAsBf16(const DenseMatrix &inputFeatures)
 {
@@ -81,6 +116,7 @@ GnnModel::inference(const DenseMatrix &inputFeatures,
     GRAPHITE_ASSERT(inputFeatures.cols() == config_.featureWidths.front(),
                     "input width mismatch");
     const auto order = localityOrderFor(tech);
+    const PartitionPlan *plan = partitionPlanFor(tech);
     const VertexId n = graph_->numVertices();
 
     // Bf16 activations flow between layers only when compression does
@@ -121,7 +157,7 @@ GnnModel::inference(const DenseMatrix &inputFeatures,
                                havePacked ? &inferPacked_[(k + 1) % 2]
                                           : nullptr,
                                inBf16, out, packedPtr, outBf16, order,
-                               tech);
+                               plan, tech);
         havePacked = packedPtr != nullptr;
         haveBf16 = outBf16 != nullptr;
     }
@@ -136,6 +172,7 @@ GnnModel::trainForward(const DenseMatrix &inputFeatures,
     GRAPHITE_ASSERT(inputFeatures.rows() == graph_->numVertices(),
                     "input row count mismatch");
     const auto order = localityOrderFor(tech);
+    const PartitionPlan *plan = partitionPlanFor(tech);
     ++dropoutEpoch_;
 
     const bool bf16Flow =
@@ -154,7 +191,7 @@ GnnModel::trainForward(const DenseMatrix &inputFeatures,
                                    : nullptr);
         }
         layers_[k]->forwardTraining(*graph_, spec_, in, inPacked, inBf16,
-                                    contexts_[k], order, tech);
+                                    contexts_[k], order, plan, tech);
         // Inter-layer dropout on hidden activations; the packed copy is
         // rebuilt afterwards so the next layer sees the post-dropout
         // sparsity (which is exactly what makes compression pay off in
@@ -186,6 +223,7 @@ GnnModel::trainBackward(DenseMatrix &lossGrad, const TechniqueConfig &tech)
 {
     GRAPHITE_TRACE_SPAN("model.backward");
     const auto order = transposedLocalityOrderFor(tech);
+    const PartitionPlan *transposedPlan = transposedPartitionPlanFor(tech);
     DenseMatrix *gradOut = &lossGrad;
     for (std::size_t k = layers_.size(); k-- > 0;) {
         const bool needGradIn = k > 0;
@@ -193,7 +231,8 @@ GnnModel::trainBackward(DenseMatrix &lossGrad, const TechniqueConfig &tech)
         // at the top layer), so writing parity k never aliases it.
         DenseMatrix *gradIn = needGradIn ? &gradBufs_[k % 2] : nullptr;
         layers_[k]->backward(transposed_, transposedSpec_, contexts_[k],
-                             *gradOut, gradIn, order, tech);
+                             *gradOut, gradIn, order, transposedPlan,
+                             tech);
         if (needGradIn) {
             // Undo the inter-layer dropout between layer k-1 and k.
             if (config_.dropoutRate > 0.0) {

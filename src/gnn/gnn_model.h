@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "gnn/gnn_layer.h"
+#include "graph/partition/partitioner.h"
 #include "graph/reorder.h"
 
 namespace graphite {
@@ -100,6 +101,23 @@ class GnnModel
     transposedLocalityOrderFor(const TechniqueConfig &tech) const;
 
     /**
+     * The cache-slice partition plan used when tech.shards >= 2, or
+     * null for flat execution. Built lazily and cached keyed on
+     * (shards, strategy) — like the locality orders, the partitioning
+     * cost is amortised over epochs. The returned pointer stays valid
+     * until the next call with a *different* shard count or strategy.
+     */
+    const PartitionPlan *partitionPlanFor(const TechniqueConfig &tech)
+        const;
+
+    /**
+     * Partition plan of the *transposed* graph for the backward
+     * aggregation, cached like partitionPlanFor.
+     */
+    const PartitionPlan *
+    transposedPartitionPlanFor(const TechniqueConfig &tech) const;
+
+    /**
      * Diagnostic/test hook: data pointers of every persistent training
      * and inference workspace buffer (layer contexts, ping-pong grad
      * and inference buffers). Steady-state epochs must keep these
@@ -120,6 +138,15 @@ class GnnModel
     std::vector<std::vector<std::uint64_t>> dropoutMasks_;
     mutable ProcessingOrder cachedLocalityOrder_;
     mutable ProcessingOrder cachedTransposedOrder_;
+    /** Lazily-built partition plans, keyed on (shards, strategy). @{ */
+    mutable PartitionPlan cachedPlan_;
+    mutable std::size_t cachedPlanShards_ = 0;
+    mutable PartitionStrategy cachedPlanStrategy_ = PartitionStrategy::Greedy;
+    mutable PartitionPlan cachedTransposedPlan_;
+    mutable std::size_t cachedTransposedPlanShards_ = 0;
+    mutable PartitionStrategy cachedTransposedPlanStrategy_ =
+        PartitionStrategy::Greedy;
+    /** @} */
     std::uint64_t dropoutEpoch_ = 0;
     /**
      * Inter-layer gradient ping-pong: layer k writes gradBufs_[k % 2]

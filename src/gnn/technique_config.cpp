@@ -59,6 +59,13 @@ TechniqueConfig::label() const
         base = "basic";
     if (precision == Precision::Bf16)
         base += "-bf16";
+    if (shards >= 2) {
+        base += "-k" + std::to_string(shards);
+        if (partition == PartitionStrategy::Hash)
+            base += "-hash";
+        if (delayedHalo)
+            base += "-delayed";
+    }
     return base;
 }
 

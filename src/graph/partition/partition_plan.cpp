@@ -1,0 +1,185 @@
+#include "graph/partition/partition_plan.h"
+
+namespace graphite {
+
+const char *
+partitionStrategyName(PartitionStrategy strategy)
+{
+    return strategy == PartitionStrategy::Hash ? "hash" : "greedy";
+}
+
+bool
+parsePartitionStrategy(const std::string &text, PartitionStrategy &out)
+{
+    if (text == "greedy") {
+        out = PartitionStrategy::Greedy;
+        return true;
+    }
+    if (text == "hash") {
+        out = PartitionStrategy::Hash;
+        return true;
+    }
+    return false;
+}
+
+EdgeId
+PartitionPlan::totalCutEdges() const
+{
+    EdgeId total = 0;
+    for (const Shard &shard : shards)
+        total += shard.cutEdges;
+    return total;
+}
+
+VertexId
+PartitionPlan::totalHaloVertices() const
+{
+    VertexId total = 0;
+    for (const Shard &shard : shards)
+        total += shard.numHalo();
+    return total;
+}
+
+double
+PartitionPlan::cutEdgeRatio() const
+{
+    if (graph == nullptr || graph->numEdges() == 0)
+        return 0.0;
+    return static_cast<double>(totalCutEdges()) /
+           static_cast<double>(graph->numEdges());
+}
+
+Bytes
+PartitionPlan::estimatedGatherBytes(Bytes rowBytes, bool delayedHalo) const
+{
+    if (graph == nullptr)
+        return 0;
+    const Bytes selfRows = graph->numVertices();
+    if (!delayedHalo)
+        return (selfRows + graph->numEdges()) * rowBytes;
+    Bytes intra = 0;
+    for (const Shard &shard : shards)
+        intra += shard.intraEdges;
+    return (selfRows + intra + totalHaloVertices()) * rowBytes;
+}
+
+const char *
+PartitionPlan::validate() const
+{
+    if (graph == nullptr)
+        return "plan references no graph";
+    if (shards.empty())
+        return "plan has no shards";
+    const VertexId n = graph->numVertices();
+    const EdgeId numEdges = graph->numEdges();
+    const std::size_t k = shards.size();
+    if (shardOf.size() != n)
+        return "shardOf size differs from |V|";
+    if (localIdOf.size() != n)
+        return "localIdOf size differs from |V|";
+    if (shardMajorOrder.size() != n)
+        return "shardMajorOrder size differs from |V|";
+    if (ownedStart.size() != k + 1 || ownedStart.front() != 0)
+        return "ownedStart is not a K+1 prefix starting at 0";
+
+    // Owned runs tile the shard-major order.
+    for (std::size_t s = 0; s < k; ++s) {
+        const Shard &shard = shards[s];
+        if (shard.numOwned > shard.vertices.size())
+            return "shard owns more vertices than it lists";
+        if (ownedStart[s + 1] - ownedStart[s] != shard.numOwned)
+            return "ownedStart run length differs from shard numOwned";
+        for (VertexId i = 0; i < shard.numOwned; ++i) {
+            if (shardMajorOrder[ownedStart[s] + i] != shard.vertices[i])
+                return "shardMajorOrder diverges from owned lists";
+        }
+    }
+    if (ownedStart.back() != n)
+        return "owned runs do not cover all vertices";
+
+    // Global→local→global round-trip for every vertex. Combined with
+    // the owned counts summing to |V| this makes ownership a bijection.
+    for (VertexId v = 0; v < n; ++v) {
+        if (shardOf[v] >= k)
+            return "shardOf entry out of range";
+        const Shard &shard = shards[shardOf[v]];
+        if (localIdOf[v] >= shard.numOwned)
+            return "localIdOf entry is not an owned local id";
+        if (shard.vertices[localIdOf[v]] != v)
+            return "global/local id round-trip failed";
+    }
+
+    // Per-shard local structure against the global CSR, plus
+    // exactly-once coverage of the global edge set.
+    std::vector<std::uint8_t> edgeSeen(numEdges, 0);
+    std::vector<std::uint8_t> haloUsed;
+    for (std::size_t s = 0; s < k; ++s) {
+        const Shard &shard = shards[s];
+        if (shard.localCsr.numVertices() != shard.vertices.size())
+            return "local CSR row count differs from shard vertex count";
+        if (const char *error = shard.localCsr.validate())
+            return error;
+        if (shard.globalEdge.size() != shard.localCsr.numEdges())
+            return "globalEdge size differs from local edge count";
+        if (shard.cutStart.size() != shard.numOwned)
+            return "cutStart size differs from owned count";
+        for (VertexId i = 0; i < shard.vertices.size(); ++i) {
+            if (shard.vertices[i] >= n)
+                return "shard vertex id out of range";
+        }
+        for (VertexId h = shard.numOwned; h < shard.vertices.size(); ++h) {
+            if (shardOf[shard.vertices[h]] == s)
+                return "halo vertex is owned by its own shard";
+            if (shard.localCsr.degree(h) != 0)
+                return "halo row of the local CSR is not empty";
+        }
+        haloUsed.assign(shard.numHalo(), 0);
+        EdgeId intra = 0;
+        EdgeId cut = 0;
+        for (VertexId r = 0; r < shard.numOwned; ++r) {
+            const VertexId v = shard.vertices[r];
+            if (shard.localCsr.degree(r) != graph->degree(v))
+                return "local row degree differs from global row";
+            const EdgeId rowBegin = shard.localCsr.rowBegin(r);
+            const EdgeId rowEnd = shard.localCsr.rowEnd(r);
+            if (shard.cutStart[r] < rowBegin || shard.cutStart[r] > rowEnd)
+                return "cutStart outside its row";
+            for (EdgeId idx = rowBegin; idx < rowEnd; ++idx) {
+                const VertexId c = shard.localCsr.colIdx()[idx];
+                const EdgeId e = shard.globalEdge[idx];
+                if (e >= numEdges)
+                    return "global edge id out of range";
+                if (e < graph->rowBegin(v) || e >= graph->rowEnd(v))
+                    return "global edge lies outside its owner's row";
+                if (graph->colIdx()[e] != shard.vertices[c])
+                    return "local edge endpoint differs from global";
+                if (edgeSeen[e])
+                    return "global edge assigned to two local edges";
+                edgeSeen[e] = 1;
+                if (idx < shard.cutStart[r]) {
+                    if (c >= shard.numOwned)
+                        return "cut edge before cutStart";
+                    ++intra;
+                } else {
+                    if (c < shard.numOwned)
+                        return "intra edge after cutStart";
+                    haloUsed[c - shard.numOwned] = 1;
+                    ++cut;
+                }
+            }
+        }
+        if (intra != shard.intraEdges || cut != shard.cutEdges)
+            return "shard edge accounting mismatch";
+        for (std::uint8_t used : haloUsed) {
+            if (!used)
+                return "halo vertex referenced by no cut edge";
+        }
+    }
+    for (std::uint8_t seen : edgeSeen) {
+        if (!seen)
+            return "global edge assigned to no shard";
+    }
+    return nullptr;
+}
+
+} // namespace graphite

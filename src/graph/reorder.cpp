@@ -76,6 +76,10 @@ bfsOrder(const CsrGraph &graph)
 {
     const VertexId n = graph.numVertices();
     ProcessingOrder order;
+    // The unconditional runFrom(start) below would index visited[0] on
+    // an empty graph.
+    if (n == 0)
+        return order;
     order.reserve(n);
     std::vector<bool> visited(n, false);
 

@@ -6,6 +6,8 @@
  * order on graphs with shared neighbors.
  */
 
+#include <algorithm>
+
 #include <gtest/gtest.h>
 
 #include "graph/datasets.h"
@@ -101,6 +103,73 @@ TEST(LocalityOrder, LinearTimeOnLargeGraph)
     CsrGraph g = generateRmat(params);
     ProcessingOrder order = localityOrder(g);
     EXPECT_TRUE(isPermutation(g, order));
+}
+
+TEST(ReorderEdgeCases, EmptyGraphYieldsEmptyOrders)
+{
+    // bfsOrder used to write visited[0] on a vertex-free graph.
+    CsrGraph g({0}, {});
+    EXPECT_TRUE(identityOrder(g).empty());
+    EXPECT_TRUE(randomOrder(g, 5).empty());
+    EXPECT_TRUE(degreeOrder(g).empty());
+    EXPECT_TRUE(bfsOrder(g).empty());
+    EXPECT_TRUE(localityOrder(g).empty());
+}
+
+TEST(ReorderEdgeCases, SingleVertexNoEdges)
+{
+    CsrGraph g({0, 0}, {});
+    const ProcessingOrder expected{0};
+    EXPECT_EQ(identityOrder(g), expected);
+    EXPECT_EQ(degreeOrder(g), expected);
+    EXPECT_EQ(bfsOrder(g), expected);
+    EXPECT_EQ(localityOrder(g), expected);
+}
+
+TEST(ReorderEdgeCases, DisconnectedComponentsAreAllVisited)
+{
+    // Two separate triangles plus two isolated vertices: bfsOrder must
+    // restart per component and still emit a permutation.
+    GraphBuilder builder(8);
+    builder.addUndirectedEdge(0, 1);
+    builder.addUndirectedEdge(1, 2);
+    builder.addUndirectedEdge(2, 0);
+    builder.addUndirectedEdge(4, 5);
+    builder.addUndirectedEdge(5, 6);
+    builder.addUndirectedEdge(6, 4);
+    CsrGraph g = builder.build();
+    EXPECT_TRUE(isPermutation(g, bfsOrder(g)));
+    EXPECT_TRUE(isPermutation(g, localityOrder(g)));
+    EXPECT_TRUE(isPermutation(g, degreeOrder(g)));
+}
+
+TEST(ReorderEdgeCases, IsolatedVerticesKeepOwnBucket)
+{
+    // Isolated vertices have no neighbors, so Algorithm 3 must bucket
+    // each under itself (bucketOf[v] == v) and still emit everything.
+    GraphBuilder builder(10);
+    builder.addUndirectedEdge(0, 1); // one tiny component, 8 isolated
+    CsrGraph g = builder.build();
+    ProcessingOrder order = localityOrder(g);
+    EXPECT_TRUE(isPermutation(g, order));
+    EXPECT_TRUE(isPermutation(g, bfsOrder(g)));
+}
+
+TEST(ReorderEdgeCases, SelfLoopsDoNotCaptureBuckets)
+{
+    // GraphBuilder strips self-loops, so construct the CSR directly:
+    // 0->{0,1}, 1->{0}, 2->{2} — degrees count the loop edges.
+    CsrGraph g({0, 2, 3, 4}, {0, 1, 0, 2});
+    ProcessingOrder order = localityOrder(g);
+    EXPECT_TRUE(isPermutation(g, order));
+    EXPECT_TRUE(isPermutation(g, bfsOrder(g)));
+    EXPECT_TRUE(isPermutation(g, degreeOrder(g)));
+    // Vertex 1's highest-degree neighbor is 0 (degree 2 beats its own
+    // 1), so 1 joins bucket L_0 and follows 0 in the emitted order.
+    auto pos = [&](VertexId v) {
+        return std::find(order.begin(), order.end(), v) - order.begin();
+    };
+    EXPECT_EQ(pos(0) + 1, pos(1));
 }
 
 TEST(ReuseDistance, IdentityOrderOnRingIsShort)

@@ -29,6 +29,8 @@
 #include "graph/binary_io.h"
 #include "graph/edge_list_io.h"
 #include "graph/graph_stats.h"
+#include "graph/partition/partition_stats.h"
+#include "graph/partition/partitioner.h"
 #include "graph/reorder.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -79,6 +81,14 @@ techniqueFor(const Options &options)
     const std::string precisionText = options.getString("precision");
     if (!parsePrecision(precisionText, tech.precision))
         fatal("unknown precision '%s'", precisionText.c_str());
+    const long long shards = options.getInt("shards");
+    if (shards < 0)
+        fatal("--shards must be >= 0");
+    tech.shards = static_cast<std::size_t>(shards);
+    const std::string partitionText = options.getString("partition");
+    if (!parsePartitionStrategy(partitionText, tech.partition))
+        fatal("unknown partition strategy '%s'", partitionText.c_str());
+    tech.delayedHalo = options.getBool("delayed-halo");
     return tech;
 }
 
@@ -105,6 +115,20 @@ runStats(const Options &options)
                                static_cast<std::size_t>(
                                    options.getInt("features")))
                   .c_str());
+    // With --shards >= 2, additionally report the cache-slice partition:
+    // edge cut, halo volume and shard balance for the chosen strategy.
+    const TechniqueConfig tech = techniqueFor(options);
+    if (tech.shards >= 2) {
+        PartitionConfig config;
+        config.numShards = tech.shards;
+        config.strategy = tech.partition;
+        const PartitionPlan plan = makePartitionPlan(graph, config);
+        if (const char *error = plan.validate())
+            fatal("partition plan invalid: %s", error);
+        std::puts(formatPartitionStats(computePartitionStats(plan),
+                                       tech.partition)
+                      .c_str());
+    }
     return 0;
 }
 
@@ -238,6 +262,13 @@ main(int argc, char **argv)
                 "basic | fusion | compression | combined | c-locality");
     options.add("precision", "fp32",
                 "fp32 | bf16 (bf16 gathers + bf16-in/fp32-acc GEMMs)");
+    options.add("shards", "0",
+                "cache-slice shards for shard-major execution (0/1: off)");
+    options.add("partition", "greedy",
+                "shard assignment: greedy (degree-aware) | hash");
+    options.add("delayed-halo", "false",
+                "delayed cross-shard aggregation (halo gathered once "
+                "per shard; fp-tolerant)");
     options.add("model", "gcn", "gcn | sage");
     options.add("features", "64", "input feature width");
     options.add("hidden", "128", "hidden feature width");
