@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Static-analysis driver for the Graphite-specific lint
+# (tools/graphite_lint): self-test first, then the full tree.
+#
+# Usage:
+#   scripts/lint.sh [build-dir]
+#
+# The build dir supplies compile_commands.json for the clang engine
+# (python3-clang); it is configured here if missing, and it is the same
+# database scripts/run_clang_tidy.sh uses, so one configure feeds both
+# tools. Without the clang bindings the linter's dependency-free text
+# engine runs instead — same rules, lexical matching.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="${1:-${repo_root}/build}"
+
+if [ ! -f "${build_dir}/compile_commands.json" ]; then
+    echo "lint: generating ${build_dir}/compile_commands.json"
+    cmake -B "${build_dir}" -S "${repo_root}" \
+        -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+fi
+
+python3 "${repo_root}/tools/graphite_lint" --self-test
+python3 "${repo_root}/tools/graphite_lint" \
+    --repo-root "${repo_root}" \
+    --compile-commands "${build_dir}"
+echo "lint: clean"

@@ -5,10 +5,13 @@
 # Usage:
 #   scripts/run_clang_tidy.sh [build-dir] [-- extra clang-tidy args]
 #
-# The build dir must have been configured (CMAKE_EXPORT_COMPILE_COMMANDS
-# is always on, see the top-level CMakeLists). Exits non-zero on any
-# finding: .clang-tidy sets WarningsAsErrors '*', so this is the same
-# gate CI applies.
+# If the build dir has no compile_commands.json yet, it is configured
+# here (CMAKE_EXPORT_COMPILE_COMMANDS=ON, which the top-level
+# CMakeLists also forces) so the gate never runs against a stale or
+# missing database. scripts/lint.sh points graphite_lint's clang engine
+# at the same database, so one configure feeds both tools. Exits
+# non-zero on any finding: .clang-tidy sets WarningsAsErrors '*', so
+# this is the same gate CI applies.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -19,13 +22,13 @@ shift || true
 tidy_bin="${CLANG_TIDY:-clang-tidy}"
 if ! command -v "${tidy_bin}" >/dev/null 2>&1; then
     echo "run_clang_tidy: '${tidy_bin}' not found on PATH." >&2
-    echo "Install clang-tidy (apt: clang-tidy) or set CLANG_TIDY." >&2
+    echo "Install clang-tidy (apt: clang-tidy-15) or set CLANG_TIDY." >&2
     exit 2
 fi
 if [ ! -f "${build_dir}/compile_commands.json" ]; then
-    echo "run_clang_tidy: ${build_dir}/compile_commands.json missing;" >&2
-    echo "configure first: cmake -B ${build_dir} -S ${repo_root}" >&2
-    exit 2
+    echo "run_clang_tidy: generating ${build_dir}/compile_commands.json"
+    cmake -B "${build_dir}" -S "${repo_root}" \
+        -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
 fi
 
 # Library sources only: tests/bench link gtest/benchmark headers whose

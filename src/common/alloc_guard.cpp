@@ -1,0 +1,291 @@
+#include "common/alloc_guard.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+/*
+ * The interposer exists only under GRAPHITE_CHECKS (see alloc_guard.h).
+ * It lives in the same translation unit as ScopedAllocGuard on purpose:
+ * a static-library archive member is linked in only when something it
+ * defines is referenced, so binaries that never construct a guard keep
+ * libstdc++'s operator new, and binaries that do get the counting
+ * replacement atomically with the guard.
+ */
+
+#ifdef GRAPHITE_ENABLE_DCHECKS
+
+#ifdef __GLIBC__
+#include <cstdio>
+#include <execinfo.h>
+#endif
+
+namespace {
+
+/* Constant-initialised (.bss): safe even for allocations that happen
+ * before any dynamic initialiser runs. */
+std::atomic<std::uint64_t> g_allocCount{0};
+std::atomic<int> g_guardDepth{0};
+
+/**
+ * GRAPHITE_ALLOC_GUARD_TRACE=1: print a backtrace for every allocation
+ * that happens inside an active guard, to locate the offending call
+ * site when a zero-allocation test fails. Debug aid only — glibc's
+ * backtrace paths use raw malloc, so no recursion through operator new.
+ */
+bool
+traceRequested()
+{
+    static const bool requested = [] {
+        // graphite-lint: allow(mt-unsafe) read once at first guarded
+        // allocation; the result is latched in a function-local static.
+        const char *env = std::getenv("GRAPHITE_ALLOC_GUARD_TRACE");
+        return env != nullptr && env[0] != '\0' && env[0] != '0';
+    }();
+    return requested;
+}
+
+void
+maybeTrace()
+{
+#ifdef __GLIBC__
+    if (g_guardDepth.load(std::memory_order_relaxed) <= 0 ||
+        !traceRequested())
+        return;
+    void *frames[32];
+    const int n = backtrace(frames, 32);
+    std::fprintf(stderr, "alloc-guard: allocation inside guard:\n");
+    backtrace_symbols_fd(frames, n, 2);
+#endif
+}
+
+void *
+countedAlloc(std::size_t size)
+{
+    g_allocCount.fetch_add(1, std::memory_order_relaxed);
+    maybeTrace();
+    /* malloc(0) may return nullptr legitimately; operator new must
+     * return a unique pointer instead. */
+    return std::malloc(size != 0 ? size : 1);
+}
+
+void *
+countedAllocAligned(std::size_t size, std::size_t alignment)
+{
+    g_allocCount.fetch_add(1, std::memory_order_relaxed);
+    maybeTrace();
+    void *p = nullptr;
+    if (posix_memalign(&p, alignment < sizeof(void *) ? sizeof(void *)
+                                                      : alignment,
+                       size != 0 ? size : 1) != 0)
+        return nullptr;
+    return p;
+}
+
+} // namespace
+
+/* Replaceable global allocation functions ([new.delete]): throwing,
+ * nothrow and aligned flavours all funnel through the counters; every
+ * delete flavour is free() (malloc/posix_memalign memory is
+ * free()-compatible). */
+
+void *
+operator new(std::size_t size)
+{
+    void *p = countedAlloc(size);
+    if (p == nullptr)
+        throw std::bad_alloc();
+    return p;
+}
+
+void *
+operator new[](std::size_t size)
+{
+    return ::operator new(size);
+}
+
+void *
+operator new(std::size_t size, const std::nothrow_t &) noexcept
+{
+    return countedAlloc(size);
+}
+
+void *
+operator new[](std::size_t size, const std::nothrow_t &) noexcept
+{
+    return countedAlloc(size);
+}
+
+void *
+operator new(std::size_t size, std::align_val_t alignment)
+{
+    void *p = countedAllocAligned(size,
+                                  static_cast<std::size_t>(alignment));
+    if (p == nullptr)
+        throw std::bad_alloc();
+    return p;
+}
+
+void *
+operator new[](std::size_t size, std::align_val_t alignment)
+{
+    return ::operator new(size, alignment);
+}
+
+void *
+operator new(std::size_t size, std::align_val_t alignment,
+             const std::nothrow_t &) noexcept
+{
+    return countedAllocAligned(size, static_cast<std::size_t>(alignment));
+}
+
+void *
+operator new[](std::size_t size, std::align_val_t alignment,
+               const std::nothrow_t &) noexcept
+{
+    return countedAllocAligned(size, static_cast<std::size_t>(alignment));
+}
+
+void
+operator delete(void *p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete(void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete(void *p, const std::nothrow_t &) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p, const std::nothrow_t &) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete(void *p, std::align_val_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p, std::align_val_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete(void *p, std::size_t, std::align_val_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p, std::size_t, std::align_val_t) noexcept
+{
+    std::free(p);
+}
+
+namespace graphite {
+
+namespace detail {
+
+std::uint64_t
+allocGuardCount()
+{
+    return g_allocCount.load(std::memory_order_relaxed);
+}
+
+namespace {
+
+void
+armGuard(int delta)
+{
+    g_guardDepth.fetch_add(delta, std::memory_order_relaxed);
+}
+
+} // namespace
+
+} // namespace detail
+
+bool
+ScopedAllocGuard::interpositionActive()
+{
+    return true;
+}
+
+} // namespace graphite
+
+#else // !GRAPHITE_ENABLE_DCHECKS
+
+namespace graphite {
+
+namespace detail {
+
+std::uint64_t
+allocGuardCount()
+{
+    return 0;
+}
+
+namespace {
+
+void
+armGuard(int)
+{
+}
+
+} // namespace
+
+} // namespace detail
+
+bool
+ScopedAllocGuard::interpositionActive()
+{
+    return false;
+}
+
+} // namespace graphite
+
+#endif // GRAPHITE_ENABLE_DCHECKS
+
+namespace graphite {
+
+ScopedAllocGuard::ScopedAllocGuard(const char *label)
+    : label_(label), start_(detail::allocGuardCount())
+{
+    detail::armGuard(1);
+}
+
+ScopedAllocGuard::~ScopedAllocGuard()
+{
+    detail::armGuard(-1);
+}
+
+std::uint64_t
+ScopedAllocGuard::allocations() const
+{
+    return detail::allocGuardCount() - start_;
+}
+
+} // namespace graphite

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * ScopedAllocGuard: the runtime backstop of the allocation-free
+ * steady-state contract.
+ *
+ * graphite_lint proves statically that the kernel hot loops contain no
+ * allocation sites; this guard proves the same property dynamically for
+ * whole steady-state phases (a Trainer epoch, a GnnModel::inference
+ * call) where the static rule cannot see across function boundaries.
+ * Tests wrap the phase and assert allocations() == 0.
+ *
+ * Mechanics: alloc_guard.cpp replaces the global operator new/delete
+ * family with a counting interposer — but only when GRAPHITE_CHECKS is
+ * on (GRAPHITE_ENABLE_DCHECKS), and only in binaries that actually
+ * reference ScopedAllocGuard (the interposer lives in the same
+ * translation unit, so the linker pulls it from the archive exactly
+ * when a guard is used). Release builds and guard-free binaries keep
+ * the stock allocator: zero overhead, no interposition.
+ *
+ * The count is process-global across all threads — pool workers
+ * allocating inside a guarded region are exactly the regressions the
+ * guard exists to catch. Guards nest; each one reports the allocations
+ * since its own construction.
+ */
+
+#pragma once
+
+#include <cstdint>
+
+namespace graphite {
+
+namespace detail {
+
+/**
+ * Allocations observed by the interposer since process start; 0 when
+ * the interposer is compiled out (GRAPHITE_CHECKS off).
+ */
+std::uint64_t allocGuardCount();
+
+} // namespace detail
+
+/** See file comment. */
+class ScopedAllocGuard
+{
+  public:
+    explicit ScopedAllocGuard(const char *label = "");
+    ~ScopedAllocGuard();
+
+    ScopedAllocGuard(const ScopedAllocGuard &) = delete;
+    ScopedAllocGuard &operator=(const ScopedAllocGuard &) = delete;
+
+    /**
+     * Heap allocations (operator new of any flavour, any thread) since
+     * this guard was constructed. Always 0 when interpositionActive()
+     * is false.
+     */
+    std::uint64_t allocations() const;
+
+    const char *label() const { return label_; }
+
+    /**
+     * True when the counting interposer is compiled in (GRAPHITE_CHECKS
+     * builds). Tests gate their zero-allocation assertions on this so
+     * release builds don't assert vacuously against a dead counter.
+     */
+    static bool interpositionActive();
+
+  private:
+    const char *label_;
+    std::uint64_t start_;
+};
+
+} // namespace graphite

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * FunctionRef: a non-owning, non-allocating callable reference.
+ *
+ * std::function owns its target, and any capture list bigger than the
+ * small-buffer optimisation (two words in libstdc++) heap-allocates on
+ * construction. The parallel-loop entry points convert a fresh lambda
+ * to a callable on every call, which put one or more allocations inside
+ * every parallel region — invisible in profiles but fatal to the
+ * allocation-free steady-state contract that graphite_lint and
+ * ScopedAllocGuard enforce.
+ *
+ * FunctionRef stores two raw words (object pointer + invoke thunk) and
+ * never allocates. The referenced callable must outlive every call
+ * through the FunctionRef, which the fork-join pool guarantees
+ * structurally: runOnAll() does not return until every worker has
+ * finished the job, so a caller's stack-allocated lambda is always
+ * alive while workers run it.
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <type_traits>
+#include <utility>
+
+namespace graphite {
+
+template <typename Signature> class FunctionRef;
+
+/** See file comment. Null by default; test with operator bool. */
+template <typename R, typename... Args> class FunctionRef<R(Args...)>
+{
+  public:
+    constexpr FunctionRef() noexcept = default;
+
+    /** Bind to any callable lvalue (or call-site temporary). */
+    template <typename F,
+              typename = std::enable_if_t<
+                  !std::is_same_v<std::remove_cvref_t<F>, FunctionRef> &&
+                  std::is_invocable_r_v<R, F &, Args...>>>
+    // NOLINTNEXTLINE(bugprone-forwarding-reference-overload)
+    FunctionRef(F &&f) noexcept
+        : object_(const_cast<void *>(
+              static_cast<const void *>(std::addressof(f)))),
+          invoke_(&invokeImpl<std::remove_reference_t<F>>)
+    {
+    }
+
+    R
+    operator()(Args... args) const
+    {
+        return invoke_(object_, std::forward<Args>(args)...);
+    }
+
+    explicit operator bool() const noexcept { return invoke_ != nullptr; }
+
+  private:
+    template <typename F>
+    static R
+    invokeImpl(void *object, Args... args)
+    {
+        return (*static_cast<F *>(object))(std::forward<Args>(args)...);
+    }
+
+    void *object_ = nullptr;
+    R (*invoke_)(void *, Args...) = nullptr;
+};
+
+} // namespace graphite

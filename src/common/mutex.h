@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Annotated mutex / condition-variable wrappers for the thread-safety
+ * analysis (see common/thread_annotations.h).
+ *
+ * libstdc++'s std::mutex has no capability attributes, so code locking
+ * it is invisible to -Wthread-safety. These zero-overhead wrappers put
+ * the attributes on: a Mutex is a GRAPHITE_CAPABILITY, MutexLock is the
+ * RAII scoped capability, and CondVar::wait names the Mutex it
+ * reacquires so guarded members may be re-checked in the wait loop.
+ *
+ * Wait loops must be written as explicit `while (...) cv.wait(lock)`
+ * statements, not predicate lambdas: the analysis treats a lambda body
+ * as a separate function holding no capabilities, so a predicate that
+ * reads guarded members would (correctly) fail the build.
+ */
+
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#include "common/thread_annotations.h"
+
+namespace graphite {
+
+/** std::mutex annotated as a thread-safety capability. */
+class GRAPHITE_CAPABILITY("mutex") Mutex
+{
+  public:
+    Mutex() = default;
+    Mutex(const Mutex &) = delete;
+    Mutex &operator=(const Mutex &) = delete;
+
+    void lock() GRAPHITE_ACQUIRE() { m_.lock(); }
+    void unlock() GRAPHITE_RELEASE() { m_.unlock(); }
+    bool try_lock() GRAPHITE_TRY_ACQUIRE(true) { return m_.try_lock(); }
+
+    /** Underlying mutex, for CondVar only. */
+    std::mutex &native() { return m_; }
+
+  private:
+    std::mutex m_;
+};
+
+/**
+ * RAII lock over a Mutex (scoped capability). Wraps std::unique_lock
+ * so CondVar can wait on it.
+ */
+class GRAPHITE_SCOPED_CAPABILITY MutexLock
+{
+  public:
+    explicit MutexLock(Mutex &mutex) GRAPHITE_ACQUIRE(mutex)
+        : lock_(mutex.native())
+    {
+    }
+
+    MutexLock(const MutexLock &) = delete;
+    MutexLock &operator=(const MutexLock &) = delete;
+
+    ~MutexLock() GRAPHITE_RELEASE() {}
+
+    /** Underlying lock, for CondVar only. */
+    std::unique_lock<std::mutex> &native() { return lock_; }
+
+  private:
+    std::unique_lock<std::mutex> lock_;
+};
+
+/**
+ * Condition variable bound to MutexLock. wait() names the Mutex so the
+ * analysis knows the capability is held again when it returns.
+ */
+class CondVar
+{
+  public:
+    CondVar() = default;
+    CondVar(const CondVar &) = delete;
+    CondVar &operator=(const CondVar &) = delete;
+
+    void notify_one() { cv_.notify_one(); }
+    void notify_all() { cv_.notify_all(); }
+
+    /**
+     * Atomically release @p lock's mutex and sleep; the mutex is held
+     * again on return. @p mutex must be the Mutex @p lock holds.
+     */
+    void
+    wait(MutexLock &lock, Mutex &mutex) GRAPHITE_REQUIRES(mutex)
+    {
+        static_cast<void>(mutex);
+        cv_.wait(lock.native());
+    }
+
+  private:
+    std::condition_variable cv_;
+};
+
+} // namespace graphite

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Clang thread-safety-analysis attribute macros (no-ops elsewhere).
+ *
+ * The concurrency invariants of the shared-state structures — which
+ * mutex guards which member, which private helpers assume the lock is
+ * already held — used to live in comments and TSan interleavings only.
+ * These macros make them part of the type system: the CI
+ * `static-analysis` job compiles with
+ *
+ *     -Wthread-safety -Werror=thread-safety-analysis
+ *
+ * under clang, so touching a GRAPHITE_GUARDED_BY member without the
+ * named capability is a build break, not a latent race for TSan to
+ * (maybe) catch. GCC and MSVC see empty macros; the annotations cost
+ * nothing at run time anywhere.
+ *
+ * libstdc++'s std::mutex carries no capability attributes, so raw
+ * std::mutex/std::lock_guard cannot participate in the analysis.
+ * Shared-state classes use the annotated wrappers in common/mutex.h
+ * (graphite::Mutex, graphite::MutexLock, graphite::CondVar) instead.
+ *
+ * Naming follows the conventional clang/abseil attribute set with a
+ * GRAPHITE_ prefix so a reader can cross-reference the upstream
+ * documentation (https://clang.llvm.org/docs/ThreadSafetyAnalysis.html).
+ */
+
+#pragma once
+
+#if defined(__clang__)
+#define GRAPHITE_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define GRAPHITE_THREAD_ANNOTATION(x)
+#endif
+
+/** Marks a type as a lockable capability (e.g. a mutex wrapper). */
+#define GRAPHITE_CAPABILITY(x) GRAPHITE_THREAD_ANNOTATION(capability(x))
+
+/** Marks an RAII type that acquires a capability for its lifetime. */
+#define GRAPHITE_SCOPED_CAPABILITY GRAPHITE_THREAD_ANNOTATION(scoped_lockable)
+
+/** Member may only be accessed while holding capability @p x. */
+#define GRAPHITE_GUARDED_BY(x) GRAPHITE_THREAD_ANNOTATION(guarded_by(x))
+
+/** Pointee (not the pointer) is guarded by capability @p x. */
+#define GRAPHITE_PT_GUARDED_BY(x) GRAPHITE_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/** Function requires the listed capabilities to be held on entry. */
+#define GRAPHITE_REQUIRES(...)                                              \
+    GRAPHITE_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/** Function acquires the listed capabilities (held on return). */
+#define GRAPHITE_ACQUIRE(...)                                               \
+    GRAPHITE_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/** Function releases the listed capabilities. */
+#define GRAPHITE_RELEASE(...)                                               \
+    GRAPHITE_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/** Function acquires the capability when it returns @p ret. */
+#define GRAPHITE_TRY_ACQUIRE(...)                                           \
+    GRAPHITE_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+/** Caller must NOT hold the listed capabilities (deadlock guard). */
+#define GRAPHITE_EXCLUDES(...)                                              \
+    GRAPHITE_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/** Function returns a reference to the capability guarding its result. */
+#define GRAPHITE_RETURN_CAPABILITY(x)                                       \
+    GRAPHITE_THREAD_ANNOTATION(lock_returned(x))
+
+/**
+ * Escape hatch: disables the analysis for one function. Every use
+ * carries a comment explaining why the invariant holds anyway.
+ */
+#define GRAPHITE_NO_THREAD_SAFETY_ANALYSIS                                  \
+    GRAPHITE_THREAD_ANNOTATION(no_thread_safety_analysis)

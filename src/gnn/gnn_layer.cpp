@@ -59,6 +59,7 @@ GnnLayer::initWeights(std::uint64_t seed)
 const GemmPlan &
 GnnLayer::packedWeights(Precision precision) const
 {
+    MutexLock lock(planMutex_);
     if (weightsAliased_ || packedNNVersion_ != weightsVersion_ ||
         packedNNPrecision_ != precision) {
         packedNN_.pack(GemmMode::NN, weights_, precision);
@@ -71,6 +72,7 @@ GnnLayer::packedWeights(Precision precision) const
 const GemmPlan &
 GnnLayer::packedWeightsTransposed(Precision precision) const
 {
+    MutexLock lock(planMutex_);
     if (weightsAliased_ || packedNTVersion_ != weightsVersion_ ||
         packedNTPrecision_ != precision) {
         packedNT_.pack(GemmMode::NT, weights_, precision);
@@ -277,8 +279,9 @@ GnnLayer::backward(const CsrGraph &transposed,
 
     // dW = aᵀ·dz and db = colsum(dz). At bf16 both GEMM operands are
     // rounded at pack time; accumulation stays fp32.
-    gemm(GemmMode::TN, ctx.agg, gradOut, weightGrad_,
-         GemmAccumulate::Overwrite, tech.precision);
+    dwPlanScratch_.pack(GemmMode::TN, gradOut, tech.precision);
+    gemm(GemmMode::TN, ctx.agg, dwPlanScratch_, weightGrad_,
+         GemmAccumulate::Overwrite);
     columnSum(gradOut, biasGrad_, colSumScratch_);
 
     if (!gradIn)

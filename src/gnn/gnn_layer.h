@@ -18,6 +18,8 @@
 #include <span>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "compress/compressed_matrix.h"
 #include "gnn/technique_config.h"
 #include "graph/csr_graph.h"
@@ -191,15 +193,35 @@ class GnnLayer
     std::uint64_t weightsVersion_ = 0;
     /** A mutable reference escaped: packs can never be trusted again. */
     bool weightsAliased_ = false;
-    mutable GemmPlan packedNN_;
-    mutable GemmPlan packedNT_;
+    /**
+     * Guards the lazy precision-keyed plan cache below, so concurrent
+     * forwards (e.g. a future serving layer evaluating one model from
+     * several request threads) fill it exactly once. The returned plan
+     * is then read unlocked, which is safe while no weight mutation is
+     * in flight — the documented packedWeights() contract.
+     */
+    mutable Mutex planMutex_;
+    mutable GemmPlan packedNN_ GRAPHITE_GUARDED_BY(planMutex_);
+    mutable GemmPlan packedNT_ GRAPHITE_GUARDED_BY(planMutex_);
     /** weightsVersion_ the cached plans were packed at (~0 = never). */
-    mutable std::uint64_t packedNNVersion_ = ~std::uint64_t{0};
-    mutable std::uint64_t packedNTVersion_ = ~std::uint64_t{0};
+    mutable std::uint64_t packedNNVersion_ GRAPHITE_GUARDED_BY(planMutex_) =
+        ~std::uint64_t{0};
+    mutable std::uint64_t packedNTVersion_ GRAPHITE_GUARDED_BY(planMutex_) =
+        ~std::uint64_t{0};
     /** Precision the cached plans were packed at (part of the key). */
-    mutable Precision packedNNPrecision_ = Precision::Fp32;
-    mutable Precision packedNTPrecision_ = Precision::Fp32;
+    mutable Precision packedNNPrecision_ GRAPHITE_GUARDED_BY(planMutex_) =
+        Precision::Fp32;
+    mutable Precision packedNTPrecision_ GRAPHITE_GUARDED_BY(planMutex_) =
+        Precision::Fp32;
 
+    /**
+     * Packed dz operand of the dW GEMM, reused across epochs: dz
+     * changes every step so the pack cannot be cached like the weight
+     * plans, but repacking into persistent storage keeps the
+     * steady-state epoch allocation-free (pack() reuses its buffers
+     * when the operand shape and precision are unchanged).
+     */
+    GemmPlan dwPlanScratch_;
     /** dAgg workspace of the unfused backward, reused across epochs. */
     DenseMatrix dAggScratch_;
     /** columnSum partials workspace, reused across epochs. */

@@ -41,6 +41,7 @@ GnnModel::localityOrderFor(const TechniqueConfig &tech) const
 {
     if (!tech.locality)
         return {};
+    MutexLock lock(cacheMutex_);
     if (cachedLocalityOrder_.empty())
         cachedLocalityOrder_ = localityOrder(*graph_);
     return cachedLocalityOrder_;
@@ -51,6 +52,7 @@ GnnModel::transposedLocalityOrderFor(const TechniqueConfig &tech) const
 {
     if (!tech.locality)
         return {};
+    MutexLock lock(cacheMutex_);
     if (cachedTransposedOrder_.empty())
         cachedTransposedOrder_ = localityOrder(transposed_);
     return cachedTransposedOrder_;
@@ -61,6 +63,7 @@ GnnModel::partitionPlanFor(const TechniqueConfig &tech) const
 {
     if (tech.shards < 2)
         return nullptr;
+    MutexLock lock(cacheMutex_);
     if (cachedPlanShards_ != tech.shards ||
         cachedPlanStrategy_ != tech.partition || cachedPlan_.shards.empty()) {
         PartitionConfig config;
@@ -78,6 +81,7 @@ GnnModel::transposedPartitionPlanFor(const TechniqueConfig &tech) const
 {
     if (tech.shards < 2)
         return nullptr;
+    MutexLock lock(cacheMutex_);
     if (cachedTransposedPlanShards_ != tech.shards ||
         cachedTransposedPlanStrategy_ != tech.partition ||
         cachedTransposedPlan_.shards.empty()) {

@@ -11,6 +11,8 @@
 #include <memory>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "gnn/gnn_layer.h"
 #include "graph/partition/partitioner.h"
 #include "graph/reorder.h"
@@ -136,16 +138,32 @@ class GnnModel
     // Training state.
     std::vector<LayerContext> contexts_;
     std::vector<std::vector<std::uint64_t>> dropoutMasks_;
-    mutable ProcessingOrder cachedLocalityOrder_;
-    mutable ProcessingOrder cachedTransposedOrder_;
+    /**
+     * Guards the lazily-built locality orders and partition plans
+     * below (the (shards, strategy)-keyed caches), so concurrent
+     * read-only callers build each at most once. The returned
+     * span/pointer is then read unlocked during kernel execution,
+     * which is safe because a cache entry is never destroyed until a
+     * call with a *different* key replaces it — the documented
+     * partitionPlanFor() contract.
+     */
+    mutable Mutex cacheMutex_;
+    mutable ProcessingOrder cachedLocalityOrder_
+        GRAPHITE_GUARDED_BY(cacheMutex_);
+    mutable ProcessingOrder cachedTransposedOrder_
+        GRAPHITE_GUARDED_BY(cacheMutex_);
     /** Lazily-built partition plans, keyed on (shards, strategy). @{ */
-    mutable PartitionPlan cachedPlan_;
-    mutable std::size_t cachedPlanShards_ = 0;
-    mutable PartitionStrategy cachedPlanStrategy_ = PartitionStrategy::Greedy;
-    mutable PartitionPlan cachedTransposedPlan_;
-    mutable std::size_t cachedTransposedPlanShards_ = 0;
-    mutable PartitionStrategy cachedTransposedPlanStrategy_ =
-        PartitionStrategy::Greedy;
+    mutable PartitionPlan cachedPlan_ GRAPHITE_GUARDED_BY(cacheMutex_);
+    mutable std::size_t cachedPlanShards_ GRAPHITE_GUARDED_BY(cacheMutex_) =
+        0;
+    mutable PartitionStrategy cachedPlanStrategy_
+        GRAPHITE_GUARDED_BY(cacheMutex_) = PartitionStrategy::Greedy;
+    mutable PartitionPlan cachedTransposedPlan_
+        GRAPHITE_GUARDED_BY(cacheMutex_);
+    mutable std::size_t cachedTransposedPlanShards_
+        GRAPHITE_GUARDED_BY(cacheMutex_) = 0;
+    mutable PartitionStrategy cachedTransposedPlanStrategy_
+        GRAPHITE_GUARDED_BY(cacheMutex_) = PartitionStrategy::Greedy;
     /** @} */
     std::uint64_t dropoutEpoch_ = 0;
     /**

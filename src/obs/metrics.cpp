@@ -177,7 +177,7 @@ MetricsRegistry::findKind(const std::string &name)
 Counter &
 MetricsRegistry::counter(const std::string &name)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (const Kind *kind = findKind(name)) {
         if (*kind != Kind::Counter)
             panic("metric '%s' already registered with another kind",
@@ -196,7 +196,7 @@ MetricsRegistry::counter(const std::string &name)
 Gauge &
 MetricsRegistry::gauge(const std::string &name)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (const Kind *kind = findKind(name)) {
         if (*kind != Kind::Gauge)
             panic("metric '%s' already registered with another kind",
@@ -214,7 +214,7 @@ MetricsRegistry::gauge(const std::string &name)
 Histogram &
 MetricsRegistry::histogram(const std::string &name)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (const Kind *kind = findKind(name)) {
         if (*kind != Kind::Histogram)
             panic("metric '%s' already registered with another kind",
@@ -233,7 +233,7 @@ MetricsRegistry::histogram(const std::string &name)
 void
 MetricsRegistry::reset()
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     for (auto &c : counters_) {
         for (auto &cell : c->cells_)
             cell.value.store(0, std::memory_order_relaxed);
@@ -258,7 +258,7 @@ MetricsRegistry::snapshot() const
 {
     MetricsSnapshot snap;
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         for (const auto &c : counters_)
             snap.counters.emplace_back(c->name(), c->value());
         for (const auto &g : gauges_)

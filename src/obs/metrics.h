@@ -26,9 +26,11 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace graphite::obs {
 
@@ -219,14 +221,21 @@ class MetricsRegistry
     enum class Kind { Counter, Gauge, Histogram };
 
     /** Registered name → kind, guarding cross-kind collisions. */
-    Kind *findKind(const std::string &name);
+    Kind *findKind(const std::string &name) GRAPHITE_REQUIRES(mutex_);
 
     std::atomic<bool> enabled_{false};
-    mutable std::mutex mutex_;
-    std::vector<std::pair<std::string, Kind>> kinds_;
-    std::vector<std::unique_ptr<Counter>> counters_;
-    std::vector<std::unique_ptr<Gauge>> gauges_;
-    std::vector<std::unique_ptr<Histogram>> histograms_;
+    /**
+     * Guards registration and scrape; handle mutation stays lock-free
+     * (the shard cells are atomics the handles own).
+     */
+    mutable Mutex mutex_;
+    std::vector<std::pair<std::string, Kind>> kinds_
+        GRAPHITE_GUARDED_BY(mutex_);
+    std::vector<std::unique_ptr<Counter>> counters_
+        GRAPHITE_GUARDED_BY(mutex_);
+    std::vector<std::unique_ptr<Gauge>> gauges_ GRAPHITE_GUARDED_BY(mutex_);
+    std::vector<std::unique_ptr<Histogram>> histograms_
+        GRAPHITE_GUARDED_BY(mutex_);
 };
 
 } // namespace graphite::obs

@@ -64,7 +64,7 @@ TraceRecorder::now()
 void
 TraceRecorder::setCapacityPerThread(std::size_t capacity)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     capacity_ = std::max<std::size_t>(1, capacity);
 }
 
@@ -73,7 +73,7 @@ TraceRecorder::threadLog()
 {
     thread_local ThreadLog *log = nullptr;
     if (log == nullptr) {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         logs_.push_back(std::make_unique<ThreadLog>(
             static_cast<std::uint32_t>(logs_.size()), capacity_));
         log = logs_.back().get();
@@ -108,7 +108,7 @@ TraceRecorder::collect() const
 {
     std::vector<TraceEvent> events;
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         for (const auto &log : logs_)
             events.insert(events.end(), log->ring.begin(),
                           log->ring.end());
@@ -123,7 +123,7 @@ TraceRecorder::collect() const
 std::uint64_t
 TraceRecorder::droppedEvents() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     std::uint64_t dropped = 0;
     for (const auto &log : logs_)
         dropped += log->total - log->ring.size();
@@ -150,7 +150,7 @@ TraceRecorder::summarize() const
 void
 TraceRecorder::reset()
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     for (auto &log : logs_) {
         log->ring.clear();
         log->wrap = 0;

@@ -28,9 +28,11 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace graphite::obs {
 
@@ -126,9 +128,16 @@ class TraceRecorder
     ThreadLog &threadLog();
 
     std::atomic<bool> enabled_{false};
-    mutable std::mutex mutex_;
-    std::vector<std::unique_ptr<ThreadLog>> logs_;
-    std::size_t capacity_ = std::size_t{1} << 15;
+    /**
+     * Guards the ring registry only. Each ThreadLog's contents are
+     * owned by one thread; collect()/summarize() read them at
+     * quiescent points (see file comment).
+     */
+    mutable Mutex mutex_;
+    std::vector<std::unique_ptr<ThreadLog>> logs_
+        GRAPHITE_GUARDED_BY(mutex_);
+    std::size_t capacity_ GRAPHITE_GUARDED_BY(mutex_) =
+        std::size_t{1} << 15;
 };
 
 /**

@@ -2,6 +2,7 @@
 
 #include <cstdlib>
 #include <memory>
+#include <mutex>
 #include <utility>
 
 #include "common/assert.h"
@@ -24,7 +25,7 @@ ThreadPool::ThreadPool(std::size_t numThreads)
 ThreadPool::~ThreadPool()
 {
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         shuttingDown_ = true;
     }
     wakeWorkers_.notify_all();
@@ -35,20 +36,20 @@ ThreadPool::~ThreadPool()
 void
 ThreadPool::recordJobException()
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (!jobException_)
         jobException_ = std::current_exception();
 }
 
 void
-ThreadPool::runOnAll(const std::function<void(std::size_t)> &body)
+ThreadPool::runOnAll(FunctionRef<void(std::size_t)> body)
 {
     if (numThreads_ == 1) {
         body(0);
         return;
     }
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         GRAPHITE_ASSERT(activeWorkers_ == 0, "nested runOnAll");
         job_ = body;
         jobException_ = nullptr;
@@ -68,9 +69,10 @@ ThreadPool::runOnAll(const std::function<void(std::size_t)> &body)
 
     std::exception_ptr pending;
     {
-        std::unique_lock<std::mutex> lock(mutex_);
-        jobDone_.wait(lock, [this] { return activeWorkers_ == 0; });
-        job_ = nullptr;
+        MutexLock lock(mutex_);
+        while (activeWorkers_ != 0)
+            jobDone_.wait(lock, mutex_);
+        job_ = FunctionRef<void(std::size_t)>();
         pending = std::exchange(jobException_, nullptr);
     }
     if (pending)
@@ -80,17 +82,21 @@ ThreadPool::runOnAll(const std::function<void(std::size_t)> &body)
 void
 ThreadPool::parallelForChunked(
     std::size_t begin, std::size_t end, std::size_t chunk,
-    const std::function<void(std::size_t, std::size_t, std::size_t)> &body)
+    FunctionRef<void(std::size_t, std::size_t, std::size_t)> body)
 {
     if (chunk == 0)
         chunk = 1;
     if (begin >= end)
         return;
-    auto cursor = std::make_shared<std::atomic<std::size_t>>(begin);
-    runOnAll([&, cursor](std::size_t threadId) {
+    // The cursor lives on this frame: runOnAll is fully synchronous, so
+    // every worker's reference to it dies before the frame does. (This
+    // used to be a make_shared — one heap allocation per parallel
+    // region, inside the per-block hot path.)
+    std::atomic<std::size_t> cursor{begin};
+    auto loop = [&](std::size_t threadId) {
         for (;;) {
             std::size_t chunkBegin =
-                cursor->fetch_add(chunk, std::memory_order_relaxed);
+                cursor.fetch_add(chunk, std::memory_order_relaxed);
             if (chunkBegin >= end)
                 break;
             std::size_t chunkEnd = chunkBegin + chunk;
@@ -101,11 +107,12 @@ ThreadPool::parallelForChunked(
             } catch (...) {
                 // Park the cursor past the end so no further chunks are
                 // claimed, then let runOnAll capture the exception.
-                cursor->store(end, std::memory_order_relaxed);
+                cursor.store(end, std::memory_order_relaxed);
                 throw;
             }
         }
-    });
+    };
+    runOnAll(loop);
 }
 
 void
@@ -113,12 +120,11 @@ ThreadPool::workerLoop(std::size_t threadId)
 {
     std::uint64_t seenGeneration = 0;
     for (;;) {
-        std::function<void(std::size_t)> job;
+        FunctionRef<void(std::size_t)> job;
         {
-            std::unique_lock<std::mutex> lock(mutex_);
-            wakeWorkers_.wait(lock, [&] {
-                return shuttingDown_ || jobGeneration_ != seenGeneration;
-            });
+            MutexLock lock(mutex_);
+            while (!shuttingDown_ && jobGeneration_ == seenGeneration)
+                wakeWorkers_.wait(lock, mutex_);
             if (shuttingDown_)
                 return;
             seenGeneration = jobGeneration_;
@@ -130,7 +136,7 @@ ThreadPool::workerLoop(std::size_t threadId)
             recordJobException();
         }
         {
-            std::lock_guard<std::mutex> lock(mutex_);
+            MutexLock lock(mutex_);
             --activeWorkers_;
         }
         jobDone_.notify_one();
@@ -150,6 +156,8 @@ std::mutex g_poolMutex;
 std::size_t
 defaultGlobalThreads()
 {
+    // graphite-lint: allow(mt-unsafe) read once under g_poolMutex while
+    // the global pool is first constructed, never from pool workers.
     const char *env = std::getenv("GRAPHITE_THREADS");
     if (env != nullptr) {
         const long parsed = std::strtol(env, nullptr, 10);
@@ -179,8 +187,7 @@ ThreadPool::setGlobalThreads(std::size_t numThreads)
 
 void
 parallelFor(std::size_t begin, std::size_t end, std::size_t chunk,
-            const std::function<void(std::size_t, std::size_t,
-                                     std::size_t)> &body)
+            FunctionRef<void(std::size_t, std::size_t, std::size_t)> body)
 {
     ThreadPool::global().parallelForChunked(begin, end, chunk, body);
 }

@@ -8,18 +8,31 @@
  * worker that drew a heavy chunk (high-degree vertices) does not stall the
  * others. The pool is reused across calls to avoid thread spawn cost in the
  * per-layer hot path.
+ *
+ * Two contracts the static-analysis layer enforces mechanically:
+ *
+ *  - Dispatch is allocation-free. Jobs are passed as FunctionRef (two
+ *    raw words, no ownership), not std::function, so entering a
+ *    parallel region in the per-block hot path never touches the heap.
+ *    Lifetime is structural: runOnAll() blocks until every worker has
+ *    finished the job, so the caller's callable outlives all uses.
+ *  - Shared pool state is annotated for clang -Wthread-safety
+ *    (GRAPHITE_GUARDED_BY on everything mutex_ protects); the CI
+ *    static-analysis job fails on any unlocked access.
  */
 
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <exception>
-#include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/function_ref.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace graphite {
 
@@ -45,8 +58,10 @@ class ThreadPool
      * finish. threadId ranges over [0, numThreads()). If any invocation
      * throws, one of the captured exceptions is rethrown on the calling
      * thread after every worker has finished; the pool stays usable.
+     * @p body is borrowed, not copied — it must stay alive until
+     * runOnAll returns (it does: the call blocks).
      */
-    void runOnAll(const std::function<void(std::size_t)> &body);
+    void runOnAll(FunctionRef<void(std::size_t)> body);
 
     /**
      * Dynamically-scheduled parallel loop over [begin, end) in steps of
@@ -58,8 +73,7 @@ class ThreadPool
      */
     void parallelForChunked(
         std::size_t begin, std::size_t end, std::size_t chunk,
-        const std::function<void(std::size_t, std::size_t,
-                                 std::size_t)> &body);
+        FunctionRef<void(std::size_t, std::size_t, std::size_t)> body);
 
     /** Process-wide default pool (lazily constructed). */
     static ThreadPool &global();
@@ -79,14 +93,14 @@ class ThreadPool
     std::size_t numThreads_;
     std::vector<std::thread> workers_;
 
-    std::mutex mutex_;
-    std::condition_variable wakeWorkers_;
-    std::condition_variable jobDone_;
-    std::function<void(std::size_t)> job_;
-    std::exception_ptr jobException_;
-    std::uint64_t jobGeneration_ = 0;
-    std::size_t activeWorkers_ = 0;
-    bool shuttingDown_ = false;
+    Mutex mutex_;
+    CondVar wakeWorkers_;
+    CondVar jobDone_;
+    FunctionRef<void(std::size_t)> job_ GRAPHITE_GUARDED_BY(mutex_);
+    std::exception_ptr jobException_ GRAPHITE_GUARDED_BY(mutex_);
+    std::uint64_t jobGeneration_ GRAPHITE_GUARDED_BY(mutex_) = 0;
+    std::size_t activeWorkers_ GRAPHITE_GUARDED_BY(mutex_) = 0;
+    bool shuttingDown_ GRAPHITE_GUARDED_BY(mutex_) = false;
 };
 
 /**
@@ -94,7 +108,7 @@ class ThreadPool
  * global pool. @p body receives (index range begin, range end, threadId).
  */
 void parallelFor(std::size_t begin, std::size_t end, std::size_t chunk,
-                 const std::function<void(std::size_t, std::size_t,
-                                          std::size_t)> &body);
+                 FunctionRef<void(std::size_t, std::size_t, std::size_t)>
+                     body);
 
 } // namespace graphite

@@ -355,6 +355,8 @@ microKernelBf16Native(const std::uint32_t *ap, const std::uint32_t *bp,
 bool
 bf16EmulateFromEnv()
 {
+    // graphite-lint: allow(mt-unsafe) read once into a function-local
+    // static at first GEMM dispatch, never from pool workers.
     const char *env = std::getenv("GRAPHITE_BF16_EMULATE");
     return env != nullptr && env[0] != '\0' &&
            !(env[0] == '0' && env[1] == '\0');
@@ -665,22 +667,19 @@ gemm(GemmMode mode, const DenseMatrix &a, const GemmPlan &plan,
         (plan.numColPanels() + kPanelsPerTile - 1) / kPanelsPerTile;
     const std::size_t tasks = mTiles * nTiles;
 
-    const std::size_t numThreads = ThreadPool::global().numThreads();
-
     if (plan.precision() == Precision::Bf16) {
         // A is rounded to bf16 pair words during the per-slice pack;
-        // the scratch is a distinct uint32 allocation (not a reuse of
-        // the fp32 buffer) so the kernels never type-pun Feature
-        // storage.
-        std::vector<AlignedBuffer<std::uint32_t>> apPairBuf;
-        apPairBuf.reserve(numThreads);
-        for (std::size_t t = 0; t < numThreads; ++t)
-            apPairBuf.emplace_back(kApPairWords);
-
+        // the scratch is a distinct uint32 buffer (not a reuse of the
+        // fp32 one) so the kernels never type-pun Feature storage.
+        // Grow-only per-worker scratch (the gemmBlockSerial idiom)
+        // keeps repeated GEMMs through a cached plan allocation-free.
         parallelFor(0, tasks, 1,
                     [&](std::size_t begin, std::size_t end,
-                        std::size_t tid) {
-            std::uint32_t *ap = apPairBuf[tid].data();
+                        std::size_t) {
+            thread_local AlignedBuffer<std::uint32_t> apPairScratch;
+            if (apPairScratch.size() < kApPairWords)
+                apPairScratch.resize(kApPairWords);
+            std::uint32_t *ap = apPairScratch.data();
             for (std::size_t task = begin; task < end; ++task) {
                 const std::size_t mt = task % mTiles;
                 const std::size_t nt = task / mTiles;
@@ -711,14 +710,12 @@ gemm(GemmMode mode, const DenseMatrix &a, const GemmPlan &plan,
         return;
     }
 
-    std::vector<AlignedBuffer<Feature>> apBuf;
-    apBuf.reserve(numThreads);
-    for (std::size_t t = 0; t < numThreads; ++t)
-        apBuf.emplace_back(kGemmTileM * kGemmKC);
-
     parallelFor(0, tasks, 1,
-                [&](std::size_t begin, std::size_t end, std::size_t tid) {
-        Feature *ap = apBuf[tid].data();
+                [&](std::size_t begin, std::size_t end, std::size_t) {
+        thread_local AlignedBuffer<Feature> apTileScratch;
+        if (apTileScratch.size() < kGemmTileM * kGemmKC)
+            apTileScratch.resize(kGemmTileM * kGemmKC);
+        Feature *ap = apTileScratch.data();
         for (std::size_t task = begin; task < end; ++task) {
             const std::size_t mt = task % mTiles;
             const std::size_t nt = task / mTiles;

@@ -164,7 +164,11 @@ softmaxCrossEntropy(const DenseMatrix &logits,
     const std::size_t classes = logits.cols();
     const double invRows = 1.0 / static_cast<double>(rows);
 
-    std::vector<double> partialLoss(ThreadPool::global().numThreads(), 0.0);
+    // Grow-only per-thread scratch: the loss runs once per epoch from
+    // the training loop, and reusing the reduction buffer keeps the
+    // steady-state epoch allocation-free (test_alloc_guard.cpp).
+    thread_local std::vector<double> partialLoss;
+    partialLoss.assign(ThreadPool::global().numThreads(), 0.0);
     parallelFor(0, rows, 256,
                 [&](std::size_t begin, std::size_t end, std::size_t tid) {
         double loss = 0.0;
@@ -216,8 +220,9 @@ softmaxCrossEntropyMasked(const DenseMatrix &logits,
     const std::size_t classes = logits.cols();
     const double invCount = 1.0 / static_cast<double>(masked);
 
-    std::vector<double> partialLoss(ThreadPool::global().numThreads(),
-                                    0.0);
+    // Same reused reduction scratch as the unmasked variant above.
+    thread_local std::vector<double> partialLoss;
+    partialLoss.assign(ThreadPool::global().numThreads(), 0.0);
     parallelFor(0, logits.rows(), 256,
                 [&](std::size_t begin, std::size_t end, std::size_t tid) {
         double loss = 0.0;
