@@ -20,6 +20,7 @@
 #include <condition_variable>
 #include <mutex>
 
+#include "common/assert.h"
 #include "common/thread_annotations.h"
 
 namespace graphite {
@@ -51,7 +52,7 @@ class GRAPHITE_SCOPED_CAPABILITY MutexLock
 {
   public:
     explicit MutexLock(Mutex &mutex) GRAPHITE_ACQUIRE(mutex)
-        : lock_(mutex.native())
+        : lock_(mutex.native()), mutex_(&mutex)
     {
     }
 
@@ -63,8 +64,12 @@ class GRAPHITE_SCOPED_CAPABILITY MutexLock
     /** Underlying lock, for CondVar only. */
     std::unique_lock<std::mutex> &native() { return lock_; }
 
+    /** The Mutex this lock holds, for CondVar's wait() check only. */
+    const Mutex *mutex() const { return mutex_; }
+
   private:
     std::unique_lock<std::mutex> lock_;
+    Mutex *mutex_;
 };
 
 /**
@@ -83,11 +88,16 @@ class CondVar
 
     /**
      * Atomically release @p lock's mutex and sleep; the mutex is held
-     * again on return. @p mutex must be the Mutex @p lock holds.
+     * again on return. @p mutex must be the Mutex @p lock holds —
+     * naming a different one would satisfy the thread-safety analysis
+     * while waiting on the wrong lock, so debug builds verify it.
      */
     void
     wait(MutexLock &lock, Mutex &mutex) GRAPHITE_REQUIRES(mutex)
     {
+        GRAPHITE_DCHECK(lock.mutex() == &mutex,
+                        "CondVar::wait: lock does not hold the named "
+                        "mutex");
         static_cast<void>(mutex);
         cv_.wait(lock.native());
     }

@@ -59,27 +59,27 @@ GnnLayer::initWeights(std::uint64_t seed)
 const GemmPlan &
 GnnLayer::packedWeights(Precision precision) const
 {
+    const auto slot = static_cast<std::size_t>(precision);
+    GRAPHITE_ASSERT(slot < kNumPrecisions, "unknown precision");
     MutexLock lock(planMutex_);
-    if (weightsAliased_ || packedNNVersion_ != weightsVersion_ ||
-        packedNNPrecision_ != precision) {
-        packedNN_.pack(GemmMode::NN, weights_, precision);
-        packedNNVersion_ = weightsVersion_;
-        packedNNPrecision_ = precision;
+    if (weightsAliased_ || packedNNVersion_[slot] != weightsVersion_) {
+        packedNN_[slot].pack(GemmMode::NN, weights_, precision);
+        packedNNVersion_[slot] = weightsVersion_;
     }
-    return packedNN_;
+    return packedNN_[slot];
 }
 
 const GemmPlan &
 GnnLayer::packedWeightsTransposed(Precision precision) const
 {
+    const auto slot = static_cast<std::size_t>(precision);
+    GRAPHITE_ASSERT(slot < kNumPrecisions, "unknown precision");
     MutexLock lock(planMutex_);
-    if (weightsAliased_ || packedNTVersion_ != weightsVersion_ ||
-        packedNTPrecision_ != precision) {
-        packedNT_.pack(GemmMode::NT, weights_, precision);
-        packedNTVersion_ = weightsVersion_;
-        packedNTPrecision_ = precision;
+    if (weightsAliased_ || packedNTVersion_[slot] != weightsVersion_) {
+        packedNT_[slot].pack(GemmMode::NT, weights_, precision);
+        packedNTVersion_[slot] = weightsVersion_;
     }
-    return packedNT_;
+    return packedNT_[slot];
 }
 
 void

@@ -14,6 +14,7 @@
 
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <span>
 #include <vector>
@@ -94,10 +95,11 @@ class GnnLayer
 
     /**
      * W packed for the forward/update GEMM (NN mode) at @p precision,
-     * repacked lazily after any weight mutation or precision switch and
-     * otherwise reused across blocks, layers calls and epochs — the
-     * amortisation the packed micro-kernel design exists for. Not safe
-     * to call concurrently with weight updates (no forward is).
+     * repacked lazily after any weight mutation and otherwise reused
+     * across blocks, layer calls and epochs — the amortisation the
+     * packed micro-kernel design exists for. Each precision has its own
+     * cache slot, so concurrent callers may mix precisions freely. Not
+     * safe to call concurrently with weight updates (no forward is).
      */
     const GemmPlan &
     packedWeights(Precision precision = Precision::Fp32) const;
@@ -193,26 +195,29 @@ class GnnLayer
     std::uint64_t weightsVersion_ = 0;
     /** A mutable reference escaped: packs can never be trusted again. */
     bool weightsAliased_ = false;
+    /** Plan-cache slots, one per Precision enumerator. */
+    static constexpr std::size_t kNumPrecisions = 2;
     /**
-     * Guards the lazy precision-keyed plan cache below, so concurrent
-     * forwards (e.g. a future serving layer evaluating one model from
-     * several request threads) fill it exactly once. The returned plan
-     * is then read unlocked, which is safe while no weight mutation is
-     * in flight — the documented packedWeights() contract.
+     * Guards the lazy plan cache below, so concurrent forwards (e.g. a
+     * future serving layer evaluating one model from several request
+     * threads) fill each slot exactly once. Each precision has its own
+     * slot: a fill for one precision never overwrites a plan another
+     * thread may still be reading at the other precision. The returned
+     * plan is then read unlocked, which is safe while no weight
+     * mutation is in flight — the documented packedWeights() contract.
      */
     mutable Mutex planMutex_;
-    mutable GemmPlan packedNN_ GRAPHITE_GUARDED_BY(planMutex_);
-    mutable GemmPlan packedNT_ GRAPHITE_GUARDED_BY(planMutex_);
-    /** weightsVersion_ the cached plans were packed at (~0 = never). */
-    mutable std::uint64_t packedNNVersion_ GRAPHITE_GUARDED_BY(planMutex_) =
-        ~std::uint64_t{0};
-    mutable std::uint64_t packedNTVersion_ GRAPHITE_GUARDED_BY(planMutex_) =
-        ~std::uint64_t{0};
-    /** Precision the cached plans were packed at (part of the key). */
-    mutable Precision packedNNPrecision_ GRAPHITE_GUARDED_BY(planMutex_) =
-        Precision::Fp32;
-    mutable Precision packedNTPrecision_ GRAPHITE_GUARDED_BY(planMutex_) =
-        Precision::Fp32;
+    mutable std::array<GemmPlan, kNumPrecisions> packedNN_
+        GRAPHITE_GUARDED_BY(planMutex_);
+    mutable std::array<GemmPlan, kNumPrecisions> packedNT_
+        GRAPHITE_GUARDED_BY(planMutex_);
+    /** weightsVersion_ each cached plan was packed at (~0 = never). */
+    mutable std::array<std::uint64_t, kNumPrecisions> packedNNVersion_
+        GRAPHITE_GUARDED_BY(planMutex_) = {~std::uint64_t{0},
+                                           ~std::uint64_t{0}};
+    mutable std::array<std::uint64_t, kNumPrecisions> packedNTVersion_
+        GRAPHITE_GUARDED_BY(planMutex_) = {~std::uint64_t{0},
+                                           ~std::uint64_t{0}};
 
     /**
      * Packed dz operand of the dW GEMM, reused across epochs: dz

@@ -58,22 +58,45 @@ GnnModel::transposedLocalityOrderFor(const TechniqueConfig &tech) const
     return cachedTransposedOrder_;
 }
 
+namespace {
+
+/**
+ * Find-or-build in an append-only (shards, strategy)-keyed plan cache.
+ * Entries are heap-anchored and never erased, so returned plans stay
+ * valid for the cache's lifetime even while later calls append new
+ * keys — the property concurrent unlocked readers depend on.
+ */
+template <typename CacheEntry>
+const PartitionPlan &
+findOrBuildPlan(std::vector<std::unique_ptr<CacheEntry>> &cache,
+                const CsrGraph &graph, const TechniqueConfig &tech)
+{
+    for (const auto &entry : cache) {
+        if (entry->shards == tech.shards &&
+            entry->strategy == tech.partition) {
+            return entry->plan;
+        }
+    }
+    PartitionConfig config;
+    config.numShards = tech.shards;
+    config.strategy = tech.partition;
+    auto entry = std::make_unique<CacheEntry>();
+    entry->shards = tech.shards;
+    entry->strategy = tech.partition;
+    entry->plan = makePartitionPlan(graph, config);
+    cache.push_back(std::move(entry));
+    return cache.back()->plan;
+}
+
+} // namespace
+
 const PartitionPlan *
 GnnModel::partitionPlanFor(const TechniqueConfig &tech) const
 {
     if (tech.shards < 2)
         return nullptr;
     MutexLock lock(cacheMutex_);
-    if (cachedPlanShards_ != tech.shards ||
-        cachedPlanStrategy_ != tech.partition || cachedPlan_.shards.empty()) {
-        PartitionConfig config;
-        config.numShards = tech.shards;
-        config.strategy = tech.partition;
-        cachedPlan_ = makePartitionPlan(*graph_, config);
-        cachedPlanShards_ = tech.shards;
-        cachedPlanStrategy_ = tech.partition;
-    }
-    return &cachedPlan_;
+    return &findOrBuildPlan(planCache_, *graph_, tech);
 }
 
 const PartitionPlan *
@@ -82,17 +105,7 @@ GnnModel::transposedPartitionPlanFor(const TechniqueConfig &tech) const
     if (tech.shards < 2)
         return nullptr;
     MutexLock lock(cacheMutex_);
-    if (cachedTransposedPlanShards_ != tech.shards ||
-        cachedTransposedPlanStrategy_ != tech.partition ||
-        cachedTransposedPlan_.shards.empty()) {
-        PartitionConfig config;
-        config.numShards = tech.shards;
-        config.strategy = tech.partition;
-        cachedTransposedPlan_ = makePartitionPlan(transposed_, config);
-        cachedTransposedPlanShards_ = tech.shards;
-        cachedTransposedPlanStrategy_ = tech.partition;
-    }
-    return &cachedTransposedPlan_;
+    return &findOrBuildPlan(transposedPlanCache_, transposed_, tech);
 }
 
 const Bf16Matrix &

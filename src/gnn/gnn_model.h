@@ -106,8 +106,9 @@ class GnnModel
      * The cache-slice partition plan used when tech.shards >= 2, or
      * null for flat execution. Built lazily and cached keyed on
      * (shards, strategy) — like the locality orders, the partitioning
-     * cost is amortised over epochs. The returned pointer stays valid
-     * until the next call with a *different* shard count or strategy.
+     * cost is amortised over epochs. The cache is append-only: the
+     * returned pointer stays valid for the model's lifetime, even
+     * across calls with different shard counts or strategies.
      */
     const PartitionPlan *partitionPlanFor(const TechniqueConfig &tech)
         const;
@@ -138,32 +139,33 @@ class GnnModel
     // Training state.
     std::vector<LayerContext> contexts_;
     std::vector<std::vector<std::uint64_t>> dropoutMasks_;
+    /** One lazily-built partition plan, keyed on (shards, strategy). */
+    struct CachedPartitionPlan
+    {
+        std::size_t shards;
+        PartitionStrategy strategy;
+        PartitionPlan plan;
+    };
+
     /**
-     * Guards the lazily-built locality orders and partition plans
-     * below (the (shards, strategy)-keyed caches), so concurrent
-     * read-only callers build each at most once. The returned
-     * span/pointer is then read unlocked during kernel execution,
-     * which is safe because a cache entry is never destroyed until a
-     * call with a *different* key replaces it — the documented
-     * partitionPlanFor() contract.
+     * Guards the lazily-built locality orders and partition-plan
+     * caches below, so concurrent read-only callers build each entry
+     * at most once. The returned span/pointer is then read unlocked
+     * during kernel execution, which is safe because the caches are
+     * append-only — an entry, once built, is never moved or destroyed
+     * for the model's lifetime, so a fill for a new key cannot race
+     * another thread still reading an old one.
      */
     mutable Mutex cacheMutex_;
     mutable ProcessingOrder cachedLocalityOrder_
         GRAPHITE_GUARDED_BY(cacheMutex_);
     mutable ProcessingOrder cachedTransposedOrder_
         GRAPHITE_GUARDED_BY(cacheMutex_);
-    /** Lazily-built partition plans, keyed on (shards, strategy). @{ */
-    mutable PartitionPlan cachedPlan_ GRAPHITE_GUARDED_BY(cacheMutex_);
-    mutable std::size_t cachedPlanShards_ GRAPHITE_GUARDED_BY(cacheMutex_) =
-        0;
-    mutable PartitionStrategy cachedPlanStrategy_
-        GRAPHITE_GUARDED_BY(cacheMutex_) = PartitionStrategy::Greedy;
-    mutable PartitionPlan cachedTransposedPlan_
+    /** Append-only (shards, strategy)-keyed plan caches. @{ */
+    mutable std::vector<std::unique_ptr<CachedPartitionPlan>> planCache_
         GRAPHITE_GUARDED_BY(cacheMutex_);
-    mutable std::size_t cachedTransposedPlanShards_
-        GRAPHITE_GUARDED_BY(cacheMutex_) = 0;
-    mutable PartitionStrategy cachedTransposedPlanStrategy_
-        GRAPHITE_GUARDED_BY(cacheMutex_) = PartitionStrategy::Greedy;
+    mutable std::vector<std::unique_ptr<CachedPartitionPlan>>
+        transposedPlanCache_ GRAPHITE_GUARDED_BY(cacheMutex_);
     /** @} */
     std::uint64_t dropoutEpoch_ = 0;
     /**

@@ -29,15 +29,48 @@ struct ShardTask
     std::size_t end;
 };
 
-std::span<const ShardTask>
+/**
+ * RAII view over the per-thread task scratch filled by shardTasks().
+ * Destruction releases the scratch for the next kernel entry; together
+ * with the reentrancy check in shardTasks() this turns a nested call
+ * that would silently invalidate a live task list (the scratch is
+ * clear()ed on every fill) into a debug-build failure.
+ */
+class ShardTaskList
+{
+  public:
+    ShardTaskList(const std::vector<ShardTask> &tasks, bool &inUse)
+        : tasks_(tasks), inUse_(inUse)
+    {
+    }
+
+    ShardTaskList(const ShardTaskList &) = delete;
+    ShardTaskList &operator=(const ShardTaskList &) = delete;
+
+    ~ShardTaskList() { inUse_ = false; }
+
+    std::size_t size() const { return tasks_.size(); }
+    const ShardTask &operator[](std::size_t i) const { return tasks_[i]; }
+
+  private:
+    const std::vector<ShardTask> &tasks_;
+    bool &inUse_;
+};
+
+ShardTaskList
 shardTasks(const PartitionPlan &plan, std::size_t taskVertices)
 {
     const std::size_t chunk = std::max<std::size_t>(1, taskVertices);
     // Grow-only per-thread scratch: every kernel entry builds its task
-    // list on the calling thread and consumes the span before the next
-    // entry runs, so reuse is safe and the steady state stays
-    // allocation-free.
+    // list on the calling thread and consumes it before the next entry
+    // runs, so reuse is safe and the steady state stays
+    // allocation-free. The in-use flag (cleared by the returned view's
+    // destructor) catches a reentrant call while a list is still live.
     thread_local std::vector<ShardTask> tasks;
+    thread_local bool tasksInUse = false;
+    GRAPHITE_DCHECK(!tasksInUse,
+                    "shardTasks re-entered while a task list is live");
+    tasksInUse = true;
     tasks.clear();
     for (std::size_t s = 0; s < plan.numShards(); ++s) {
         const std::size_t begin = plan.ownedStart[s];
@@ -49,7 +82,7 @@ shardTasks(const PartitionPlan &plan, std::size_t taskVertices)
                              std::min(b + chunk, end)});
         }
     }
-    return tasks;
+    return ShardTaskList(tasks, tasksInUse);
 }
 
 /** Per-worker grow-only scratch (the fused driver's buffer idiom). @{ */
@@ -132,7 +165,7 @@ exactShardedAggregate(const PartitionPlan &plan, std::size_t rowBytes,
 {
     const CsrGraph &graph = *plan.graph;
     const ProcessingOrder &order = plan.shardMajorOrder;
-    const std::span<const ShardTask> tasks = shardTasks(plan, config.taskSize);
+    const ShardTaskList tasks = shardTasks(plan, config.taskSize);
     obs::MetricsRegistry &metrics = obs::MetricsRegistry::global();
     static obs::Counter &bytesGathered =
         metrics.counter("partition.bytes_gathered");
@@ -181,7 +214,7 @@ delayedShardedAggregate(const PartitionPlan &plan, std::size_t width,
     static obs::Counter &haloBytes =
         metrics.counter("partition.halo_bytes");
 
-    const std::span<const ShardTask> tasks = shardTasks(plan, config.taskSize);
+    const ShardTaskList tasks = shardTasks(plan, config.taskSize);
     parallelFor(0, tasks.size(), 1,
                 [&](std::size_t taskBegin, std::size_t taskEnd,
                     std::size_t) {
@@ -303,7 +336,7 @@ shardedFusedDriver(const PartitionPlan &plan, std::size_t inCols,
         blockSize * std::max<std::size_t>(1, config.blocksPerTask);
     const std::size_t aggStride = paddedWidth(inCols);
     const std::size_t outStride = out.rowStride();
-    const std::span<const ShardTask> tasks = shardTasks(plan, taskVertices);
+    const ShardTaskList tasks = shardTasks(plan, taskVertices);
 
     obs::MetricsRegistry &metrics = obs::MetricsRegistry::global();
     static obs::Counter &bytesGathered =

@@ -169,6 +169,10 @@ softmaxCrossEntropy(const DenseMatrix &logits,
     // steady-state epoch allocation-free (test_alloc_guard.cpp).
     thread_local std::vector<double> partialLoss;
     partialLoss.assign(ThreadPool::global().numThreads(), 0.0);
+    // thread_local names are not captured by [&]: inside the pool
+    // workers' lambda they would resolve to each worker's own (empty)
+    // instance. Hand the workers the caller's buffer via a pointer.
+    double *const partials = partialLoss.data();
     parallelFor(0, rows, 256,
                 [&](std::size_t begin, std::size_t end, std::size_t tid) {
         double loss = 0.0;
@@ -192,7 +196,7 @@ softmaxCrossEntropy(const DenseMatrix &logits,
                     loss -= std::log(std::max(p, 1e-30));
             }
         }
-        partialLoss[tid] += loss;
+        partials[tid] += loss;
     });
     double total = 0.0;
     for (double part : partialLoss)
@@ -220,9 +224,11 @@ softmaxCrossEntropyMasked(const DenseMatrix &logits,
     const std::size_t classes = logits.cols();
     const double invCount = 1.0 / static_cast<double>(masked);
 
-    // Same reused reduction scratch as the unmasked variant above.
+    // Same reused reduction scratch (and thread_local capture caveat)
+    // as the unmasked variant above.
     thread_local std::vector<double> partialLoss;
     partialLoss.assign(ThreadPool::global().numThreads(), 0.0);
+    double *const partials = partialLoss.data();
     parallelFor(0, logits.rows(), 256,
                 [&](std::size_t begin, std::size_t end, std::size_t tid) {
         double loss = 0.0;
@@ -248,7 +254,7 @@ softmaxCrossEntropyMasked(const DenseMatrix &logits,
                     loss -= std::log(std::max(p, 1e-30));
             }
         }
-        partialLoss[tid] += loss;
+        partials[tid] += loss;
     });
     double total = 0.0;
     for (double part : partialLoss)

@@ -607,15 +607,19 @@ TEST(PrecisionConfig, LayerPlanCacheIsPrecisionKeyed)
 {
     GnnLayer layer(24, 16, true);
     layer.initWeights(3);
-    EXPECT_EQ(layer.packedWeights(Precision::Fp32).precision(),
-              Precision::Fp32);
-    EXPECT_EQ(layer.packedWeights(Precision::Bf16).precision(),
-              Precision::Bf16);
+    const GemmPlan *fp32 = &layer.packedWeights(Precision::Fp32);
+    EXPECT_EQ(fp32->precision(), Precision::Fp32);
+    const GemmPlan *bf16 = &layer.packedWeights(Precision::Bf16);
+    EXPECT_EQ(bf16->precision(), Precision::Bf16);
+    // Each precision has its own slot: filling the bf16 one must not
+    // repack (or move) the fp32 plan a concurrent reader may hold.
+    EXPECT_NE(fp32, bf16);
+    EXPECT_EQ(fp32->precision(), Precision::Fp32);
+    EXPECT_EQ(&layer.packedWeights(Precision::Fp32), fp32);
     EXPECT_EQ(layer.packedWeightsTransposed(Precision::Bf16).precision(),
               Precision::Bf16);
-    // Switching back repacks at fp32 again.
-    EXPECT_EQ(layer.packedWeights(Precision::Fp32).precision(),
-              Precision::Fp32);
+    EXPECT_NE(&layer.packedWeightsTransposed(Precision::Fp32),
+              &layer.packedWeightsTransposed(Precision::Bf16));
 }
 
 /** Relative Frobenius distance between two matrices. */

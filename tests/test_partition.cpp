@@ -451,6 +451,53 @@ TEST(ShardMajorSim, ReducesDramLinesVsGlobalOrderBaseline)
     EXPECT_LT(sharded.dram.lineTransfers, identity.dram.lineTransfers);
 }
 
+// The model's plan cache is append-only: a request with a new
+// (shards, strategy) key must not invalidate the plan an earlier
+// caller may still be executing against (the concurrent-serving
+// contract partitionPlanFor() documents).
+TEST(PartitionPlan, ModelPlanCacheKeepsEntriesAcrossKeys)
+{
+    CsrGraph g = makeTestGraph(1);
+    GnnModelConfig config;
+    config.featureWidths = {16, 8};
+    GnnModel model(g, config);
+
+    TechniqueConfig tech;
+    tech.shards = 2;
+    const PartitionPlan *two = model.partitionPlanFor(tech);
+    ASSERT_NE(two, nullptr);
+    EXPECT_EQ(two->numShards(), 2u);
+
+    tech.shards = 3;
+    const PartitionPlan *three = model.partitionPlanFor(tech);
+    ASSERT_NE(three, nullptr);
+    EXPECT_NE(three, two);
+    EXPECT_EQ(three->numShards(), 3u);
+    // The first entry survived the second fill...
+    EXPECT_EQ(two->numShards(), 2u);
+    EXPECT_EQ(two->validate(), nullptr);
+
+    // ...and a repeated request returns the same cached object.
+    tech.shards = 2;
+    EXPECT_EQ(model.partitionPlanFor(tech), two);
+
+    // Strategy is part of the key.
+    tech.partition = PartitionStrategy::Hash;
+    const PartitionPlan *hash = model.partitionPlanFor(tech);
+    ASSERT_NE(hash, nullptr);
+    EXPECT_NE(hash, two);
+    EXPECT_EQ(model.partitionPlanFor(tech), hash);
+
+    // The transposed cache behaves identically.
+    const PartitionPlan *transposed = model.transposedPartitionPlanFor(tech);
+    ASSERT_NE(transposed, nullptr);
+    EXPECT_EQ(model.transposedPartitionPlanFor(tech), transposed);
+    tech.shards = 3;
+    tech.partition = PartitionStrategy::Greedy;
+    EXPECT_NE(model.transposedPartitionPlanFor(tech), transposed);
+    EXPECT_EQ(transposed->numShards(), 2u);
+}
+
 // ---------------------------------------------------------------------
 // End to end: shard-major training must reproduce flat training
 // bit-for-bit (exact mode), for fused and unfused techniques.

@@ -6,9 +6,13 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <limits>
+#include <span>
 #include <tuple>
+#include <vector>
 
 #include "graph/generators.h"
 #include "kernels/aggregation.h"
@@ -457,6 +461,73 @@ TEST(RowOps, SoftmaxCrossEntropyGradientSumsToZero)
             sum += grad.at(r, c);
         EXPECT_NEAR(sum, 0.0, 1e-6);
     }
+}
+
+/** Serial reference for the cross-entropy loss (no gradient). */
+double
+serialCrossEntropy(const DenseMatrix &logits,
+                   std::span<const std::int32_t> labels,
+                   const std::uint8_t *mask)
+{
+    double total = 0.0;
+    std::size_t counted = 0;
+    for (std::size_t r = 0; r < logits.rows(); ++r) {
+        if (mask != nullptr && mask[r] == 0)
+            continue;
+        ++counted;
+        const Feature *in = logits.row(r);
+        Feature maxLogit = in[0];
+        for (std::size_t c = 1; c < logits.cols(); ++c)
+            maxLogit = std::max(maxLogit, in[c]);
+        double denom = 0.0;
+        for (std::size_t c = 0; c < logits.cols(); ++c)
+            denom += std::exp(double{in[c]} - double{maxLogit});
+        const auto label = static_cast<std::size_t>(labels[r]);
+        const double p =
+            std::exp(double{in[label]} - double{maxLogit}) / denom;
+        total -= std::log(std::max(p, 1e-30));
+    }
+    return counted == 0 ? 0.0 : total / static_cast<double>(counted);
+}
+
+// Regression test: the parallel partial-loss reduction runs on pool
+// worker threads, so every worker's contribution must land in the
+// caller's scratch buffer (a function-local thread_local is NOT
+// captured by reference — each worker would otherwise sum into its own
+// instance and the result would drop their rows). Enough rows to span
+// many 256-row chunks guarantees worker participation.
+TEST(RowOps, SoftmaxCrossEntropyParallelReductionMatchesSerial)
+{
+    const std::size_t rows = 4096;
+    const std::size_t classes = 8;
+    DenseMatrix logits(rows, classes);
+    logits.fillUniform(-2.0f, 2.0f, 21);
+    std::vector<std::int32_t> labels(rows);
+    for (std::size_t i = 0; i < rows; ++i)
+        labels[i] = static_cast<std::int32_t>(i % classes);
+    DenseMatrix grad(rows, classes);
+    const double loss = softmaxCrossEntropy(logits, labels, grad);
+    const double ref = serialCrossEntropy(logits, labels, nullptr);
+    EXPECT_NEAR(loss, ref, 1e-9 * ref);
+}
+
+TEST(RowOps, SoftmaxCrossEntropyMaskedParallelReductionMatchesSerial)
+{
+    const std::size_t rows = 4096;
+    const std::size_t classes = 8;
+    DenseMatrix logits(rows, classes);
+    logits.fillUniform(-2.0f, 2.0f, 22);
+    std::vector<std::int32_t> labels(rows);
+    std::vector<std::uint8_t> mask(rows);
+    for (std::size_t i = 0; i < rows; ++i) {
+        labels[i] = static_cast<std::int32_t>((i * 3) % classes);
+        mask[i] = static_cast<std::uint8_t>(i % 5 != 0);
+    }
+    DenseMatrix grad(rows, classes);
+    const double loss =
+        softmaxCrossEntropyMasked(logits, labels, mask, grad);
+    const double ref = serialCrossEntropy(logits, labels, mask.data());
+    EXPECT_NEAR(loss, ref, 1e-9 * ref);
 }
 
 TEST(RowOps, PerfectLogitsGiveLowLossAndFullAccuracy)
