@@ -4,6 +4,7 @@
 Three artifacts, each optional on the command line:
 
   --bench BENCH_smoke.json      headline-rate JSON (always produced)
+  --serve BENCH_serve.json      serving-bench JSON (bench/serve_load)
   --metrics METRICS_smoke.json  metrics-registry dump (--metrics-out)
   --trace TRACE_smoke.json      chrome://tracing spans (--trace-out)
 
@@ -47,6 +48,25 @@ BENCH_REQUIRED = {
     "dma_aggregation_gflops": float,
     "gemm_bf16_gflops": float,
     "gemm_gflops": float,
+}
+
+# The serve section both bench_smoke and bench/serve_load emit: one
+# cache-on run and one cache-off run at identical offered load.
+SERVE_REQUIRED = {
+    "hot_cache_capacity": int,
+    "offered_qps": float,
+    "qps": float,
+    "p50_us": float,
+    "p99_us": float,
+    "mean_batch_size": float,
+    "cache_hit_rate": float,
+    "bytes_gathered": int,
+    "dropped": int,
+    "qps_nocache": float,
+    "p50_us_nocache": float,
+    "p99_us_nocache": float,
+    "bytes_gathered_nocache": int,
+    "dropped_nocache": int,
 }
 
 # Span names a traced bench_smoke run must have exercised (acceptance
@@ -100,6 +120,7 @@ def check_bench(path):
     if doc["bytes_gathered_fp32"] > 0 and not 0.4 <= ratio <= 0.6:
         fail(f"{path}: gather_traffic_ratio {ratio} outside [0.4, 0.6] "
              f"— bf16 gathers no longer halve traffic")
+    check_serve_section(doc, path)
     phases = doc.get("phases")
     if phases is not None:
         if not isinstance(phases, dict) or not phases:
@@ -112,6 +133,49 @@ def check_bench(path):
             expect_number(entry.get("seconds"), f"phase '{name}' seconds")
     print(f"check_metrics_schema: OK {path} "
           f"({len(doc)} keys, phases={'yes' if phases else 'no'})")
+
+
+def check_serve_section(doc, path):
+    """Validate the 'serve' object: key/type structure plus the
+    serving-layer gates. The latency percentiles are archived, not
+    gated (CI wall-clock noise); the gather-byte reduction from the
+    hot-vertex cache is deterministic at fixed seeds, so it IS gated.
+    """
+    serve = doc.get("serve")
+    if not isinstance(serve, dict):
+        fail(f"{path}: missing object 'serve'")
+    for key, kind in SERVE_REQUIRED.items():
+        if key not in serve:
+            fail(f"{path}: serve section missing key '{key}'")
+        if kind is float:
+            expect_number(serve[key], f"{path}:serve.{key}")
+        elif not isinstance(serve[key], kind):
+            fail(f"{path}:serve.{key} is "
+                 f"{type(serve[key]).__name__}, expected {kind.__name__}")
+    for suffix in ("", "_nocache"):
+        if serve["qps" + suffix] <= 0:
+            fail(f"{path}: serve.qps{suffix} must be positive "
+                 f"(got {serve['qps' + suffix]})")
+        if serve["p99_us" + suffix] < serve["p50_us" + suffix]:
+            fail(f"{path}: serve.p99_us{suffix} "
+                 f"{serve['p99_us' + suffix]} < p50_us{suffix} "
+                 f"{serve['p50_us' + suffix]}")
+    if not 0.0 <= serve["cache_hit_rate"] <= 1.0:
+        fail(f"{path}: serve.cache_hit_rate "
+             f"{serve['cache_hit_rate']} outside [0, 1]")
+    if (serve["hot_cache_capacity"] > 0
+            and serve["bytes_gathered"] >= serve["bytes_gathered_nocache"]):
+        fail(f"{path}: hot-vertex cache did not reduce gather traffic "
+             f"({serve['bytes_gathered']} >= "
+             f"{serve['bytes_gathered_nocache']})")
+
+
+def check_serve(path):
+    doc = load(path)
+    if not isinstance(doc, dict):
+        fail(f"{path}: top level is not an object")
+    check_serve_section(doc, path)
+    print(f"check_metrics_schema: OK {path} (serve section)")
 
 
 def check_metrics(path):
@@ -139,6 +203,16 @@ def check_metrics(path):
         if sum(buckets) != hist["count"]:
             fail(f"{path}: histogram '{name}' bucket sum "
                  f"{sum(buckets)} != count {hist['count']}")
+        for q in ("p50", "p90", "p99"):
+            expect_number(hist.get(q), f"histogram '{name}' {q}")
+        if not (hist["p50"] <= hist["p90"] <= hist["p99"]):
+            fail(f"{path}: histogram '{name}' quantiles not "
+                 f"monotone: p50 {hist['p50']} p90 {hist['p90']} "
+                 f"p99 {hist['p99']}")
+        if hist["count"] > 0 and not (
+                hist["min"] <= hist["p50"] and hist["p99"] <= hist["max"]):
+            fail(f"{path}: histogram '{name}' quantiles escape "
+                 f"[min, max]")
     print(f"check_metrics_schema: OK {path} "
           f"({len(doc['counters'])} counters, "
           f"{len(doc['histograms'])} histograms)")
@@ -172,16 +246,21 @@ def check_trace(path, required_spans):
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--bench", help="BENCH_smoke.json path")
+    parser.add_argument("--serve",
+                        help="serving-bench JSON path (BENCH_serve.json)")
     parser.add_argument("--metrics", help="metrics registry JSON path")
     parser.add_argument("--trace", help="chrome://tracing JSON path")
     parser.add_argument("--require-span", action="append", default=None,
                         help="span name the trace must contain "
                              "(default: the bench_smoke hot-path set)")
     args = parser.parse_args()
-    if not (args.bench or args.metrics or args.trace):
-        parser.error("nothing to check: pass --bench/--metrics/--trace")
+    if not (args.bench or args.serve or args.metrics or args.trace):
+        parser.error(
+            "nothing to check: pass --bench/--serve/--metrics/--trace")
     if args.bench:
         check_bench(args.bench)
+    if args.serve:
+        check_serve(args.serve)
     if args.metrics:
         check_metrics(args.metrics)
     if args.trace:

@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# CI serving smoke: build (if needed) and run bench/serve_load — the
+# open-loop Zipf/Poisson load generator against the inference server,
+# hot-vertex cache on vs off at identical offered load. Emits
+# BENCH_serve.json for CI to archive per commit.
+#
+# Usage:
+#   scripts/serve_smoke.sh [build-dir] [output-json]
+#
+# Defaults: build-dir = build, output = BENCH_serve.json in the repo
+# root. Pass an existing Release build dir in CI to skip the configure.
+# The request count is fixed (open-loop, not wall-clock bound), so the
+# run finishes in a few seconds regardless of machine speed.
+#
+# Gating: latency percentiles are archived as a trend only (CI
+# wall-clock noise). The cache's gather-byte reduction is a pure
+# function of the seeds — request stream, sampled trees, and cache
+# access order are all deterministic — so the schema check hard-gates
+# bytes_gathered < bytes_gathered_nocache.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+cd "${repo_root}"
+
+build_dir="${1:-build}"
+output="${2:-${repo_root}/BENCH_serve.json}"
+
+if [ ! -f "${build_dir}/CMakeCache.txt" ]; then
+    cmake -B "${build_dir}" -S . -DCMAKE_BUILD_TYPE=Release
+fi
+cmake --build "${build_dir}" -j --target serve_load
+
+# Smaller than the bench defaults on purpose: scale 11 keeps the graph
+# build fast while the degree distribution stays hub-heavy enough for
+# the cache to matter; 4000 measured requests bound the runtime.
+"${build_dir}/bench/serve_load" --scale=11 --requests=4000 \
+    --warmup-requests=800 --qps=20000 --output="${output}"
+
+# Structure plus the deterministic gates (qps > 0, p99 >= p50, hit
+# rate in [0,1], cache-on gathers strictly fewer bytes).
+if command -v python3 >/dev/null 2>&1; then
+    python3 scripts/check_metrics_schema.py --serve "${output}"
+else
+    echo "serve_smoke: python3 not found, skipping schema check"
+fi
+
+echo "serve_smoke: wrote ${output}"

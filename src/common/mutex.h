@@ -17,7 +17,9 @@
 
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
+#include <cstdint>
 #include <mutex>
 
 #include "common/assert.h"
@@ -100,6 +102,26 @@ class CondVar
                         "mutex");
         static_cast<void>(mutex);
         cv_.wait(lock.native());
+    }
+
+    /**
+     * wait() with a relative timeout. Returns false when the timeout
+     * elapsed without a notification, true otherwise (including
+     * spurious wakeups — callers re-check their predicate either way).
+     * The serving micro-batcher uses this to close a batch on latency
+     * budget expiry.
+     */
+    bool
+    waitFor(MutexLock &lock, Mutex &mutex,
+            std::int64_t timeoutNs) GRAPHITE_REQUIRES(mutex)
+    {
+        GRAPHITE_DCHECK(lock.mutex() == &mutex,
+                        "CondVar::waitFor: lock does not hold the named "
+                        "mutex");
+        static_cast<void>(mutex);
+        return cv_.wait_for(lock.native(),
+                            std::chrono::nanoseconds(timeoutNs)) ==
+               std::cv_status::no_timeout;
     }
 
   private:

@@ -76,6 +76,22 @@ class MiniBatchTrainer
     GnnLayer &layer(std::size_t k) { return *layers_[k]; }
     std::size_t numLayers() const { return layers_.size(); }
 
+    /**
+     * Borrowed layer stack, innermost first — the handoff from training
+     * to the serving layer (serve::InferenceServer), which evaluates
+     * the trained parameters without owning them. Pointers stay valid
+     * for the trainer's lifetime.
+     */
+    std::vector<GnnLayer *>
+    layerPointers()
+    {
+        std::vector<GnnLayer *> out;
+        out.reserve(layers_.size());
+        for (const auto &l : layers_)
+            out.push_back(l.get());
+        return out;
+    }
+
   private:
     /** Forward one mini-batch; returns the loss and fills contexts. */
     double forwardBatch(const MiniBatch &batch, DenseMatrix &lossGrad);

@@ -157,6 +157,52 @@ Histogram::buckets() const
     return out;
 }
 
+double
+estimateQuantile(const std::vector<std::uint64_t> &buckets,
+                 std::uint64_t count, std::uint64_t min, std::uint64_t max,
+                 double q)
+{
+    if (count == 0 || buckets.empty())
+        return 0.0;
+    if (q < 0.0)
+        q = 0.0;
+    if (q > 1.0)
+        q = 1.0;
+    // Rank of the target sample, 1-based: the ceil(q * count)-th
+    // smallest (at least 1, so q = 0 is the smallest sample).
+    const double exact = q * static_cast<double>(count);
+    std::uint64_t rank = static_cast<std::uint64_t>(exact);
+    if (static_cast<double>(rank) < exact)
+        ++rank;
+    if (rank == 0)
+        rank = 1;
+    std::uint64_t before = 0;
+    for (std::size_t i = 0; i < buckets.size(); ++i) {
+        if (buckets[i] == 0)
+            continue;
+        if (before + buckets[i] < rank) {
+            before += buckets[i];
+            continue;
+        }
+        // Bucket i holds values with bit width i: [2^(i-1), 2^i), with
+        // bucket 0 holding exactly 0. Interpolate by rank within it.
+        if (i == 0)
+            return 0.0;
+        const double lo = static_cast<double>(std::uint64_t{1} << (i - 1));
+        const double hi = lo * 2.0;
+        const double frac =
+            (static_cast<double>(rank - before) - 0.5) /
+            static_cast<double>(buckets[i]);
+        double v = lo + frac * (hi - lo);
+        // Clamp to the observed range: single-bucket populations become
+        // exact at both ends, and no estimate escapes real data.
+        v = std::max(v, static_cast<double>(min));
+        v = std::min(v, static_cast<double>(max));
+        return v;
+    }
+    return static_cast<double>(max);
+}
+
 MetricsRegistry &
 MetricsRegistry::global()
 {
@@ -264,8 +310,16 @@ MetricsRegistry::snapshot() const
         for (const auto &g : gauges_)
             snap.gauges.emplace_back(g->name(), g->value());
         for (const auto &h : histograms_) {
-            snap.histograms.push_back({h->name(), h->count(), h->sum(),
-                                       h->min(), h->max(), h->buckets()});
+            MetricsSnapshot::HistogramEntry entry{
+                h->name(), h->count(), h->sum(),
+                h->min(),  h->max(),   h->buckets()};
+            entry.p50 = estimateQuantile(entry.buckets, entry.count,
+                                         entry.min, entry.max, 0.50);
+            entry.p90 = estimateQuantile(entry.buckets, entry.count,
+                                         entry.min, entry.max, 0.90);
+            entry.p99 = estimateQuantile(entry.buckets, entry.count,
+                                         entry.min, entry.max, 0.99);
+            snap.histograms.push_back(std::move(entry));
         }
     }
     std::sort(snap.counters.begin(), snap.counters.end());
@@ -303,11 +357,16 @@ MetricsRegistry::toJson() const
     for (const auto &h : snap.histograms) {
         out += first ? "\n" : ",\n";
         first = false;
+        char quantiles[128];
+        std::snprintf(quantiles, sizeof(quantiles),
+                      ", \"p50\": %.9g, \"p90\": %.9g, \"p99\": %.9g",
+                      h.p50, h.p90, h.p99);
         out += "    \"" + escapeJson(h.name) + "\": {\"count\": " +
                std::to_string(h.count) + ", \"sum\": " +
                std::to_string(h.sum) + ", \"min\": " +
                std::to_string(h.min) + ", \"max\": " +
-               std::to_string(h.max) + ", \"log2_buckets\": [";
+               std::to_string(h.max) + quantiles +
+               ", \"log2_buckets\": [";
         for (std::size_t i = 0; i < h.buckets.size(); ++i) {
             if (i != 0)
                 out += ", ";

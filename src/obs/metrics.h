@@ -165,9 +165,35 @@ struct MetricsSnapshot
         std::uint64_t min;
         std::uint64_t max;
         std::vector<std::uint64_t> buckets;
+        /**
+         * Quantile estimates from the log2 buckets (see
+         * estimateQuantile) so tail latency is reportable straight off
+         * a snapshot, without external tooling. 0 when count == 0.
+         * @{
+         */
+        double p50 = 0.0;
+        double p90 = 0.0;
+        double p99 = 0.0;
+        /** @} */
     };
     std::vector<HistogramEntry> histograms;
 };
+
+/**
+ * Estimate the @p q quantile (q in [0, 1]) of a log2-bucketed sample
+ * set by locating the bucket holding the ceil(q * count)-th smallest
+ * sample and interpolating linearly across the bucket's value range
+ * [2^(i-1), 2^i) (bucket 0 holds exactly the value 0). The estimate is
+ * clamped to the observed [min, max], which makes single-bucket
+ * populations exact at both ends. Returns 0 for an empty histogram.
+ *
+ * The relative error is bounded by the bucket width — a factor of 2 —
+ * which is the right tool for tail *latency* accounting, where p99
+ * regressions of interest are multiples, not percents.
+ */
+double estimateQuantile(const std::vector<std::uint64_t> &buckets,
+                        std::uint64_t count, std::uint64_t min,
+                        std::uint64_t max, double q);
 
 /**
  * Named-metric registry. Metric creation takes a mutex (cold:

@@ -104,6 +104,95 @@ gatherBatchFeatures(const DenseMatrix &features,
     return out;
 }
 
+std::uint64_t
+requestSeed(std::uint64_t requestId)
+{
+    // splitmix64 finalizer: a bijective avalanche so consecutive request
+    // ids yield statistically independent sampling streams.
+    std::uint64_t z = requestId + 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+void
+sampleTree(const CsrGraph &graph, VertexId seed,
+           std::span<const VertexId> fanouts, Rng &rng,
+           SamplerScratch &scratch, SampledTree &tree)
+{
+    GRAPHITE_ASSERT(!fanouts.empty(), "need at least one layer fanout");
+    GRAPHITE_ASSERT(seed < graph.numVertices(),
+                    "sampleTree: seed out of range");
+    if (tree.blocks.size() != fanouts.size())
+        tree.blocks.resize(fanouts.size());
+
+    // Build outermost-first, as sampleMiniBatch does: layer K's
+    // destination set is {seed}; each inner layer's destinations are
+    // the outer layer's sources.
+    for (std::size_t k = fanouts.size(); k-- > 0;) {
+        FlatBlock &block = tree.blocks[k];
+        block.rowPtr.clear();
+        block.colIdx.clear();
+        block.srcVertices.clear();
+        if (k + 1 == fanouts.size()) {
+            block.dstVertices.clear();
+            block.dstVertices.push_back(seed);
+        } else {
+            const std::vector<VertexId> &outerSrc =
+                tree.blocks[k + 1].srcVertices;
+            block.dstVertices.assign(outerSrc.begin(), outerSrc.end());
+        }
+
+        // Destinations occupy local source indices [0, |dst|).
+        scratch.beginBlock();
+        for (const VertexId v : block.dstVertices) {
+            scratch.stamp_[v] = scratch.epoch_;
+            scratch.local_[v] =
+                static_cast<VertexId>(block.srcVertices.size());
+            block.srcVertices.push_back(v);
+        }
+
+        const VertexId fanout = fanouts[k];
+        if (scratch.reservoir_.size() < fanout)
+            scratch.reservoir_.resize(fanout);
+        VertexId *const reservoir = scratch.reservoir_.data();
+
+        block.rowPtr.push_back(0);
+        for (const VertexId v : block.dstVertices) {
+            const auto neighbors = graph.neighbors(v);
+            std::size_t sampled = 0;
+            if (neighbors.size() <= fanout) {
+                for (const VertexId u : neighbors)
+                    reservoir[sampled++] = u;
+            } else {
+                // Reservoir sampling of `fanout` neighbors without
+                // replacement — identical draw order to sampleBlock so
+                // the two paths stay statistically interchangeable.
+                for (std::size_t j = 0; j < fanout; ++j)
+                    reservoir[j] = neighbors[j];
+                sampled = fanout;
+                for (std::size_t j = fanout; j < neighbors.size(); ++j) {
+                    const std::size_t slot = rng.uniformInt(j + 1);
+                    if (slot < fanout)
+                        reservoir[slot] = neighbors[j];
+                }
+            }
+            for (std::size_t j = 0; j < sampled; ++j) {
+                const VertexId u = reservoir[j];
+                if (scratch.stamp_[u] != scratch.epoch_) {
+                    scratch.stamp_[u] = scratch.epoch_;
+                    scratch.local_[u] =
+                        static_cast<VertexId>(block.srcVertices.size());
+                    block.srcVertices.push_back(u);
+                }
+                block.colIdx.push_back(scratch.local_[u]);
+            }
+            block.rowPtr.push_back(
+                static_cast<EdgeId>(block.colIdx.size()));
+        }
+    }
+}
+
 std::vector<std::vector<VertexId>>
 makeEpochBatches(const CsrGraph &graph, std::size_t batchSize, Rng &rng)
 {

@@ -16,7 +16,9 @@
 
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "common/rng.h"
@@ -74,5 +76,88 @@ DenseMatrix gatherBatchFeatures(const DenseMatrix &features,
 std::vector<std::vector<VertexId>> makeEpochBatches(const CsrGraph &graph,
                                                     std::size_t batchSize,
                                                     Rng &rng);
+
+/**
+ * Deterministic per-request RNG seed: splitmix64 of the request id.
+ * Serving samples each request's neighborhood with Rng(requestSeed(id)),
+ * so an offline replay of the same request id reproduces the sampled
+ * tree bit-for-bit regardless of which batch the request landed in.
+ */
+std::uint64_t requestSeed(std::uint64_t requestId);
+
+/**
+ * One sampled bipartite layer held as flat arrays — the allocation-free
+ * serving counterpart of SampledBlock. No CsrGraph is constructed; the
+ * vectors reuse their capacity across requests once warmed up.
+ *
+ * Invariants match SampledBlock: dstVertices is a prefix of srcVertices
+ * (local source index i < |dst| is destination i), rowPtr has |dst|+1
+ * entries, and colIdx holds local source indices.
+ */
+struct FlatBlock
+{
+    std::vector<EdgeId> rowPtr;
+    std::vector<VertexId> colIdx;
+    std::vector<VertexId> dstVertices;
+    std::vector<VertexId> srcVertices;
+};
+
+/** A K-layer sampled neighborhood of one seed; blocks[0] is input-most. */
+struct SampledTree
+{
+    std::vector<FlatBlock> blocks;
+    /** Global ids whose input features the tree needs (innermost srcs). */
+    const std::vector<VertexId> &inputVertices() const
+    {
+        return blocks.front().srcVertices;
+    }
+};
+
+/**
+ * Reusable working state for sampleTree: a stamped global→local index
+ * map sized |V| (no per-call hashing or node allocation). One scratch
+ * serves one sampling thread; it may be reused across graphs only if
+ * re-constructed for the larger vertex count.
+ */
+class SamplerScratch
+{
+  public:
+    explicit SamplerScratch(VertexId numVertices)
+        : local_(numVertices, 0), stamp_(numVertices, 0)
+    {
+    }
+
+  private:
+    friend void sampleTree(const CsrGraph &graph, VertexId seed,
+                           std::span<const VertexId> fanouts, Rng &rng,
+                           SamplerScratch &scratch, SampledTree &tree);
+
+    /** Start a new dedup domain; O(1) except on 32-bit epoch wrap. */
+    void
+    beginBlock()
+    {
+        if (++epoch_ == 0) {
+            std::fill(stamp_.begin(), stamp_.end(), 0U);
+            epoch_ = 1;
+        }
+    }
+
+    std::vector<VertexId> local_;      ///< local index, valid iff stamped
+    std::vector<std::uint32_t> stamp_; ///< epoch that wrote local_[v]
+    std::uint32_t epoch_ = 0;
+    std::vector<VertexId> reservoir_;  ///< per-destination sample buffer
+};
+
+/**
+ * SAMPLE_k for a single seed vertex into reusable flat blocks: the
+ * serving-path analogue of sampleMiniBatch. Layer K's destination set
+ * is {seed}; each layer's source set is its destination set plus up to
+ * fanouts[k] reservoir-sampled neighbors per destination. @p tree's
+ * vectors are clear()ed and refilled, retaining capacity, so a warmed
+ * tree+scratch pair samples with zero heap allocations.
+ */
+void sampleTree(const CsrGraph &graph, VertexId seed,
+                std::span<const VertexId> fanouts, Rng &rng,
+                SamplerScratch &scratch, SampledTree &tree);
 
 } // namespace graphite

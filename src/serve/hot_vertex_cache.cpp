@@ -1,0 +1,227 @@
+#include "serve/hot_vertex_cache.h"
+
+#include <algorithm>
+#include <cstring>
+#include <functional>
+
+#include "common/assert.h"
+#include "graph/csr_graph.h"
+
+namespace graphite::serve {
+
+namespace {
+
+/** splitmix64 finalizer: avalanche vertex ids into shard/table bits. */
+std::uint64_t
+mixHash(VertexId v)
+{
+    std::uint64_t z = static_cast<std::uint64_t>(v) +
+                      0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+std::size_t
+ceilPow2(std::size_t v)
+{
+    std::size_t p = 1;
+    while (p < v)
+        p <<= 1;
+    return p;
+}
+
+} // namespace
+
+EdgeId
+churnFreeDegreeThreshold(const CsrGraph &graph, std::size_t capacity)
+{
+    if (capacity == 0 || graph.numVertices() == 0)
+        return 0;
+    std::vector<EdgeId> degrees(graph.numVertices());
+    for (VertexId v = 0; v < graph.numVertices(); ++v)
+        degrees[v] = graph.degree(v);
+    const std::size_t nth =
+        std::min(capacity / 2, degrees.size() - 1);
+    std::nth_element(degrees.begin(),
+                     degrees.begin() + static_cast<std::ptrdiff_t>(nth),
+                     degrees.end(), std::greater<EdgeId>());
+    return degrees[nth];
+}
+
+HotVertexCache::HotVertexCache(std::size_t capacity, std::size_t shards,
+                               std::size_t rowWidth, EdgeId minDegree)
+    : slotsPerShard_(0), rowWidth_(rowWidth), minDegree_(minDegree),
+      tableMask_(0)
+{
+    GRAPHITE_ASSERT(rowWidth > 0, "hot cache needs rowWidth > 0");
+    if (capacity == 0)
+        return; // disabled: no shards, lookup/put are no-ops
+    const std::size_t numShards =
+        ceilPow2(shards == 0 ? 1 : shards);
+    slotsPerShard_ = (capacity + numShards - 1) / numShards;
+    // Open-addressing table at <= 0.5 load plus <= 0.25 tombstones
+    // always keeps empty cells, so probes terminate.
+    const std::size_t tableSize = ceilPow2(slotsPerShard_ * 2);
+    tableMask_ = tableSize - 1;
+    shards_ = std::vector<Shard>(numShards);
+    for (auto &shard : shards_) {
+        MutexLock lock(shard.mutex);
+        // graphite-lint: allow(alloc) cold constructor preallocation;
+        // all steady-state cache operations reuse this storage.
+        shard.slotVertex.resize(slotsPerShard_, 0);
+        // graphite-lint: allow(alloc) cold constructor preallocation.
+        shard.refBit.resize(slotsPerShard_, 0);
+        // graphite-lint: allow(alloc) cold constructor preallocation.
+        shard.rows.resize(slotsPerShard_ * rowWidth_, 0.0f);
+        // graphite-lint: allow(alloc) cold constructor preallocation.
+        shard.table.resize(tableSize, kEmpty);
+    }
+}
+
+HotVertexCache::Shard &
+HotVertexCache::shardOf(VertexId v)
+{
+    // Shard selection uses the high hash bits, the table probe the low
+    // ones, so the two index spaces stay uncorrelated.
+    const std::uint64_t h = mixHash(v);
+    return shards_[(h >> 32) & (shards_.size() - 1)];
+}
+
+std::int32_t
+HotVertexCache::findSlot(const Shard &shard, VertexId v) const
+{
+    std::size_t i = mixHash(v) & tableMask_;
+    for (;;) {
+        const std::int32_t cell = shard.table[i];
+        if (cell == kEmpty)
+            return kEmpty;
+        if (cell != kTombstone &&
+            shard.slotVertex[static_cast<std::size_t>(cell)] == v)
+            return cell;
+        i = (i + 1) & tableMask_;
+    }
+}
+
+void
+HotVertexCache::rehashShard(Shard &shard)
+{
+    // In-place tombstone purge: clear the (already allocated) table
+    // and reinsert every resident slot. No heap traffic.
+    for (auto &cell : shard.table)
+        cell = kEmpty;
+    shard.tombstones = 0;
+    for (std::size_t slot = 0; slot < shard.used; ++slot) {
+        std::size_t i = mixHash(shard.slotVertex[slot]) & tableMask_;
+        while (shard.table[i] != kEmpty)
+            i = (i + 1) & tableMask_;
+        shard.table[i] = static_cast<std::int32_t>(slot);
+    }
+}
+
+bool
+HotVertexCache::lookup(VertexId v, Feature *dst)
+{
+    if (!enabled()) {
+        misses_.fetch_add(1, std::memory_order_relaxed);
+        return false;
+    }
+    Shard &shard = shardOf(v);
+    bool hit = false;
+    {
+        MutexLock lock(shard.mutex);
+        const std::int32_t slot = findSlot(shard, v);
+        if (slot != kEmpty) {
+            hit = true;
+            shard.refBit[static_cast<std::size_t>(slot)] = 1;
+            std::memcpy(dst,
+                        shard.rows.data() +
+                            static_cast<std::size_t>(slot) * rowWidth_,
+                        rowWidth_ * sizeof(Feature));
+        }
+    }
+    (hit ? hits_ : misses_).fetch_add(1, std::memory_order_relaxed);
+    return hit;
+}
+
+void
+HotVertexCache::put(VertexId v, const Feature *row)
+{
+    if (!enabled())
+        return;
+    Shard &shard = shardOf(v);
+    bool evicted = false;
+    {
+        MutexLock lock(shard.mutex);
+        std::int32_t slot = findSlot(shard, v);
+        if (slot == kEmpty) {
+            if (shard.used < slotsPerShard_) {
+                slot = static_cast<std::int32_t>(shard.used++);
+            } else {
+                // CLOCK second chance: spend ref bits until a cold
+                // slot comes under the hand (terminates within two
+                // sweeps — each pass clears a bit).
+                while (shard.refBit[shard.clockHand] != 0) {
+                    shard.refBit[shard.clockHand] = 0;
+                    shard.clockHand =
+                        (shard.clockHand + 1) % slotsPerShard_;
+                }
+                slot = static_cast<std::int32_t>(shard.clockHand);
+                shard.clockHand = (shard.clockHand + 1) % slotsPerShard_;
+                // Unlink the victim from the index.
+                const VertexId victim =
+                    shard.slotVertex[static_cast<std::size_t>(slot)];
+                std::size_t i = mixHash(victim) & tableMask_;
+                while (shard.table[i] != slot) {
+                    GRAPHITE_DCHECK(shard.table[i] != kEmpty,
+                                    "evicted vertex missing from table");
+                    i = (i + 1) & tableMask_;
+                }
+                shard.table[i] = kTombstone;
+                ++shard.tombstones;
+                evicted = true;
+            }
+            shard.slotVertex[static_cast<std::size_t>(slot)] = v;
+            // Link the new resident: first empty or tombstone cell on
+            // v's probe chain.
+            std::size_t i = mixHash(v) & tableMask_;
+            while (shard.table[i] != kEmpty &&
+                   shard.table[i] != kTombstone)
+                i = (i + 1) & tableMask_;
+            if (shard.table[i] == kTombstone)
+                --shard.tombstones;
+            shard.table[i] = slot;
+            if (shard.tombstones * 4 > shard.table.size())
+                rehashShard(shard);
+        }
+        shard.refBit[static_cast<std::size_t>(slot)] = 1;
+        std::memcpy(shard.rows.data() +
+                        static_cast<std::size_t>(slot) * rowWidth_,
+                    row, rowWidth_ * sizeof(Feature));
+    }
+    puts_.fetch_add(1, std::memory_order_relaxed);
+    if (evicted)
+        evictions_.fetch_add(1, std::memory_order_relaxed);
+}
+
+HotVertexCache::Stats
+HotVertexCache::stats() const
+{
+    Stats s;
+    s.hits = hits_.load(std::memory_order_relaxed);
+    s.misses = misses_.load(std::memory_order_relaxed);
+    s.puts = puts_.load(std::memory_order_relaxed);
+    s.evictions = evictions_.load(std::memory_order_relaxed);
+    return s;
+}
+
+void
+HotVertexCache::resetStats()
+{
+    hits_.store(0, std::memory_order_relaxed);
+    misses_.store(0, std::memory_order_relaxed);
+    puts_.store(0, std::memory_order_relaxed);
+    evictions_.store(0, std::memory_order_relaxed);
+}
+
+} // namespace graphite::serve

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Degree-prioritized cache of layer-1 aggregation rows for hub
+ * vertices — the serving-side use of the paper's locality insight
+ * (Section 4.2): in power-law graphs a small set of high-degree hubs
+ * dominates fan-in, so their aggregations are recomputed constantly.
+ * Caching one aggregated row per hot hub turns a full fan-in gather
+ * (degree+1 feature-row reads) into a single row read.
+ *
+ * The cached value is the *full-neighborhood* mean aggregation of the
+ * input features — deterministic per vertex, independent of which
+ * request sampled it — so a cached row is reusable by every request
+ * that touches the hub, at a bounded deviation from any per-request
+ * sampled estimate of the same mean.
+ *
+ * Structure: fixed capacity split over power-of-two shards; each shard
+ * owns its rows, an open-addressing vertex index, and a CLOCK
+ * (second-chance) hand, all under one graphite::Mutex with GUARDED_BY
+ * annotations. Admission is by degree threshold (the server derives it
+ * from graph stats), eviction by CLOCK. All storage is allocated in
+ * the constructor: steady-state lookup/put never touches the heap.
+ */
+
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+#include "common/types.h"
+
+namespace graphite {
+
+class CsrGraph;
+
+namespace serve {
+
+/**
+ * Churn-free admission threshold for a cache of @p capacity rows: the
+ * degree of the (capacity/2)-th highest-degree vertex, so the
+ * admissible set fits the cache with headroom. Thresholding at the
+ * capacity-th degree instead makes the admissible set ≈ capacity and
+ * the cache churns — measured-phase evictions put mega-hub
+ * full-neighborhood re-gathers on the latency tail (DESIGN.md §13).
+ */
+EdgeId churnFreeDegreeThreshold(const CsrGraph &graph,
+                                std::size_t capacity);
+
+/** Sharded CLOCK cache of per-hub aggregation rows. */
+class HotVertexCache
+{
+  public:
+    /**
+     * @param capacity  total row slots (0 disables the cache).
+     * @param shards    shard count, rounded up to a power of two.
+     * @param rowWidth  floats per cached row (layer-1 input width).
+     * @param minDegree admission threshold: only vertices with
+     *                  degree >= minDegree are cached.
+     */
+    HotVertexCache(std::size_t capacity, std::size_t shards,
+                   std::size_t rowWidth, EdgeId minDegree);
+
+    HotVertexCache(const HotVertexCache &) = delete;
+    HotVertexCache &operator=(const HotVertexCache &) = delete;
+
+    /** False when constructed with zero capacity. */
+    bool enabled() const { return slotsPerShard_ > 0; }
+
+    /** Total row slots across shards (>= requested capacity). */
+    std::size_t capacity() const
+    {
+        return slotsPerShard_ * shards_.size();
+    }
+
+    std::size_t rowWidth() const { return rowWidth_; }
+    EdgeId minDegree() const { return minDegree_; }
+
+    /** @p v passes the degree admission filter. */
+    bool admits(EdgeId degree) const { return degree >= minDegree_; }
+
+    /**
+     * Copy @p v's cached row into @p dst (rowWidth floats) and mark it
+     * recently used. Returns false (counting a miss) when absent.
+     */
+    bool lookup(VertexId v, Feature *dst);
+
+    /**
+     * Install @p row (rowWidth floats) for @p v, CLOCK-evicting a
+     * not-recently-used resident when the shard is full. Overwrites in
+     * place if @p v is already resident.
+     */
+    void put(VertexId v, const Feature *row);
+
+    struct Stats
+    {
+        std::uint64_t hits = 0;
+        std::uint64_t misses = 0;
+        std::uint64_t puts = 0;
+        std::uint64_t evictions = 0;
+    };
+
+    Stats stats() const;
+    void resetStats();
+
+  private:
+    /** Index sentinel: empty table cell. */
+    static constexpr std::int32_t kEmpty = -1;
+    /** Index sentinel: deleted table cell (probe chains continue). */
+    static constexpr std::int32_t kTombstone = -2;
+
+    struct Shard
+    {
+        mutable Mutex mutex;
+        /** Resident vertex per slot (valid for slots < used). */
+        std::vector<VertexId> slotVertex GRAPHITE_GUARDED_BY(mutex);
+        /** CLOCK reference bit per slot. */
+        std::vector<std::uint8_t> refBit GRAPHITE_GUARDED_BY(mutex);
+        /** Row storage, slot-major: slots * rowWidth floats. */
+        std::vector<Feature> rows GRAPHITE_GUARDED_BY(mutex);
+        /** Open-addressing vertex->slot index (kEmpty/kTombstone). */
+        std::vector<std::int32_t> table GRAPHITE_GUARDED_BY(mutex);
+        std::size_t used GRAPHITE_GUARDED_BY(mutex) = 0;
+        std::size_t clockHand GRAPHITE_GUARDED_BY(mutex) = 0;
+        std::size_t tombstones GRAPHITE_GUARDED_BY(mutex) = 0;
+    };
+
+    /** Slot of @p v in @p shard's table, or kEmpty. */
+    std::int32_t findSlot(const Shard &shard, VertexId v) const
+        GRAPHITE_REQUIRES(shard.mutex);
+    /** Rebuild @p shard's table in place (tombstone purge). */
+    void rehashShard(Shard &shard) GRAPHITE_REQUIRES(shard.mutex);
+
+    Shard &shardOf(VertexId v);
+
+    std::size_t slotsPerShard_;
+    std::size_t rowWidth_;
+    EdgeId minDegree_;
+    std::size_t tableMask_;
+    std::vector<Shard> shards_;
+
+    std::atomic<std::uint64_t> hits_{0};
+    std::atomic<std::uint64_t> misses_{0};
+    std::atomic<std::uint64_t> puts_{0};
+    std::atomic<std::uint64_t> evictions_{0};
+};
+
+} // namespace serve
+} // namespace graphite

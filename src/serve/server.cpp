@@ -1,0 +1,396 @@
+#include "serve/server.h"
+
+#include <algorithm>
+#include <cstring>
+#include <functional>
+
+#include "common/assert.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "tensor/gemm.h"
+#include "tensor/row_ops.h"
+
+namespace graphite::serve {
+
+namespace {
+
+/**
+ * Full-neighborhood mean aggregation of @p v's input features — the
+ * deterministic, sampling-independent row the hot-vertex cache stores.
+ */
+void
+fullMeanRow(const CsrGraph &graph, const DenseMatrix &features, VertexId v,
+            Feature *dst)
+{
+    const std::size_t cols = features.cols();
+    const Feature *self = features.row(v);
+    for (std::size_t c = 0; c < cols; ++c)
+        dst[c] = self[c];
+    const auto neighbors = graph.neighbors(v);
+    for (const VertexId u : neighbors) {
+        const Feature *srcRow = features.row(u);
+        for (std::size_t c = 0; c < cols; ++c)
+            dst[c] += srcRow[c];
+    }
+    const float scale =
+        1.0f / (1.0f + static_cast<float>(neighbors.size()));
+    for (std::size_t c = 0; c < cols; ++c)
+        dst[c] *= scale;
+}
+
+/**
+ * Effective cache admission threshold. Auto mode (0) aims the cache at
+ * the true hub set: roughly the capacity-th largest degree, but never
+ * below the mean degree or the largest fanout — vertices below either
+ * gain little from caching (their sampled fan-in is already the full
+ * fan-in).
+ */
+EdgeId
+resolveHotThreshold(const CsrGraph &graph, const ServeConfig &config)
+{
+    if (config.hotCacheMinDegree > 0 || config.hotCacheCapacity == 0 ||
+        graph.numVertices() == 0)
+        return config.hotCacheMinDegree;
+    std::vector<EdgeId> degrees(graph.numVertices());
+    for (VertexId v = 0; v < graph.numVertices(); ++v)
+        degrees[v] = graph.degree(v);
+    const std::size_t nth =
+        std::min(config.hotCacheCapacity, degrees.size() - 1);
+    std::nth_element(degrees.begin(),
+                     degrees.begin() + static_cast<std::ptrdiff_t>(nth),
+                     degrees.end(), std::greater<EdgeId>());
+    const EdgeId capacityTh = degrees[nth];
+    const EdgeId avgPlusOne =
+        (graph.numEdges() + graph.numVertices() - 1) /
+            graph.numVertices() +
+        1;
+    EdgeId maxFanout = 0;
+    for (const VertexId f : config.fanouts)
+        maxFanout = std::max<EdgeId>(maxFanout, f);
+    return std::max({capacityTh, avgPlusOne, maxFanout + 1});
+}
+
+} // namespace
+
+/** Preallocated per-consumer working state for forwardBatch. */
+struct InferenceServer::ForwardScratch
+{
+    ForwardScratch(VertexId numVertices, std::size_t maxBatchIn)
+        : sampler(numVertices), maxBatch(maxBatchIn)
+    {
+    }
+
+    SamplerScratch sampler;
+    std::size_t maxBatch;
+    /** popBatch output; maxBatch entries. */
+    std::vector<InferenceRequest> batch;
+    /** Per-request sampled trees (block-diagonal batch members). */
+    std::vector<SampledTree> trees;
+    /** Per-layer aggregation inputs, reshaped per batch. */
+    std::vector<DenseMatrix> agg;
+    /** Per-layer update outputs, reshaped per batch. */
+    std::vector<DenseMatrix> out;
+    /** Row base of request r at layer k: dstOffset[k*(maxBatch+1)+r]. */
+    std::vector<std::size_t> dstOffset;
+};
+
+InferenceServer::InferenceServer(const CsrGraph &graph,
+                                 const DenseMatrix &features,
+                                 std::vector<GnnLayer *> layers,
+                                 ServeConfig config)
+    : graph_(graph), features_(features), layers_(std::move(layers)),
+      config_(std::move(config)),
+      hotDegreeThreshold_(resolveHotThreshold(graph, config_)),
+      queue_(config_.queueCapacity),
+      cache_(config_.hotCacheCapacity, config_.hotCacheShards,
+             features.cols(), hotDegreeThreshold_)
+{
+    GRAPHITE_ASSERT(!layers_.empty(), "serving needs at least one layer");
+    GRAPHITE_ASSERT(layers_.size() == config_.fanouts.size(),
+                    "one fanout per layer, innermost first");
+    GRAPHITE_ASSERT(layers_.front()->inFeatures() == features_.cols(),
+                    "layer 0 input width must match the feature table");
+    for (std::size_t k = 0; k + 1 < layers_.size(); ++k) {
+        // graphite-lint: allow(assert) cold ctor contract check, once
+        // per layer, not per request.
+        GRAPHITE_ASSERT(layers_[k]->outFeatures() ==
+                            layers_[k + 1]->inFeatures(),
+                        "layer stack width mismatch");
+    }
+    scratch_ = makeScratch(config_.maxBatch);
+    oracleScratch_ = makeScratch(1);
+}
+
+InferenceServer::~InferenceServer() = default;
+
+std::size_t
+InferenceServer::outFeatures() const
+{
+    return layers_.back()->outFeatures();
+}
+
+std::unique_ptr<InferenceServer::ForwardScratch>
+InferenceServer::makeScratch(std::size_t maxBatch) const
+{
+    auto scratch =
+        std::make_unique<ForwardScratch>(graph_.numVertices(), maxBatch);
+    const std::size_t K = config_.fanouts.size();
+    // Worst-case (no cross-destination dedup) row bounds per request:
+    // the outermost layer serves exactly the seed; each inner layer's
+    // destination set is at most the outer one fanned out by
+    // (fanout + 1) (self term included).
+    std::vector<std::size_t> dstBound(K, 1);
+    for (std::size_t k = K - 1; k-- > 0;)
+        dstBound[k] = dstBound[k + 1] * (config_.fanouts[k + 1] + 1);
+
+    scratch->batch.resize(maxBatch);
+    scratch->trees.resize(maxBatch);
+    scratch->dstOffset.resize(K * (maxBatch + 1), 0);
+    scratch->agg.resize(K);
+    scratch->out.resize(K);
+    for (std::size_t k = 0; k < K; ++k) {
+        scratch->agg[k].reshape(maxBatch * dstBound[k],
+                                layers_[k]->inFeatures());
+        scratch->out[k].reshape(maxBatch * dstBound[k],
+                                layers_[k]->outFeatures());
+    }
+    for (auto &tree : scratch->trees) {
+        // graphite-lint: allow(alloc) cold scratch construction: the
+        // worst-case reservation that keeps the serving loop heap-quiet.
+        tree.blocks.resize(K);
+        for (std::size_t k = 0; k < K; ++k) {
+            FlatBlock &block = tree.blocks[k];
+            const std::size_t srcBound =
+                dstBound[k] * (config_.fanouts[k] + 1);
+            // graphite-lint: allow(alloc) cold scratch construction.
+            block.rowPtr.reserve(dstBound[k] + 1);
+            // graphite-lint: allow(alloc) cold scratch construction.
+            block.dstVertices.reserve(dstBound[k]);
+            // graphite-lint: allow(alloc) cold scratch construction.
+            block.srcVertices.reserve(srcBound);
+            // graphite-lint: allow(alloc) cold scratch construction.
+            block.colIdx.reserve(dstBound[k] * config_.fanouts[k]);
+        }
+    }
+    return scratch;
+}
+
+void
+InferenceServer::forwardBatch(ForwardScratch &scratch, std::size_t n,
+                              bool useCache)
+{
+    GRAPHITE_TRACE_SPAN("serve.batch");
+    auto &metrics = obs::MetricsRegistry::global();
+    static obs::Counter &requestsCounter =
+        metrics.counter("serve.requests");
+    static obs::Counter &batchesCounter = metrics.counter("serve.batches");
+    static obs::Counter &bytesCounter =
+        metrics.counter("serve.bytes_gathered");
+    static obs::Histogram &batchSizeHist =
+        metrics.histogram("serve.batch_size");
+    static obs::Histogram &latencyHist =
+        metrics.histogram("serve.latency_us");
+
+    GRAPHITE_ASSERT(n > 0 && n <= scratch.maxBatch,
+                    "forwardBatch: batch size out of range");
+    const std::size_t K = config_.fanouts.size();
+    const std::span<const VertexId> fanouts(config_.fanouts);
+
+    // 1. Sample every request's K-hop tree independently from its id —
+    // the batch is block-diagonal, so each tree (and through the
+    // row-independent GEMM, each embedding) is a pure function of the
+    // request id, whatever else shares the batch.
+    for (std::size_t r = 0; r < n; ++r) {
+        Rng rng(requestSeed(scratch.batch[r].id));
+        sampleTree(graph_, scratch.batch[r].vertex, fanouts, rng,
+                   scratch.sampler, scratch.trees[r]);
+    }
+
+    // 2. Per-layer destination row offsets of the concatenation.
+    for (std::size_t k = 0; k < K; ++k) {
+        std::size_t *off =
+            scratch.dstOffset.data() + k * (scratch.maxBatch + 1);
+        std::size_t total = 0;
+        for (std::size_t r = 0; r < n; ++r) {
+            off[r] = total;
+            total += scratch.trees[r].blocks[k].dstVertices.size();
+        }
+        off[n] = total;
+    }
+
+    // 3. Layer stack: sampled mean aggregation per destination row,
+    // then one serial packed GEMM over the concatenated rows — the
+    // batching win; the plan cache in GnnLayer amortises the pack.
+    std::uint64_t bytes = 0;
+    const bool cacheActive = useCache && cache_.enabled();
+    for (std::size_t k = 0; k < K; ++k) {
+        GnnLayer &layer = *layers_[k];
+        const std::size_t inF = layer.inFeatures();
+        const std::size_t *off =
+            scratch.dstOffset.data() + k * (scratch.maxBatch + 1);
+        const std::size_t *prevOff =
+            k > 0
+                ? scratch.dstOffset.data() + (k - 1) * (scratch.maxBatch + 1)
+                : nullptr;
+        const std::size_t totalDst = off[n];
+        DenseMatrix &agg = scratch.agg[k];
+        agg.reshape(totalDst, inF);
+        DenseMatrix &outM = scratch.out[k];
+        outM.reshape(totalDst, layer.outFeatures());
+        const DenseMatrix &src = k > 0 ? scratch.out[k - 1] : features_;
+        const Bytes srcRowBytes = src.rowBytes();
+
+        for (std::size_t r = 0; r < n; ++r) {
+            const FlatBlock &block = scratch.trees[r].blocks[k];
+            const std::size_t numDst = block.dstVertices.size();
+            const std::size_t srcBase = k > 0 ? prevOff[r] : 0;
+            for (std::size_t i = 0; i < numDst; ++i) {
+                Feature *dstRow = agg.row(off[r] + i);
+                if (k == 0 && cacheActive) {
+                    const VertexId v = block.dstVertices[i];
+                    const EdgeId deg = graph_.degree(v);
+                    if (cache_.admits(deg)) {
+                        if (cache_.lookup(v, dstRow)) {
+                            // Hub hit: one cached row read replaces
+                            // the whole fan-in gather.
+                            bytes += srcRowBytes;
+                            continue;
+                        }
+                        fullMeanRow(graph_, features_, v, dstRow);
+                        bytes += (deg + 1) * srcRowBytes;
+                        cache_.put(v, dstRow);
+                        continue;
+                    }
+                }
+                // Sampled SAGE-mean: self row plus sampled neighbors,
+                // scaled by 1/(fan-in + 1). Local source index i is
+                // the destination's own row (dst set prefixes src).
+                const Feature *selfRow =
+                    k > 0 ? src.row(srcBase + i)
+                          : src.row(block.srcVertices[i]);
+                for (std::size_t c = 0; c < inF; ++c)
+                    dstRow[c] = selfRow[c];
+                const EdgeId rowBegin = block.rowPtr[i];
+                const EdgeId rowEnd = block.rowPtr[i + 1];
+                for (EdgeId e = rowBegin; e < rowEnd; ++e) {
+                    const std::size_t j = block.colIdx[e];
+                    const Feature *neighborRow =
+                        k > 0 ? src.row(srcBase + j)
+                              : src.row(block.srcVertices[j]);
+                    for (std::size_t c = 0; c < inF; ++c)
+                        dstRow[c] += neighborRow[c];
+                }
+                const float scale =
+                    1.0f /
+                    (1.0f + static_cast<float>(rowEnd - rowBegin));
+                for (std::size_t c = 0; c < inF; ++c)
+                    dstRow[c] *= scale;
+                bytes += (1 + rowEnd - rowBegin) * srcRowBytes;
+            }
+        }
+
+        gemmBlockSerial(agg.row(0), totalDst, agg.rowStride(),
+                        layer.packedWeights(config_.precision),
+                        outM.row(0), outM.rowStride(), inF);
+        addBias(outM, layer.bias());
+        if (layer.hasRelu())
+            reluForward(outM);
+    }
+
+    // 4. Deliver: the outermost layer has exactly one destination row
+    // per request (its seed).
+    const DenseMatrix &finalOut = scratch.out[K - 1];
+    const std::size_t *finalOff =
+        scratch.dstOffset.data() + (K - 1) * (scratch.maxBatch + 1);
+    const std::size_t outF = layers_.back()->outFeatures();
+    const std::uint64_t now = monotonicNanos();
+    for (std::size_t r = 0; r < n; ++r) {
+        const InferenceRequest &req = scratch.batch[r];
+        GRAPHITE_DCHECK(
+            scratch.trees[r].blocks[K - 1].dstVertices.size() == 1,
+            "outermost block must hold exactly the seed");
+        const Feature *embedding = finalOut.row(finalOff[r]);
+        if (req.out != nullptr)
+            std::memcpy(req.out, embedding, outF * sizeof(Feature));
+        const std::uint64_t elapsedNs =
+            now > req.enqueueNs ? now - req.enqueueNs : 0;
+        if (req.latencyUs != nullptr)
+            *req.latencyUs = static_cast<double>(elapsedNs) / 1000.0;
+        latencyHist.observe(elapsedNs / 1000);
+    }
+
+    requestsCounter.add(n);
+    batchesCounter.increment();
+    bytesCounter.add(bytes);
+    batchSizeHist.observe(n);
+    requestsServed_.fetch_add(n, std::memory_order_relaxed);
+    batchesServed_.fetch_add(1, std::memory_order_relaxed);
+    bytesGathered_.fetch_add(bytes, std::memory_order_relaxed);
+}
+
+void
+InferenceServer::warmup()
+{
+    GRAPHITE_ASSERT(graph_.numVertices() > 0, "warmup needs a graph");
+    // Three passes over a synthetic full batch touch every lazy
+    // allocation on the path: the packed-weight plan, the GEMM pack
+    // scratch, metric/trace registration, sampler buffers, and both
+    // the cache-fill and cache-hit branches. Row-count worst cases are
+    // already reserved by makeScratch.
+    const std::size_t n = config_.maxBatch;
+    for (std::size_t pass = 0; pass < 3; ++pass) {
+        for (std::size_t r = 0; r < n; ++r) {
+            InferenceRequest &req = scratch_->batch[r];
+            // High ids keep warmup sampling streams disjoint from live
+            // request ids without affecting them (trees are per-id).
+            req.id = ~std::uint64_t{0} - r - pass * n;
+            req.vertex = static_cast<VertexId>(
+                (r + pass * n) % graph_.numVertices());
+            req.enqueueNs = monotonicNanos();
+            req.out = nullptr;
+            req.latencyUs = nullptr;
+        }
+        forwardBatch(*scratch_, n, pass < 2);
+    }
+    serveOne(~std::uint64_t{0}, 0, nullptr);
+}
+
+void
+InferenceServer::run()
+{
+    const std::int64_t budgetNs = config_.latencyBudgetUs * 1000;
+    for (;;) {
+        const std::size_t n = queue_.popBatch(
+            scratch_->batch.data(), config_.maxBatch, budgetNs);
+        if (n == 0)
+            return; // closed and drained
+        forwardBatch(*scratch_, n, true);
+    }
+}
+
+void
+InferenceServer::serveOne(std::uint64_t requestId, VertexId vertex,
+                          Feature *out)
+{
+    MutexLock lock(oracleMutex_);
+    InferenceRequest &req = oracleScratch_->batch[0];
+    req.id = requestId;
+    req.vertex = vertex;
+    req.enqueueNs = monotonicNanos();
+    req.out = out;
+    req.latencyUs = nullptr;
+    forwardBatch(*oracleScratch_, 1, false);
+}
+
+ServeStats
+InferenceServer::stats() const
+{
+    ServeStats s;
+    s.requestsServed = requestsServed_.load(std::memory_order_relaxed);
+    s.batchesServed = batchesServed_.load(std::memory_order_relaxed);
+    s.bytesGathered = bytesGathered_.load(std::memory_order_relaxed);
+    s.cache = cache_.stats();
+    return s;
+}
+
+} // namespace graphite::serve

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Low-latency online GNN inference server (DESIGN.md §13): a dynamic
+ * micro-batcher over the MPSC RequestQueue that coalesces queued
+ * per-vertex queries into one neighbor-sampled forward pass under a
+ * latency budget, reusing the mini-batch sampling machinery
+ * (sampleTree) and the precision-keyed packed-weight plan caches in
+ * GnnLayer.
+ *
+ * Determinism contract: each request's K-hop neighborhood is sampled
+ * independently with Rng(requestSeed(id)), and the batch forward is a
+ * block-diagonal concatenation of the per-request trees whose GEMM
+ * (gemmBlockSerial) accumulates each output row independently — so a
+ * served embedding is bitwise identical to serveOne() replaying the
+ * same request id offline, regardless of batch composition, as long
+ * as the hot-vertex cache is off. With the cache on, hub vertices use
+ * their cached *full-neighborhood* aggregation instead of the sampled
+ * one: results deviate from the replay by the sampling estimate's own
+ * error bound, in exchange for one row read per hub instead of a full
+ * fan-in gather.
+ *
+ * The steady-state serving loop is allocation-free after warmup():
+ * scratch matrices are reshape()d inside ctor-reserved worst-case
+ * footprints, the sampler reuses stamped scratch, and the cache
+ * preallocates every slot.
+ */
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "gnn/gnn_layer.h"
+#include "graph/csr_graph.h"
+#include "sampling/neighbor_sampler.h"
+#include "serve/hot_vertex_cache.h"
+#include "serve/request_queue.h"
+#include "tensor/dense_matrix.h"
+#include "tensor/gemm_plan.h"
+
+namespace graphite::serve {
+
+/** Serving-side knobs (see the graphite_serve tool for CLI mapping). */
+struct ServeConfig
+{
+    /** Per-layer sampling fan-outs, innermost layer first. */
+    std::vector<VertexId> fanouts = {10, 10};
+    /** Max requests coalesced into one forward pass. */
+    std::size_t maxBatch = 64;
+    /** Batch-close deadline measured from the first queued request. */
+    std::int64_t latencyBudgetUs = 200;
+    /** RequestQueue ring capacity. */
+    std::size_t queueCapacity = 4096;
+    /** Hot-vertex cache row slots; 0 disables the cache. */
+    std::size_t hotCacheCapacity = 0;
+    /** Cache shard count (rounded up to a power of two). */
+    std::size_t hotCacheShards = 8;
+    /**
+     * Cache admission degree threshold; 0 derives one from graph
+     * stats: max(capacity-th largest degree, ceil(avg degree) + 1,
+     * max fanout + 1).
+     */
+    EdgeId hotCacheMinDegree = 0;
+    /** Update-GEMM precision (the per-precision plan-cache key). */
+    Precision precision = Precision::Fp32;
+};
+
+/** Monotonic serving counters (readable from any thread). */
+struct ServeStats
+{
+    std::uint64_t requestsServed = 0;
+    std::uint64_t batchesServed = 0;
+    /** Feature-row bytes read by aggregation gathers (all layers). */
+    std::uint64_t bytesGathered = 0;
+    HotVertexCache::Stats cache;
+};
+
+/**
+ * Single-consumer inference server over a trained GnnLayer stack
+ * (borrowed, e.g. MiniBatchTrainer::layerPointers()). Producers push
+ * into queue(); one thread runs run() until the queue is closed.
+ */
+class InferenceServer
+{
+  public:
+    /**
+     * @param layers innermost-first layer stack; layer 0's input width
+     *        must equal features.cols(). Not owned; weights must not
+     *        be mutated while serving.
+     */
+    InferenceServer(const CsrGraph &graph, const DenseMatrix &features,
+                    std::vector<GnnLayer *> layers, ServeConfig config);
+    ~InferenceServer();
+
+    InferenceServer(const InferenceServer &) = delete;
+    InferenceServer &operator=(const InferenceServer &) = delete;
+
+    RequestQueue &queue() { return queue_; }
+    const ServeConfig &config() const { return config_; }
+    const CsrGraph &graph() const { return graph_; }
+    /** Output width of the served embeddings (last layer's). */
+    std::size_t outFeatures() const;
+    /** Effective cache admission threshold (resolved when auto). */
+    EdgeId hotDegreeThreshold() const { return hotDegreeThreshold_; }
+
+    /**
+     * Prime every lazy allocation on the serving path (packed weight
+     * plans, GEMM pack scratch, sampler/forward scratch growth, trace
+     * rings) by running synthetic worst-case batches, so the steady
+     * loop afterwards is heap-quiet under ScopedAllocGuard.
+     */
+    void warmup();
+
+    /**
+     * Consumer loop: pop micro-batches under the latency budget and
+     * serve them until the queue is closed and drained. Exactly one
+     * thread may run this at a time.
+     */
+    void run();
+
+    /**
+     * Offline single-request forward for @p requestId/@p vertex with
+     * the cache bypassed — the replay oracle the serving results are
+     * verified against. Uses its own scratch; safe to call while run()
+     * executes on another thread.
+     */
+    void serveOne(std::uint64_t requestId, VertexId vertex, Feature *out);
+
+    ServeStats stats() const;
+
+  private:
+    /** Preallocated per-consumer working state for forwardBatch. */
+    struct ForwardScratch;
+
+    std::unique_ptr<ForwardScratch> makeScratch(std::size_t maxBatch) const;
+
+    /**
+     * Sample + aggregate + layer-stack forward for @p n requests in
+     * @p scratch.batch, writing each request's embedding row and
+     * latency. @p useCache routes admissible layer-1 destinations
+     * through the hot-vertex cache.
+     */
+    void forwardBatch(ForwardScratch &scratch, std::size_t n,
+                      bool useCache);
+
+    const CsrGraph &graph_;
+    const DenseMatrix &features_;
+    std::vector<GnnLayer *> layers_;
+    ServeConfig config_;
+    EdgeId hotDegreeThreshold_;
+    RequestQueue queue_;
+    HotVertexCache cache_;
+    std::unique_ptr<ForwardScratch> scratch_;       ///< run()'s state
+    std::unique_ptr<ForwardScratch> oracleScratch_; ///< serveOne's
+    /** Serializes serveOne callers (one oracle scratch). */
+    Mutex oracleMutex_;
+
+    std::atomic<std::uint64_t> requestsServed_{0};
+    std::atomic<std::uint64_t> batchesServed_{0};
+    std::atomic<std::uint64_t> bytesGathered_{0};
+};
+
+} // namespace graphite::serve

@@ -11,6 +11,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cctype>
 #include <cstdio>
 #include <string>
@@ -277,6 +278,71 @@ TEST_F(ObsTest, HistogramAccounting)
     EXPECT_EQ(buckets[1], 1u);  // value 1 (bit width 1)
     EXPECT_EQ(buckets[3], 1u);  // value 5 (bit width 3)
     EXPECT_EQ(buckets[11], 1u); // value 1024 (bit width 11)
+}
+
+TEST_F(ObsTest, EstimateQuantileHandlesEmptyAndSingleValue)
+{
+    std::vector<std::uint64_t> buckets(obs::Histogram::kBuckets, 0);
+    EXPECT_DOUBLE_EQ(obs::estimateQuantile(buckets, 0, 0, 0, 0.99), 0.0);
+    // 100 identical samples of 7 (bit width 3): every quantile clamps
+    // to the observed min == max == 7, exactly.
+    buckets[3] = 100;
+    for (const double q : {0.0, 0.5, 0.9, 0.99, 1.0})
+        EXPECT_DOUBLE_EQ(obs::estimateQuantile(buckets, 100, 7, 7, q),
+                         7.0);
+}
+
+TEST_F(ObsTest, EstimateQuantileInterpolatesWithinBucketRanges)
+{
+    // 50 samples of 1, 40 samples in [4, 8), 10 samples of ~1000: p50
+    // must land in bucket 1's range [1, 2), p90 in [4, 8), p99 in
+    // [512, 1000] (upper end clamped to the observed max).
+    std::vector<std::uint64_t> buckets(obs::Histogram::kBuckets, 0);
+    buckets[1] = 50;
+    buckets[3] = 40;
+    buckets[10] = 10;
+    const double p50 =
+        obs::estimateQuantile(buckets, 100, 1, 1000, 0.50);
+    const double p90 =
+        obs::estimateQuantile(buckets, 100, 1, 1000, 0.90);
+    const double p99 =
+        obs::estimateQuantile(buckets, 100, 1, 1000, 0.99);
+    EXPECT_GE(p50, 1.0);
+    EXPECT_LT(p50, 2.0);
+    EXPECT_GE(p90, 4.0);
+    EXPECT_LT(p90, 8.0);
+    EXPECT_GE(p99, 512.0);
+    EXPECT_LE(p99, 1000.0);
+    EXPECT_LE(p50, p90);
+    EXPECT_LE(p90, p99);
+}
+
+TEST_F(ObsTest, SnapshotReportsHistogramQuantiles)
+{
+    obs::Histogram &h =
+        MetricsRegistry::global().histogram("test.quantiles");
+    // Latency-like distribution: a tight body and a 100x tail.
+    for (int i = 0; i < 98; ++i)
+        h.observe(10);
+    h.observe(1000);
+    h.observe(1500);
+    const obs::MetricsSnapshot snap =
+        MetricsRegistry::global().snapshot();
+    const auto it = std::find_if(
+        snap.histograms.begin(), snap.histograms.end(),
+        [](const auto &e) { return e.name == "test.quantiles"; });
+    ASSERT_NE(it, snap.histograms.end());
+    EXPECT_GE(it->p50, 8.0);
+    EXPECT_LT(it->p50, 16.0); // the body's bucket
+    EXPECT_GE(it->p99, 512.0);
+    EXPECT_LE(it->p99, 1500.0); // the tail, clamped to max
+    EXPECT_LE(it->p50, it->p90);
+    EXPECT_LE(it->p90, it->p99);
+    // The JSON emitter must surface the same fields.
+    const std::string json = MetricsRegistry::global().toJson();
+    EXPECT_NE(json.find("\"p50\""), std::string::npos);
+    EXPECT_NE(json.find("\"p90\""), std::string::npos);
+    EXPECT_NE(json.find("\"p99\""), std::string::npos);
 }
 
 TEST_F(ObsTest, ResetZeroesButKeepsHandles)

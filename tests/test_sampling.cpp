@@ -134,5 +134,52 @@ TEST(Sampler, SamplingIsSeedDeterministic)
     }
 }
 
+TEST(Sampler, RequestSeedReplayReproducesTrees)
+{
+    // The serving contract: a request's tree is a pure function of its
+    // id — Rng(requestSeed(id)) replays the exact tree later, no matter
+    // what the scratch sampled in between or which scratch is used.
+    CsrGraph g = generateBarabasiAlbert(400, 6, 91);
+    const std::vector<VertexId> fanouts = {4, 3};
+    SamplerScratch live(g.numVertices());
+    SamplerScratch replay(g.numVertices());
+    for (std::uint64_t id = 0; id < 16; ++id) {
+        const VertexId seed = static_cast<VertexId>((id * 29) % 400);
+        Rng rngLive(requestSeed(id));
+        SampledTree treeLive;
+        sampleTree(g, seed, fanouts, rngLive, live, treeLive);
+        // Pollute the live scratch with unrelated work.
+        Rng rngNoise(requestSeed(id ^ 0xabcdef));
+        SampledTree noise;
+        sampleTree(g, 7, fanouts, rngNoise, live, noise);
+        Rng rngReplay(requestSeed(id));
+        SampledTree treeReplay;
+        sampleTree(g, seed, fanouts, rngReplay, replay, treeReplay);
+        ASSERT_EQ(treeLive.blocks.size(), treeReplay.blocks.size());
+        for (std::size_t k = 0; k < treeLive.blocks.size(); ++k) {
+            EXPECT_EQ(treeLive.blocks[k].rowPtr,
+                      treeReplay.blocks[k].rowPtr);
+            EXPECT_EQ(treeLive.blocks[k].colIdx,
+                      treeReplay.blocks[k].colIdx);
+            EXPECT_EQ(treeLive.blocks[k].dstVertices,
+                      treeReplay.blocks[k].dstVertices);
+            EXPECT_EQ(treeLive.blocks[k].srcVertices,
+                      treeReplay.blocks[k].srcVertices);
+        }
+    }
+}
+
+TEST(Sampler, RequestSeedDecorrelatesAdjacentIds)
+{
+    // Adjacent request ids must not sample correlated trees: check the
+    // seeds differ in many bit positions (splitmix64 avalanche).
+    int differingBits = 0;
+    const std::uint64_t diff = requestSeed(100) ^ requestSeed(101);
+    for (int b = 0; b < 64; ++b)
+        differingBits += static_cast<int>((diff >> b) & 1u);
+    EXPECT_GE(differingBits, 16);
+    EXPECT_EQ(requestSeed(100), requestSeed(100));
+}
+
 } // namespace
 } // namespace graphite

@@ -1,0 +1,578 @@
+/**
+ * @file
+ * Serving-layer tests: MPSC request queue semantics (ordering, batch
+ * cap, latency budget, close), hot-vertex cache residency/eviction,
+ * the determinism contract (served embeddings bitwise-match an offline
+ * serveOne replay of the same request id when the cache is off, and
+ * stay within a bounded deviation with the cache on), the cache's
+ * gather-traffic reduction, and the allocation-free steady-state
+ * serving loop (fp32 and bf16) under ScopedAllocGuard.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "common/alloc_guard.h"
+#include "graph/generators.h"
+#include "obs/metrics.h"
+#include "sampling/neighbor_sampler.h"
+#include "serve/hot_vertex_cache.h"
+#include "serve/load_gen.h"
+#include "serve/request_queue.h"
+#include "serve/server.h"
+
+namespace graphite {
+namespace {
+
+using serve::HotVertexCache;
+using serve::InferenceRequest;
+using serve::InferenceServer;
+using serve::RequestQueue;
+using serve::ServeConfig;
+
+CsrGraph
+testGraph()
+{
+    return generateBarabasiAlbert(800, 6, 42);
+}
+
+/** Two-layer SAGE-style stack over @p featureWidth inputs. */
+struct TestModel
+{
+    explicit TestModel(std::size_t featureWidth)
+        : hidden(featureWidth, 24, true), output(24, 8, false)
+    {
+        hidden.initWeights(11);
+        output.initWeights(12);
+    }
+
+    std::vector<GnnLayer *> layers() { return {&hidden, &output}; }
+
+    GnnLayer hidden;
+    GnnLayer output;
+};
+
+InferenceRequest
+makeRequest(std::uint64_t id, VertexId vertex)
+{
+    InferenceRequest req;
+    req.id = id;
+    req.vertex = vertex;
+    req.enqueueNs = serve::monotonicNanos();
+    return req;
+}
+
+// ------------------------------------------------------------------
+// RequestQueue
+// ------------------------------------------------------------------
+
+TEST(RequestQueue, PopBatchPreservesFifoOrder)
+{
+    RequestQueue queue(16);
+    for (std::uint64_t i = 0; i < 5; ++i)
+        ASSERT_TRUE(queue.push(makeRequest(i, static_cast<VertexId>(i))));
+    std::vector<InferenceRequest> batch(8);
+    const std::size_t n = queue.popBatch(batch.data(), 8, 0);
+    ASSERT_EQ(n, 5u);
+    for (std::uint64_t i = 0; i < n; ++i)
+        EXPECT_EQ(batch[i].id, i);
+}
+
+TEST(RequestQueue, PopBatchHonorsMaxBatch)
+{
+    RequestQueue queue(16);
+    for (std::uint64_t i = 0; i < 10; ++i)
+        ASSERT_TRUE(queue.push(makeRequest(i, 0)));
+    std::vector<InferenceRequest> batch(4);
+    EXPECT_EQ(queue.popBatch(batch.data(), 4, 0), 4u);
+    EXPECT_EQ(queue.size(), 6u);
+    EXPECT_EQ(queue.popBatch(batch.data(), 4, 0), 4u);
+    EXPECT_EQ(queue.popBatch(batch.data(), 4, 0), 2u);
+}
+
+TEST(RequestQueue, PushFailsWhenFullOrClosed)
+{
+    RequestQueue queue(2);
+    EXPECT_TRUE(queue.push(makeRequest(0, 0)));
+    EXPECT_TRUE(queue.push(makeRequest(1, 0)));
+    EXPECT_FALSE(queue.push(makeRequest(2, 0))); // full: shed, not block
+    queue.close();
+    EXPECT_FALSE(queue.push(makeRequest(3, 0)));
+    std::vector<InferenceRequest> batch(4);
+    EXPECT_EQ(queue.popBatch(batch.data(), 4, 0), 2u);
+    EXPECT_EQ(queue.popBatch(batch.data(), 4, 0), 0u); // closed+drained
+}
+
+TEST(RequestQueue, BudgetCoalescesLateArrivals)
+{
+    RequestQueue queue(16);
+    ASSERT_TRUE(queue.push(makeRequest(0, 0)));
+    std::thread producer([&queue] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+        queue.push(makeRequest(1, 0));
+    });
+    std::vector<InferenceRequest> batch(4);
+    // 200ms budget: the second request lands well inside it, so one
+    // batch carries both.
+    const std::size_t n =
+        queue.popBatch(batch.data(), 4, 200'000'000);
+    producer.join();
+    EXPECT_EQ(n, 2u);
+}
+
+TEST(RequestQueue, ManyProducersOneConsumerLosesNothing)
+{
+    constexpr std::size_t kProducers = 4;
+    constexpr std::uint64_t kPerProducer = 500;
+    RequestQueue queue(64);
+    std::atomic<std::uint64_t> accepted{0};
+    std::vector<std::thread> producers;
+    for (std::size_t p = 0; p < kProducers; ++p) {
+        producers.emplace_back([&queue, &accepted, p] {
+            for (std::uint64_t i = 0; i < kPerProducer; ++i) {
+                if (queue.push(makeRequest(p * kPerProducer + i, 0)))
+                    accepted.fetch_add(1, std::memory_order_relaxed);
+            }
+        });
+    }
+    std::uint64_t consumed = 0;
+    std::thread consumer([&queue, &consumed] {
+        std::vector<InferenceRequest> batch(32);
+        for (;;) {
+            const std::size_t n =
+                queue.popBatch(batch.data(), 32, 100'000);
+            if (n == 0)
+                return;
+            consumed += n;
+        }
+    });
+    for (auto &t : producers)
+        t.join();
+    queue.close();
+    consumer.join();
+    EXPECT_EQ(consumed, accepted.load());
+    EXPECT_GT(consumed, 0u);
+}
+
+// ------------------------------------------------------------------
+// HotVertexCache
+// ------------------------------------------------------------------
+
+TEST(HotVertexCache, PutLookupRoundtrip)
+{
+    HotVertexCache cache(8, 2, 4, 10);
+    EXPECT_TRUE(cache.enabled());
+    EXPECT_TRUE(cache.admits(10));
+    EXPECT_FALSE(cache.admits(9));
+    const Feature row[4] = {1.0f, 2.0f, 3.0f, 4.0f};
+    Feature out[4] = {};
+    EXPECT_FALSE(cache.lookup(7, out));
+    cache.put(7, row);
+    ASSERT_TRUE(cache.lookup(7, out));
+    EXPECT_EQ(0, std::memcmp(row, out, sizeof(row)));
+    // Overwrite in place.
+    const Feature row2[4] = {9.0f, 8.0f, 7.0f, 6.0f};
+    cache.put(7, row2);
+    ASSERT_TRUE(cache.lookup(7, out));
+    EXPECT_EQ(0, std::memcmp(row2, out, sizeof(row2)));
+    const auto stats = cache.stats();
+    EXPECT_EQ(stats.hits, 2u);
+    EXPECT_EQ(stats.misses, 1u);
+    EXPECT_EQ(stats.puts, 2u);
+}
+
+TEST(HotVertexCache, ZeroCapacityDisables)
+{
+    HotVertexCache cache(0, 4, 4, 0);
+    EXPECT_FALSE(cache.enabled());
+    const Feature row[4] = {1.0f, 2.0f, 3.0f, 4.0f};
+    Feature out[4] = {};
+    cache.put(3, row);
+    EXPECT_FALSE(cache.lookup(3, out));
+}
+
+TEST(HotVertexCache, ChurnFreeThresholdBoundsAdmissibleSet)
+{
+    const CsrGraph graph = testGraph();
+    const std::size_t capacity = 64;
+    const EdgeId threshold =
+        serve::churnFreeDegreeThreshold(graph, capacity);
+    EXPECT_GT(threshold, 0u);
+    // Rank-pivot guarantees: at most capacity/2 vertices sit strictly
+    // above the pivot degree (so the hot set fits with headroom), and
+    // at least capacity/2 meet it (so the cache is not starved).
+    std::size_t above = 0;
+    std::size_t admissible = 0;
+    for (VertexId v = 0; v < graph.numVertices(); ++v) {
+        above += graph.degree(v) > threshold ? 1 : 0;
+        admissible += graph.degree(v) >= threshold ? 1 : 0;
+    }
+    EXPECT_LE(above, capacity / 2);
+    EXPECT_GE(admissible, capacity / 2);
+    EXPECT_EQ(serve::churnFreeDegreeThreshold(graph, 0), 0u);
+}
+
+TEST(HotVertexCache, ClockSecondChanceKeepsReferencedRow)
+{
+    // One shard, three slots; traced CLOCK-hand sequence where the ref
+    // bit is decisive. Fill slots 0..2 with vertices 1..3 (all
+    // referenced, hand at 0).
+    HotVertexCache cache(3, 1, 1, 0);
+    Feature row[1];
+    Feature out[1];
+    for (VertexId v = 1; v <= 3; ++v) {
+        row[0] = static_cast<Feature>(v);
+        cache.put(v, row);
+    }
+    // A full shard forces a sweep: all three bits are stripped, the
+    // hand wraps to slot 0 and evicts vertex 1; vertex 4 takes its
+    // slot (referenced), hand rests on slot 1.
+    row[0] = 4.0f;
+    cache.put(4, row);
+    EXPECT_EQ(cache.stats().evictions, 1u);
+    EXPECT_FALSE(cache.lookup(1, out));
+    // Re-reference vertex 2 (slot 1, where the hand points). The next
+    // eviction must spend that bit and pass over to vertex 3 — the
+    // second chance in action: without the lookup, vertex 2 would be
+    // the victim.
+    ASSERT_TRUE(cache.lookup(2, out));
+    row[0] = 5.0f;
+    cache.put(5, row);
+    EXPECT_EQ(cache.stats().evictions, 2u);
+    EXPECT_TRUE(cache.lookup(2, out));
+    EXPECT_FALSE(cache.lookup(3, out));
+    ASSERT_TRUE(cache.lookup(5, out));
+    EXPECT_EQ(out[0], 5.0f);
+    EXPECT_TRUE(cache.lookup(4, out));
+}
+
+TEST(HotVertexCache, ChurnKeepsIndexConsistent)
+{
+    // Far more distinct vertices than slots: every put past capacity
+    // evicts (tombstoning the index), which forces the in-place rehash
+    // repeatedly. The resident set must stay exactly capacity-sized
+    // and every hit must return the row that was put.
+    HotVertexCache cache(16, 4, 2, 0);
+    Feature row[2];
+    Feature out[2];
+    for (int round = 0; round < 50; ++round) {
+        for (VertexId v = 0; v < 64; ++v) {
+            row[0] = static_cast<Feature>(v);
+            row[1] = static_cast<Feature>(round);
+            cache.put(v, row);
+            ASSERT_TRUE(cache.lookup(v, out));
+            EXPECT_EQ(out[0], static_cast<Feature>(v));
+            EXPECT_EQ(out[1], static_cast<Feature>(round));
+        }
+    }
+    EXPECT_GT(cache.stats().evictions, 0u);
+}
+
+TEST(HotVertexCache, ConcurrentMixedTrafficStaysCoherent)
+{
+    HotVertexCache cache(64, 8, 4, 0);
+    constexpr int kThreads = 4;
+    std::vector<std::thread> threads;
+    std::atomic<bool> failed{false};
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&cache, &failed, t] {
+            Feature row[4];
+            Feature out[4];
+            for (int i = 0; i < 2000; ++i) {
+                const auto v = static_cast<VertexId>((t * 31 + i) % 96);
+                row[0] = row[1] = row[2] = row[3] =
+                    static_cast<Feature>(v);
+                cache.put(v, row);
+                if (cache.lookup(v, out) &&
+                    out[0] != static_cast<Feature>(v))
+                    failed.store(true, std::memory_order_relaxed);
+            }
+        });
+    }
+    for (auto &thread : threads)
+        thread.join();
+    // A concurrent put may legitimately replace the row between this
+    // thread's put and lookup — but only with that vertex's own value.
+    EXPECT_FALSE(failed.load());
+}
+
+// ------------------------------------------------------------------
+// Sampling determinism (per-request seeding)
+// ------------------------------------------------------------------
+
+TEST(ServeSampling, RequestSeedIsDeterministicAndDispersed)
+{
+    EXPECT_EQ(requestSeed(42), requestSeed(42));
+    EXPECT_NE(requestSeed(42), requestSeed(43));
+    EXPECT_NE(requestSeed(0), requestSeed(1));
+}
+
+TEST(ServeSampling, SampleTreeReplaysBitIdentically)
+{
+    const CsrGraph graph = testGraph();
+    const std::vector<VertexId> fanouts = {4, 4};
+    SamplerScratch scratchA(graph.numVertices());
+    SamplerScratch scratchB(graph.numVertices());
+    SampledTree treeA;
+    SampledTree treeB;
+    // Replay after unrelated interleaved use of the same scratch.
+    for (std::uint64_t id = 0; id < 20; ++id) {
+        Rng rngA(requestSeed(id));
+        sampleTree(graph, static_cast<VertexId>(id * 7 % 800), fanouts,
+                   rngA, scratchA, treeA);
+        Rng rngOther(requestSeed(id + 1000));
+        SampledTree scratchTree;
+        sampleTree(graph, 3, fanouts, rngOther, scratchB, scratchTree);
+        Rng rngB(requestSeed(id));
+        sampleTree(graph, static_cast<VertexId>(id * 7 % 800), fanouts,
+                   rngB, scratchB, treeB);
+        ASSERT_EQ(treeA.blocks.size(), treeB.blocks.size());
+        for (std::size_t k = 0; k < treeA.blocks.size(); ++k) {
+            EXPECT_EQ(treeA.blocks[k].rowPtr, treeB.blocks[k].rowPtr);
+            EXPECT_EQ(treeA.blocks[k].colIdx, treeB.blocks[k].colIdx);
+            EXPECT_EQ(treeA.blocks[k].dstVertices,
+                      treeB.blocks[k].dstVertices);
+            EXPECT_EQ(treeA.blocks[k].srcVertices,
+                      treeB.blocks[k].srcVertices);
+        }
+    }
+}
+
+TEST(ServeSampling, BlocksKeepDstPrefixInvariant)
+{
+    const CsrGraph graph = testGraph();
+    const std::vector<VertexId> fanouts = {3, 5};
+    SamplerScratch scratch(graph.numVertices());
+    SampledTree tree;
+    Rng rng(requestSeed(9));
+    sampleTree(graph, 123, fanouts, rng, scratch, tree);
+    ASSERT_EQ(tree.blocks.size(), 2u);
+    EXPECT_EQ(tree.blocks[1].dstVertices.size(), 1u);
+    EXPECT_EQ(tree.blocks[1].dstVertices[0], 123u);
+    for (std::size_t k = 0; k < tree.blocks.size(); ++k) {
+        const FlatBlock &block = tree.blocks[k];
+        ASSERT_EQ(block.rowPtr.size(), block.dstVertices.size() + 1);
+        for (std::size_t i = 0; i < block.dstVertices.size(); ++i)
+            EXPECT_EQ(block.srcVertices[i], block.dstVertices[i]);
+        for (const VertexId col : block.colIdx)
+            EXPECT_LT(col, block.srcVertices.size());
+    }
+    // Layer 1's sources are layer 0's destinations, in order.
+    EXPECT_EQ(tree.blocks[1].srcVertices, tree.blocks[0].dstVertices);
+}
+
+// ------------------------------------------------------------------
+// InferenceServer
+// ------------------------------------------------------------------
+
+TEST(InferenceServer, ServedEmbeddingsBitwiseMatchOfflineReplay)
+{
+    const CsrGraph graph = testGraph();
+    DenseMatrix features(graph.numVertices(), 16);
+    features.fillUniform(0.0f, 1.0f, 7);
+    TestModel model(16);
+    ServeConfig config;
+    config.fanouts = {5, 5};
+    config.maxBatch = 16;
+    config.latencyBudgetUs = 500;
+    config.hotCacheCapacity = 0; // determinism mode
+    InferenceServer server(graph, features, model.layers(), config);
+
+    constexpr std::size_t kRequests = 64;
+    DenseMatrix served(kRequests, server.outFeatures());
+    std::thread consumer([&server] { server.run(); });
+    for (std::size_t i = 0; i < kRequests; ++i) {
+        InferenceRequest req = makeRequest(
+            i, static_cast<VertexId>((i * 37) % graph.numVertices()));
+        req.out = served.row(i);
+        while (!server.queue().push(req))
+            std::this_thread::sleep_for(std::chrono::microseconds(50));
+    }
+    server.queue().close();
+    consumer.join();
+
+    std::vector<Feature> replay(server.outFeatures());
+    for (std::size_t i = 0; i < kRequests; ++i) {
+        server.serveOne(i,
+                        static_cast<VertexId>((i * 37) %
+                                              graph.numVertices()),
+                        replay.data());
+        EXPECT_EQ(0, std::memcmp(served.row(i), replay.data(),
+                                 replay.size() * sizeof(Feature)))
+            << "request " << i
+            << " served embedding differs from offline replay";
+    }
+    // run() served kRequests; the replay loop served them once more.
+    EXPECT_EQ(server.stats().requestsServed, 2 * kRequests);
+}
+
+TEST(InferenceServer, CachedHubsStayWithinBoundedError)
+{
+    const CsrGraph graph = testGraph();
+    DenseMatrix features(graph.numVertices(), 16);
+    features.fillUniform(0.0f, 1.0f, 8);
+    TestModel model(16);
+    ServeConfig config;
+    config.fanouts = {5, 5};
+    config.maxBatch = 16;
+    config.hotCacheCapacity = 64;
+    InferenceServer server(graph, features, model.layers(), config);
+    EXPECT_GE(server.hotDegreeThreshold(), 6u); // > max fanout
+
+    constexpr std::size_t kRequests = 128;
+    DenseMatrix served(kRequests, server.outFeatures());
+    std::thread consumer([&server] { server.run(); });
+    for (std::size_t i = 0; i < kRequests; ++i) {
+        // Hammer a small popular set so hub destinations recur.
+        InferenceRequest req = makeRequest(
+            i, static_cast<VertexId>((i * 3) % 32));
+        req.out = served.row(i);
+        while (!server.queue().push(req))
+            std::this_thread::sleep_for(std::chrono::microseconds(50));
+    }
+    server.queue().close();
+    consumer.join();
+    EXPECT_GT(server.stats().cache.hits, 0u);
+
+    // The cached row swaps a sampled mean for the full-neighborhood
+    // mean: same estimand, bounded deviation. Outputs must be finite
+    // and within a loose relative L2 distance of the exact-replay
+    // oracle.
+    std::vector<Feature> replay(server.outFeatures());
+    for (std::size_t i = 0; i < kRequests; ++i) {
+        server.serveOne(i, static_cast<VertexId>((i * 3) % 32),
+                        replay.data());
+        double diff2 = 0.0;
+        double norm2 = 0.0;
+        for (std::size_t c = 0; c < replay.size(); ++c) {
+            ASSERT_TRUE(std::isfinite(served.row(i)[c]));
+            const double d = served.row(i)[c] - replay[c];
+            diff2 += d * d;
+            norm2 += replay[c] * replay[c];
+        }
+        EXPECT_LE(std::sqrt(diff2), 0.75 * std::sqrt(norm2) + 1e-3)
+            << "request " << i << " deviates implausibly far";
+    }
+}
+
+TEST(InferenceServer, CacheReducesGatherTraffic)
+{
+    const CsrGraph graph = testGraph();
+    DenseMatrix features(graph.numVertices(), 16);
+    features.fillUniform(0.0f, 1.0f, 9);
+    TestModel modelOn(16);
+    TestModel modelOff(16);
+
+    const auto runWorkload = [&graph](InferenceServer &server) {
+        constexpr std::size_t kRequests = 256;
+        std::thread consumer([&server] { server.run(); });
+        for (std::size_t i = 0; i < kRequests; ++i) {
+            InferenceRequest req = makeRequest(
+                i, static_cast<VertexId>((i * 5) % 24));
+            while (!server.queue().push(req))
+                std::this_thread::sleep_for(
+                    std::chrono::microseconds(50));
+        }
+        server.queue().close();
+        consumer.join();
+        return server.stats();
+    };
+
+    ServeConfig on;
+    on.fanouts = {5, 5};
+    on.hotCacheCapacity = 128;
+    ServeConfig off = on;
+    off.hotCacheCapacity = 0;
+    InferenceServer serverOn(graph, features, modelOn.layers(), on);
+    InferenceServer serverOff(graph, features, modelOff.layers(), off);
+    const auto statsOn = runWorkload(serverOn);
+    const auto statsOff = runWorkload(serverOff);
+    EXPECT_EQ(statsOn.requestsServed, statsOff.requestsServed);
+    EXPECT_GT(statsOn.cache.hits, 0u);
+    EXPECT_LT(statsOn.bytesGathered, statsOff.bytesGathered)
+        << "hub caching must shrink aggregation gather traffic";
+}
+
+/** Allocation-free steady state: warm up, then a full run() drain. */
+void
+expectAllocFreeServing(Precision precision)
+{
+    const CsrGraph graph = testGraph();
+    DenseMatrix features(graph.numVertices(), 16);
+    features.fillUniform(0.0f, 1.0f, 10);
+    TestModel model(16);
+    ServeConfig config;
+    config.fanouts = {5, 5};
+    config.maxBatch = 16;
+    config.latencyBudgetUs = 50;
+    config.hotCacheCapacity = 64;
+    config.precision = precision;
+    InferenceServer server(graph, features, model.layers(), config);
+    obs::MetricsRegistry::global().setEnabled(true);
+    server.warmup();
+
+    constexpr std::size_t kRequests = 128;
+    DenseMatrix served(kRequests, server.outFeatures());
+    for (std::size_t i = 0; i < kRequests; ++i) {
+        InferenceRequest req = makeRequest(
+            i, static_cast<VertexId>((i * 13) % graph.numVertices()));
+        req.out = served.row(i);
+        ASSERT_TRUE(server.queue().push(req));
+    }
+    server.queue().close();
+    {
+        ScopedAllocGuard guard("serve steady state");
+        server.run();
+        if (ScopedAllocGuard::interpositionActive()) {
+            EXPECT_EQ(guard.allocations(), 0u)
+                << "serving loop allocated after warmup";
+        }
+    }
+    obs::MetricsRegistry::global().setEnabled(false);
+    EXPECT_GE(server.stats().requestsServed, kRequests);
+}
+
+TEST(InferenceServer, SteadyStateServingIsAllocFreeFp32)
+{
+    expectAllocFreeServing(Precision::Fp32);
+}
+
+TEST(InferenceServer, SteadyStateServingIsAllocFreeBf16)
+{
+    expectAllocFreeServing(Precision::Bf16);
+}
+
+TEST(InferenceServer, LoadGeneratorReportsSaneNumbers)
+{
+    const CsrGraph graph = testGraph();
+    DenseMatrix features(graph.numVertices(), 16);
+    features.fillUniform(0.0f, 1.0f, 11);
+    TestModel model(16);
+    ServeConfig config;
+    config.fanouts = {5, 5};
+    config.maxBatch = 16;
+    config.latencyBudgetUs = 100;
+    config.hotCacheCapacity = 64;
+    InferenceServer server(graph, features, model.layers(), config);
+    serve::LoadGenConfig load;
+    load.numRequests = 500;
+    load.warmupRequests = 100;
+    load.offeredQps = 50000.0;
+    load.zipfExponent = 0.9;
+    const serve::LoadGenReport report =
+        serve::runServeLoad(server, load);
+    EXPECT_GT(report.qps, 0.0);
+    EXPECT_GE(report.p99Us, report.p50Us);
+    EXPECT_GE(report.cacheHitRate, 0.0);
+    EXPECT_LE(report.cacheHitRate, 1.0);
+    EXPECT_GT(report.bytesGathered, 0u);
+    EXPECT_EQ(report.accepted + report.dropped, 500u);
+}
+
+} // namespace
+} // namespace graphite
