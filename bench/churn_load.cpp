@@ -1,0 +1,385 @@
+/**
+ * @file
+ * Dynamic-graph churn benchmark: edge-insert throughput concurrent
+ * with serving, and the cost of that churn on the serving numbers.
+ *
+ * Three measurements over one R-MAT power-law graph and one SAGE-style
+ * layer stack (BENCH_churn.json):
+ *
+ *  1. Static baseline: a frozen-CSR InferenceServer under the standard
+ *     Zipf/Poisson open-loop load (cache on) — the p99/hit-rate anchor
+ *     the churn run is compared against.
+ *  2. Churn run: the same load against a DeltaCsr-overlay server while
+ *     an updater thread feeds random edge inserts through
+ *     InferenceServer::insertEdge() at --churn-rate, requesting
+ *     compaction every --compact-every accepted inserts (and on
+ *     PoolFull). Reports sustained insert throughput, serving QPS,
+ *     p50/p99, hit rate, and the deltas vs the static baseline.
+ *  3. Staleness: embeddings served mid-churn (captured via the load
+ *     generator) are replayed on an oracle server over the final
+ *     compacted graph. An embedding served at time t saw the graph as
+ *     of t; the oracle sees every insert. The relative L2 gap is the
+ *     served-embedding staleness, bounded by the sampling estimate's
+ *     own error (the server header's deviation contract).
+ *
+ * After the churn run the overlay is compacted in place and a fresh
+ * frozen server over the compacted base replays sampled requests —
+ * the bitwise post-compaction parity gate CI enforces
+ * (scripts/check_metrics_schema.py --churn).
+ */
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/options.h"
+#include "common/rng.h"
+#include "common/timer.h"
+#include "gnn/gnn_layer.h"
+#include "graph/delta_csr.h"
+#include "graph/generators.h"
+#include "graph/graph_stats.h"
+#include "obs/metrics.h"
+#include "serve/load_gen.h"
+#include "serve/server.h"
+
+using namespace graphite;
+
+namespace {
+
+void
+printReport(const char *label, const serve::LoadGenReport &report)
+{
+    std::printf("%-10s qps %9.0f  p50 %8.1fus  p99 %8.1fus  "
+                "hit %5.1f%%  dropped %llu\n",
+                label, report.qps, report.p50Us, report.p99Us,
+                report.cacheHitRate * 100.0,
+                static_cast<unsigned long long>(report.dropped));
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options options("Churn load bench: edge inserts concurrent with "
+                    "serving -> BENCH_churn.json");
+    options.add("scale", "12", "R-MAT scale (2^scale vertices)");
+    options.add("avg-degree", "16", "R-MAT average degree");
+    options.add("feature-width", "128", "input feature width");
+    options.add("hidden-width", "128", "hidden layer width");
+    options.add("classes", "16", "output embedding width");
+    options.add("fanout", "10", "per-layer sampling fanout");
+    options.add("requests", "8000", "measured serving requests");
+    options.add("warmup-requests", "1000", "cache warmup requests");
+    options.add("qps", "20000", "offered request rate per second");
+    options.add("zipf", "0.9", "Zipf exponent of vertex popularity");
+    options.add("latency-budget-us", "100",
+                "micro-batch close deadline in microseconds");
+    options.add("max-batch", "64", "max requests per micro-batch");
+    options.add("hot-cache-capacity", "1024",
+                "hot-vertex cache rows (both runs)");
+    options.add("churn-rate", "20000",
+                "offered edge-insert rate per second during the "
+                "churn run");
+    options.add("compact-every", "8000",
+                "request an overlay compaction every N accepted "
+                "inserts (0 = only on PoolFull)");
+    options.add("delta-budget", "262144",
+                "overlay delta-pool budget in edges");
+    options.add("staleness-samples", "512",
+                "served requests replayed against the compacted-graph "
+                "oracle");
+    options.add("parity-samples", "64",
+                "requests checked for post-compaction bitwise parity");
+    options.add("output", "BENCH_churn.json", "JSON output path");
+    options.add("seed", "7", "workload seed");
+    options.parse(argc, argv);
+
+    obs::MetricsRegistry::global().setEnabled(true);
+
+    RmatParams params;
+    params.scale = static_cast<unsigned>(options.getInt("scale"));
+    params.avgDegree = options.getDouble("avg-degree");
+    params.seed = static_cast<std::uint64_t>(options.getInt("seed"));
+    // Two identical graphs from the same seed: one frozen for the
+    // static baseline, one moved into the overlay for the churn run.
+    const CsrGraph staticGraph = generateRmat(params);
+    CsrGraph overlayBase = generateRmat(params);
+    const GraphStats stats = computeGraphStats(staticGraph);
+    std::printf("graph: %u vertices, %llu edges, max degree %llu\n",
+                staticGraph.numVertices(),
+                static_cast<unsigned long long>(staticGraph.numEdges()),
+                static_cast<unsigned long long>(stats.maxDegree));
+
+    const auto featureWidth =
+        static_cast<std::size_t>(options.getInt("feature-width"));
+    const auto hiddenWidth =
+        static_cast<std::size_t>(options.getInt("hidden-width"));
+    const auto classes =
+        static_cast<std::size_t>(options.getInt("classes"));
+    DenseMatrix features(staticGraph.numVertices(), featureWidth);
+    features.fillUniform(-1.0f, 1.0f, 11);
+    GnnLayer hidden(featureWidth, hiddenWidth, true);
+    GnnLayer output(hiddenWidth, classes, false);
+    hidden.initWeights(13);
+    output.initWeights(17);
+
+    serve::ServeConfig serveConfig;
+    const auto fanout = static_cast<VertexId>(options.getInt("fanout"));
+    serveConfig.fanouts = {fanout, fanout};
+    serveConfig.maxBatch =
+        static_cast<std::size_t>(options.getInt("max-batch"));
+    serveConfig.latencyBudgetUs = options.getInt("latency-budget-us");
+    serveConfig.hotCacheCapacity =
+        static_cast<std::size_t>(options.getInt("hot-cache-capacity"));
+
+    serve::LoadGenConfig loadConfig;
+    loadConfig.numRequests =
+        static_cast<std::size_t>(options.getInt("requests"));
+    loadConfig.warmupRequests =
+        static_cast<std::size_t>(options.getInt("warmup-requests"));
+    loadConfig.offeredQps = options.getDouble("qps");
+    loadConfig.zipfExponent = options.getDouble("zipf");
+    loadConfig.seed = static_cast<std::uint64_t>(options.getInt("seed"));
+
+    // --- 1. Static baseline (frozen CSR, cache on, no churn). ------
+    serve::LoadGenReport staticReport;
+    {
+        serve::InferenceServer server(staticGraph, features,
+                                      {&hidden, &output}, serveConfig);
+        staticReport = serve::runServeLoad(server, loadConfig);
+        printReport("static", staticReport);
+    }
+
+    // --- 2. Churn run: overlay server + concurrent updater. --------
+    const auto deltaBudget =
+        static_cast<EdgeId>(options.getInt("delta-budget"));
+    const double churnRate = options.getDouble("churn-rate");
+    const auto compactEvery =
+        static_cast<std::uint64_t>(options.getInt("compact-every"));
+    DeltaCsr overlay(std::move(overlayBase), deltaBudget);
+    serve::InferenceServer server(overlay, features, {&hidden, &output},
+                                  serveConfig);
+
+    DenseMatrix servedResults;
+    std::vector<VertexId> servedVertices;
+    std::vector<double> servedLatencies;
+    serve::LoadGenConfig churnLoad = loadConfig;
+    churnLoad.resultsOut = &servedResults;
+    churnLoad.verticesOut = &servedVertices;
+    churnLoad.latenciesOut = &servedLatencies;
+
+    std::atomic<bool> stopChurn{false};
+    std::atomic<std::uint64_t> insertsOffered{0};
+    std::atomic<std::uint64_t> insertsAccepted{0};
+    std::atomic<double> churnSeconds{0.0};
+    const VertexId numVertices = staticGraph.numVertices();
+    std::thread updater([&] {
+        Rng rng(params.seed ^ 0x9e3779b97f4a7c15ull);
+        Timer timer;
+        auto next = std::chrono::steady_clock::now();
+        const auto gap = std::chrono::duration_cast<
+            std::chrono::steady_clock::duration>(
+            std::chrono::duration<double>(1.0 / churnRate));
+        std::uint64_t accepted = 0;
+        while (!stopChurn.load(std::memory_order_relaxed)) {
+            next += gap;
+            std::this_thread::sleep_until(next);
+            const auto src =
+                static_cast<VertexId>(rng.uniformInt(numVertices));
+            const auto dst =
+                static_cast<VertexId>(rng.uniformInt(numVertices));
+            insertsOffered.fetch_add(1, std::memory_order_relaxed);
+            switch (server.insertEdge(src, dst)) {
+            case DeltaCsr::AddEdge::Added:
+                ++accepted;
+                if (compactEvery > 0 && accepted % compactEvery == 0)
+                    server.requestCompaction();
+                break;
+            case DeltaCsr::AddEdge::PoolFull:
+                // Consumer compacts between batches; back off until
+                // it has drained the pool.
+                server.requestCompaction();
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(1));
+                next = std::chrono::steady_clock::now();
+                break;
+            default: // Duplicate / SelfLoop: offered but not accepted.
+                break;
+            }
+        }
+        insertsAccepted.store(accepted, std::memory_order_relaxed);
+        churnSeconds.store(timer.seconds(), std::memory_order_relaxed);
+    });
+
+    const serve::LoadGenReport churnReport =
+        serve::runServeLoad(server, churnLoad);
+    stopChurn.store(true, std::memory_order_relaxed);
+    updater.join();
+    printReport("churn", churnReport);
+
+    const std::uint64_t accepted = insertsAccepted.load();
+    const double insertSeconds = churnSeconds.load();
+    const double insertThroughput =
+        insertSeconds > 0.0
+            ? static_cast<double>(accepted) / insertSeconds
+            : 0.0;
+    const serve::ServeStats churnStats = server.stats();
+    std::printf("churn: %llu/%llu inserts accepted, %.0f inserts/s, "
+                "%llu invalidations, %llu compactions\n",
+                static_cast<unsigned long long>(accepted),
+                static_cast<unsigned long long>(insertsOffered.load()),
+                insertThroughput,
+                static_cast<unsigned long long>(
+                    churnStats.cache.invalidations),
+                static_cast<unsigned long long>(churnStats.compactions));
+
+    // --- 3. Staleness vs the compacted-graph oracle. ----------------
+    // Replay captured measured-phase requests on a fresh server over
+    // the final compacted graph: same request ids (= sampling seeds),
+    // every insert visible. The relative L2 gap is what serving under
+    // churn cost in embedding freshness.
+    const CsrGraph compactedGraph = overlay.compacted();
+    double stalenessMean = 0.0;
+    double stalenessMax = 0.0;
+    std::size_t stalenessCount = 0;
+    {
+        serve::ServeConfig oracleConfig = serveConfig;
+        oracleConfig.hotCacheCapacity = 0;
+        // Mirror the churn server's final admission threshold so the
+        // oracle's hub-exact gating matches the cache-on serving path.
+        oracleConfig.hotCacheMinDegree = server.hotDegreeThreshold();
+        serve::InferenceServer oracle(compactedGraph, features,
+                                      {&hidden, &output}, oracleConfig);
+        const std::size_t want = std::min<std::size_t>(
+            static_cast<std::size_t>(
+                options.getInt("staleness-samples")),
+            loadConfig.numRequests);
+        std::vector<Feature> fresh(oracle.outFeatures());
+        std::size_t i = loadConfig.warmupRequests;
+        const std::size_t stride = std::max<std::size_t>(
+            1, loadConfig.numRequests / std::max<std::size_t>(want, 1));
+        for (; i < servedVertices.size() && stalenessCount < want;
+             i += stride) {
+            if (servedLatencies[i] < 0.0)
+                continue; // dropped: nothing was served
+            oracle.serveOneHubExact(i, servedVertices[i], fresh.data());
+            double gap2 = 0.0;
+            double norm2 = 0.0;
+            const Feature *served = servedResults.row(i);
+            for (std::size_t c = 0; c < fresh.size(); ++c) {
+                const double d = static_cast<double>(served[c]) -
+                                 static_cast<double>(fresh[c]);
+                gap2 += d * d;
+                norm2 += static_cast<double>(fresh[c]) *
+                         static_cast<double>(fresh[c]);
+            }
+            const double rel =
+                norm2 > 0.0 ? std::sqrt(gap2 / norm2) : std::sqrt(gap2);
+            stalenessMean += rel;
+            stalenessMax = std::max(stalenessMax, rel);
+            ++stalenessCount;
+        }
+        if (stalenessCount > 0)
+            stalenessMean /= static_cast<double>(stalenessCount);
+    }
+    std::printf("staleness: %zu samples, mean rel L2 %.4f, "
+                "max %.4f\n",
+                stalenessCount, stalenessMean, stalenessMax);
+
+    // --- 4. Post-compaction bitwise parity gate. --------------------
+    // Compact in place (consumer is drained), then a frozen server
+    // over the new base must replay sampled requests bit-for-bit.
+    server.compactNow();
+    bool parity = overlay.deltaEdges() == 0;
+    {
+        serve::InferenceServer fresh(overlay.base(), features,
+                                     {&hidden, &output}, serveConfig);
+        const auto paritySamples =
+            static_cast<std::size_t>(options.getInt("parity-samples"));
+        std::vector<Feature> a(server.outFeatures());
+        std::vector<Feature> b(fresh.outFeatures());
+        Rng rng(params.seed + 1);
+        for (std::size_t s = 0; s < paritySamples; ++s) {
+            const auto v =
+                static_cast<VertexId>(rng.uniformInt(numVertices));
+            server.serveOne(s, v, a.data());
+            fresh.serveOne(s, v, b.data());
+            if (std::memcmp(a.data(), b.data(),
+                            a.size() * sizeof(Feature)) != 0) {
+                parity = false;
+                break;
+            }
+        }
+    }
+    std::printf("post-compaction parity: %s\n",
+                parity ? "bitwise" : "MISMATCH");
+
+    const std::string path = options.getString("output");
+    std::FILE *out = std::fopen(path.c_str(), "w");
+    if (out == nullptr) {
+        std::fprintf(stderr, "cannot open %s for writing\n",
+                     path.c_str());
+        return 1;
+    }
+    std::fprintf(out, "{\n");
+    std::fprintf(out, "  \"churn\": {\n");
+    std::fprintf(out, "    \"vertices\": %u,\n",
+                 staticGraph.numVertices());
+    std::fprintf(out, "    \"base_edges\": %llu,\n",
+                 static_cast<unsigned long long>(staticGraph.numEdges()));
+    std::fprintf(out, "    \"delta_budget\": %llu,\n",
+                 static_cast<unsigned long long>(deltaBudget));
+    std::fprintf(out, "    \"churn_rate_offered\": %.1f,\n", churnRate);
+    std::fprintf(out, "    \"compact_every\": %llu,\n",
+                 static_cast<unsigned long long>(compactEvery));
+    std::fprintf(out, "    \"inserts_offered\": %llu,\n",
+                 static_cast<unsigned long long>(insertsOffered.load()));
+    std::fprintf(out, "    \"inserts_accepted\": %llu,\n",
+                 static_cast<unsigned long long>(accepted));
+    std::fprintf(out, "    \"insert_throughput_eps\": %.1f,\n",
+                 insertThroughput);
+    std::fprintf(out, "    \"compactions\": %llu,\n",
+                 static_cast<unsigned long long>(churnStats.compactions));
+    std::fprintf(out, "    \"invalidations\": %llu,\n",
+                 static_cast<unsigned long long>(
+                     churnStats.cache.invalidations));
+    std::fprintf(out, "    \"qps\": %.1f,\n", churnReport.qps);
+    std::fprintf(out, "    \"p50_us\": %.2f,\n", churnReport.p50Us);
+    std::fprintf(out, "    \"p99_us\": %.2f,\n", churnReport.p99Us);
+    std::fprintf(out, "    \"cache_hit_rate\": %.4f,\n",
+                 churnReport.cacheHitRate);
+    std::fprintf(out, "    \"dropped\": %llu,\n",
+                 static_cast<unsigned long long>(churnReport.dropped));
+    std::fprintf(out, "    \"qps_static\": %.1f,\n", staticReport.qps);
+    std::fprintf(out, "    \"p50_us_static\": %.2f,\n",
+                 staticReport.p50Us);
+    std::fprintf(out, "    \"p99_us_static\": %.2f,\n",
+                 staticReport.p99Us);
+    std::fprintf(out, "    \"cache_hit_rate_static\": %.4f,\n",
+                 staticReport.cacheHitRate);
+    std::fprintf(out, "    \"p99_delta_us\": %.2f,\n",
+                 churnReport.p99Us - staticReport.p99Us);
+    std::fprintf(out, "    \"hit_rate_delta\": %.4f,\n",
+                 churnReport.cacheHitRate - staticReport.cacheHitRate);
+    std::fprintf(out, "    \"staleness_samples\": %zu,\n",
+                 stalenessCount);
+    std::fprintf(out, "    \"staleness_mean_rel_l2\": %.6f,\n",
+                 stalenessMean);
+    std::fprintf(out, "    \"staleness_max_rel_l2\": %.6f,\n",
+                 stalenessMax);
+    std::fprintf(out, "    \"post_compact_parity\": %s\n",
+                 parity ? "true" : "false");
+    std::fprintf(out, "  }\n}\n");
+    std::fclose(out);
+    std::printf("wrote %s\n", path.c_str());
+    return 0;
+}

@@ -5,6 +5,7 @@ Three artifacts, each optional on the command line:
 
   --bench BENCH_smoke.json      headline-rate JSON (always produced)
   --serve BENCH_serve.json      serving-bench JSON (bench/serve_load)
+  --churn BENCH_churn.json      dynamic-graph JSON (bench/churn_load)
   --metrics METRICS_smoke.json  metrics-registry dump (--metrics-out)
   --trace TRACE_smoke.json      chrome://tracing spans (--trace-out)
 
@@ -16,6 +17,7 @@ bench-smoke job fails loudly when an emitter regresses.
 
 import argparse
 import json
+import math
 import sys
 
 # Keys bench_smoke has always written; CI artifact diffs rely on them.
@@ -68,6 +70,42 @@ SERVE_REQUIRED = {
     "bytes_gathered_nocache": int,
     "dropped_nocache": int,
 }
+
+# The churn section bench/churn_load emits: a churn run against a
+# delta-CSR overlay plus a static cache-on baseline at identical load.
+CHURN_REQUIRED = {
+    "vertices": int,
+    "base_edges": int,
+    "delta_budget": int,
+    "churn_rate_offered": float,
+    "compact_every": int,
+    "inserts_offered": int,
+    "inserts_accepted": int,
+    "insert_throughput_eps": float,
+    "compactions": int,
+    "invalidations": int,
+    "qps": float,
+    "p50_us": float,
+    "p99_us": float,
+    "cache_hit_rate": float,
+    "dropped": int,
+    "qps_static": float,
+    "p50_us_static": float,
+    "p99_us_static": float,
+    "cache_hit_rate_static": float,
+    "p99_delta_us": float,
+    "hit_rate_delta": float,
+    "staleness_samples": int,
+    "staleness_mean_rel_l2": float,
+    "staleness_max_rel_l2": float,
+    "post_compact_parity": bool,
+}
+
+# Mean relative-L2 staleness of embeddings served under churn vs the
+# compacted-graph replay is bounded by the sampling estimate's own
+# error (server.h's deviation contract); past this the serving path is
+# returning garbage, not merely stale results.
+CHURN_STALENESS_BOUND = 1.0
 
 # Span names a traced bench_smoke run must have exercised (acceptance
 # criterion: aggregation, GEMM, backward and DMA all show up).
@@ -178,6 +216,62 @@ def check_serve(path):
     print(f"check_metrics_schema: OK {path} (serve section)")
 
 
+def check_churn(path):
+    """Validate BENCH_churn.json: structure plus the three dynamic-graph
+    gates — sustained insert throughput while serving, bounded
+    served-embedding staleness vs the compacted-graph oracle, and
+    bitwise post-compaction parity against a from-scratch server.
+    """
+    doc = load(path)
+    if not isinstance(doc, dict):
+        fail(f"{path}: top level is not an object")
+    churn = doc.get("churn")
+    if not isinstance(churn, dict):
+        fail(f"{path}: missing object 'churn'")
+    for key, kind in CHURN_REQUIRED.items():
+        if key not in churn:
+            fail(f"{path}: churn section missing key '{key}'")
+        if kind is float:
+            expect_number(churn[key], f"{path}:churn.{key}")
+        elif not isinstance(churn[key], kind):
+            fail(f"{path}:churn.{key} is "
+                 f"{type(churn[key]).__name__}, expected {kind.__name__}")
+    if churn["insert_throughput_eps"] <= 0:
+        fail(f"{path}: insert_throughput_eps must be positive while "
+             f"serving (got {churn['insert_throughput_eps']})")
+    if churn["inserts_accepted"] > churn["inserts_offered"]:
+        fail(f"{path}: inserts_accepted {churn['inserts_accepted']} "
+             f"exceeds inserts_offered {churn['inserts_offered']}")
+    for suffix in ("", "_static"):
+        if churn["qps" + suffix] <= 0:
+            fail(f"{path}: churn.qps{suffix} must be positive")
+        if churn["p99_us" + suffix] < churn["p50_us" + suffix]:
+            fail(f"{path}: churn.p99_us{suffix} < p50_us{suffix}")
+        rate = churn["cache_hit_rate" + suffix]
+        if not 0.0 <= rate <= 1.0:
+            fail(f"{path}: churn.cache_hit_rate{suffix} {rate} "
+                 f"outside [0, 1]")
+    mean = churn["staleness_mean_rel_l2"]
+    peak = churn["staleness_max_rel_l2"]
+    if churn["staleness_samples"] > 0:
+        if not (0.0 <= mean <= peak):
+            fail(f"{path}: staleness mean {mean} / max {peak} "
+                 f"inconsistent")
+        if not math.isfinite(mean) or mean > CHURN_STALENESS_BOUND:
+            fail(f"{path}: staleness_mean_rel_l2 {mean} exceeds the "
+                 f"{CHURN_STALENESS_BOUND} sampling-error bound — "
+                 f"served embeddings diverged from the compacted-graph "
+                 f"oracle")
+    if churn["post_compact_parity"] is not True:
+        fail(f"{path}: post_compact_parity is false — a compacted "
+             f"overlay no longer serves bitwise like a from-scratch "
+             f"build")
+    print(f"check_metrics_schema: OK {path} "
+          f"({churn['inserts_accepted']} inserts @ "
+          f"{churn['insert_throughput_eps']:.0f}/s, staleness "
+          f"{mean:.4f}, parity ok)")
+
+
 def check_metrics(path):
     doc = load(path)
     for section in ("counters", "gauges", "histograms"):
@@ -248,19 +342,24 @@ def main():
     parser.add_argument("--bench", help="BENCH_smoke.json path")
     parser.add_argument("--serve",
                         help="serving-bench JSON path (BENCH_serve.json)")
+    parser.add_argument("--churn",
+                        help="churn-bench JSON path (BENCH_churn.json)")
     parser.add_argument("--metrics", help="metrics registry JSON path")
     parser.add_argument("--trace", help="chrome://tracing JSON path")
     parser.add_argument("--require-span", action="append", default=None,
                         help="span name the trace must contain "
                              "(default: the bench_smoke hot-path set)")
     args = parser.parse_args()
-    if not (args.bench or args.serve or args.metrics or args.trace):
-        parser.error(
-            "nothing to check: pass --bench/--serve/--metrics/--trace")
+    if not (args.bench or args.serve or args.churn or args.metrics
+            or args.trace):
+        parser.error("nothing to check: pass "
+                     "--bench/--serve/--churn/--metrics/--trace")
     if args.bench:
         check_bench(args.bench)
     if args.serve:
         check_serve(args.serve)
+    if args.churn:
+        check_churn(args.churn)
     if args.metrics:
         check_metrics(args.metrics)
     if args.trace:

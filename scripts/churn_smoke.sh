@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# CI dynamic-graph smoke: build (if needed) and run bench/churn_load —
+# edge inserts streamed through InferenceServer::insertEdge() at a
+# fixed offered rate while the open-loop Zipf/Poisson serving load
+# runs, plus the staleness and post-compaction checks. Emits
+# BENCH_churn.json for CI to archive per commit.
+#
+# Usage:
+#   scripts/churn_smoke.sh [build-dir] [output-json]
+#
+# Defaults: build-dir = build, output = BENCH_churn.json in the repo
+# root. Pass an existing Release build dir in CI to skip the configure.
+#
+# Gating (scripts/check_metrics_schema.py --churn):
+#   - insert_throughput_eps > 0: inserts sustained concurrently with
+#     serving, not starved behind it;
+#   - staleness_mean_rel_l2 <= 1.0: embeddings served mid-churn stay
+#     within the sampling estimate's error of the compacted-graph
+#     replay;
+#   - post_compact_parity: after compact(), a from-scratch server over
+#     the merged CSR replays sampled requests bit-for-bit.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+cd "${repo_root}"
+
+build_dir="${1:-build}"
+output="${2:-${repo_root}/BENCH_churn.json}"
+
+if [ ! -f "${build_dir}/CMakeCache.txt" ]; then
+    cmake -B "${build_dir}" -S . -DCMAKE_BUILD_TYPE=Release
+fi
+cmake --build "${build_dir}" -j --target churn_load
+
+# Smaller than the bench defaults on purpose: scale 11 keeps the graph
+# build fast while staying hub-heavy; 3000 measured requests bound the
+# runtime, and compact-every 3000 guarantees at least one mid-run
+# compaction is exercised at the default churn rate.
+"${build_dir}/bench/churn_load" --scale=11 --requests=3000 \
+    --warmup-requests=500 --qps=15000 --churn-rate=15000 \
+    --compact-every=3000 --staleness-samples=256 \
+    --output="${output}"
+
+if command -v python3 >/dev/null 2>&1; then
+    python3 scripts/check_metrics_schema.py --churn "${output}"
+else
+    echo "churn_smoke: python3 not found, skipping schema check"
+fi
+
+echo "churn_smoke: wrote ${output}"

@@ -2,10 +2,16 @@
 
 #include <cstdio>
 
+#include "graph/delta_csr.h"
+
 namespace graphite {
 
+namespace {
+
+/** Shared by the CsrGraph and DeltaCsr overloads. */
+template <typename GraphT>
 GraphStats
-computeGraphStats(const CsrGraph &graph)
+computeGraphStatsImpl(const GraphT &graph)
 {
     GraphStats stats;
     stats.numVertices = graph.numVertices();
@@ -16,17 +22,75 @@ computeGraphStats(const CsrGraph &graph)
     double sum = 0.0;
     double sumSq = 0.0;
     for (VertexId v = 0; v < stats.numVertices; ++v) {
-        const double deg = static_cast<double>(graph.degree(v));
+        const EdgeId degree = graph.degree(v);
+        const double deg = static_cast<double>(degree);
         sum += deg;
         sumSq += deg * deg;
-        if (graph.degree(v) > stats.maxDegree)
-            stats.maxDegree = graph.degree(v);
+        if (degree > stats.maxDegree)
+            stats.maxDegree = degree;
     }
     const double n = stats.numVertices;
     stats.avgDegree = sum / n;
     stats.degreeVariance = sumSq / n - stats.avgDegree * stats.avgDegree;
     stats.adjacencySparsity =
         1.0 - static_cast<double>(stats.numEdges) / (n * n);
+    return stats;
+}
+
+} // namespace
+
+GraphStats
+computeGraphStats(const CsrGraph &graph)
+{
+    return computeGraphStatsImpl(graph);
+}
+
+GraphStats
+computeGraphStats(const DeltaCsr &graph)
+{
+    return computeGraphStatsImpl(graph);
+}
+
+IncrementalGraphStats::IncrementalGraphStats(const GraphStats &initial)
+    : numVertices_(initial.numVertices), numEdges_(initial.numEdges),
+      maxDegree_(initial.maxDegree)
+{
+    // Rebuild the running moments from the summary: sumSq follows from
+    // the variance identity var = sumSq/n - avg².
+    const double n = numVertices_;
+    sumDeg_ = initial.avgDegree * n;
+    sumSq_ = (initial.degreeVariance +
+              initial.avgDegree * initial.avgDegree) *
+             n;
+}
+
+void
+IncrementalGraphStats::onEdgeInserted(EdgeId newDegree)
+{
+    GRAPHITE_ASSERT(newDegree > 0,
+                    "onEdgeInserted: post-insert degree must be > 0");
+    numEdges_ += 1;
+    sumDeg_ += 1.0;
+    // d² → (d+1)² adds 2d + 1 with d = newDegree - 1.
+    sumSq_ += 2.0 * static_cast<double>(newDegree) - 1.0;
+    if (newDegree > maxDegree_)
+        maxDegree_ = newDegree;
+}
+
+GraphStats
+IncrementalGraphStats::current() const
+{
+    GraphStats stats;
+    stats.numVertices = numVertices_;
+    stats.numEdges = numEdges_;
+    stats.maxDegree = maxDegree_;
+    if (numVertices_ == 0)
+        return stats;
+    const double n = numVertices_;
+    stats.avgDegree = sumDeg_ / n;
+    stats.degreeVariance = sumSq_ / n - stats.avgDegree * stats.avgDegree;
+    stats.adjacencySparsity =
+        1.0 - static_cast<double>(numEdges_) / (n * n);
     return stats;
 }
 

@@ -11,6 +11,8 @@
 
 namespace graphite {
 
+class DeltaCsr;
+
 /** Summary statistics of a graph's degree distribution. */
 struct GraphStats
 {
@@ -26,6 +28,47 @@ struct GraphStats
 
 /** Compute GraphStats for @p graph in one pass. */
 GraphStats computeGraphStats(const CsrGraph &graph);
+
+/** GraphStats over a delta-CSR overlay (base + published deltas). */
+GraphStats computeGraphStats(const DeltaCsr &graph);
+
+/**
+ * O(1)-per-edge maintenance of GraphStats under edge inserts, so the
+ * dynamic serving path (DESIGN.md §14) keeps Table-3-style stats live
+ * without an O(|V|) rescan per mutation. Seeded from a full
+ * computeGraphStats() pass; onEdgeInserted() folds one new edge into
+ * the degree moments:
+ *
+ *   numEdges' = numEdges + 1
+ *   sumDeg'   = sumDeg + 1
+ *   sumSq'    = sumSq + 2 * newDegree - 1   (d² → (d+1)²)
+ *
+ * avg/variance/max/sparsity are recomputed from the moments on read.
+ * Exact (up to float rounding), not an approximation — tests compare
+ * against a from-scratch recompute.
+ */
+class IncrementalGraphStats
+{
+  public:
+    /** Seed from a full pass over @p initial. */
+    explicit IncrementalGraphStats(const GraphStats &initial);
+
+    /**
+     * Fold in one inserted edge whose source vertex now has out-degree
+     * @p newDegree (i.e. the post-insert degree).
+     */
+    void onEdgeInserted(EdgeId newDegree);
+
+    /** Current statistics (recomputed from the running moments). */
+    GraphStats current() const;
+
+  private:
+    VertexId numVertices_;
+    EdgeId numEdges_;
+    EdgeId maxDegree_;
+    double sumDeg_;
+    double sumSq_;
+};
 
 /** Human-readable one-line rendering (Table 3 row format). */
 std::string formatGraphStats(const std::string &name,

@@ -1,0 +1,54 @@
+#include "kernels/overlay_gather.h"
+
+namespace graphite {
+
+void
+fullMeanRow(const CsrGraph &graph, const DenseMatrix &features,
+            VertexId v, Feature *dst)
+{
+    const std::size_t cols = features.cols();
+    const Feature *self = features.row(v);
+    for (std::size_t c = 0; c < cols; ++c)
+        dst[c] = self[c];
+    const auto neighbors = graph.neighbors(v);
+    for (const VertexId u : neighbors) {
+        const Feature *srcRow = features.row(u);
+        for (std::size_t c = 0; c < cols; ++c)
+            dst[c] += srcRow[c];
+    }
+    const float scale =
+        1.0f / (1.0f + static_cast<float>(neighbors.size()));
+    for (std::size_t c = 0; c < cols; ++c)
+        dst[c] *= scale;
+}
+
+void
+fullMeanRow(const DeltaCsr &graph, const DenseMatrix &features,
+            VertexId v, Feature *dst)
+{
+    const std::size_t cols = features.cols();
+    const Feature *self = features.row(v);
+    for (std::size_t c = 0; c < cols; ++c)
+        dst[c] = self[c];
+    // Base row first, then the delta chain in insertion order — the
+    // same accumulation order a zero-delta overlay's base would give,
+    // keeping the two overloads bitwise-interchangeable in that case.
+    EdgeId fanIn = 0;
+    for (const VertexId u : graph.baseNeighbors(v)) {
+        const Feature *srcRow = features.row(u);
+        for (std::size_t c = 0; c < cols; ++c)
+            dst[c] += srcRow[c];
+        ++fanIn;
+    }
+    graph.forEachDeltaNeighbor(v, [&](VertexId u) {
+        const Feature *srcRow = features.row(u);
+        for (std::size_t c = 0; c < cols; ++c)
+            dst[c] += srcRow[c];
+        ++fanIn;
+    });
+    const float scale = 1.0f / (1.0f + static_cast<float>(fanIn));
+    for (std::size_t c = 0; c < cols; ++c)
+        dst[c] *= scale;
+}
+
+} // namespace graphite

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Full-neighborhood mean gather for the serving path, over either a
+ * frozen CsrGraph or a mutating DeltaCsr overlay.
+ *
+ * The hot-vertex cache stores the *full-neighborhood* mean aggregation
+ * of a hub's input features (deterministic per vertex, independent of
+ * which request sampled it — see serve/hot_vertex_cache.h). Under
+ * dynamic graphs that row must be computed over base + delta edges, so
+ * the gather lives here as a kernel with both graph variants behind one
+ * contract:
+ *
+ *   dst = (features[v] + Σ_{u ∈ N(v)} features[u]) / (|N(v)| + 1)
+ *
+ * Bitwise contract: both overloads accumulate in neighbor-list order
+ * (base row first, then delta chain in insertion order for the
+ * overlay), in plain float. An overlay holding zero deltas therefore
+ * produces bitwise the same row as its base CsrGraph — the property
+ * the serve-layer parity tests pin.
+ */
+
+#pragma once
+
+#include "common/types.h"
+#include "graph/csr_graph.h"
+#include "graph/delta_csr.h"
+#include "tensor/dense_matrix.h"
+
+namespace graphite {
+
+/**
+ * Mean-aggregate @p v's full neighborhood (self term included) from
+ * @p features into @p dst (features.cols() floats).
+ */
+void fullMeanRow(const CsrGraph &graph, const DenseMatrix &features,
+                 VertexId v, Feature *dst);
+
+/**
+ * Overlay variant: the neighbor set is the base row plus @p v's
+ * published delta edges. Wait-free with respect to concurrent
+ * addEdge() — the delta count is snapshotted once (acquire), so the
+ * gather sees a consistent prefix of the chain.
+ */
+void fullMeanRow(const DeltaCsr &graph, const DenseMatrix &features,
+                 VertexId v, Feature *dst);
+
+} // namespace graphite

@@ -5,10 +5,31 @@
 #include <unordered_map>
 
 #include "common/assert.h"
+#include "graph/delta_csr.h"
 
 namespace graphite {
 
 namespace {
+
+/**
+ * Indexable neighbor row of @p v for the shared sampling core: a span
+ * for CsrGraph, a snapshot RowView (base row then delta chain) for
+ * DeltaCsr. Both offer size() and O(1)-amortized sequential
+ * operator[], which is all the reservoir loop touches.
+ * @{
+ */
+inline std::span<const VertexId>
+neighborRowOf(const CsrGraph &graph, VertexId v)
+{
+    return graph.neighbors(v);
+}
+
+inline DeltaCsr::RowView
+neighborRowOf(const DeltaCsr &graph, VertexId v)
+{
+    return graph.neighborsView(v);
+}
+/** @} */
 
 /**
  * Sample one bipartite block: destinations @p dst, per-destination up to
@@ -115,10 +136,12 @@ requestSeed(std::uint64_t requestId)
     return z ^ (z >> 31);
 }
 
+template <typename GraphT>
 void
-sampleTree(const CsrGraph &graph, VertexId seed,
-           std::span<const VertexId> fanouts, Rng &rng,
-           SamplerScratch &scratch, SampledTree &tree)
+SamplerScratch::sampleTreeImpl(const GraphT &graph, VertexId seed,
+                               std::span<const VertexId> fanouts,
+                               Rng &rng, SamplerScratch &scratch,
+                               SampledTree &tree)
 {
     GRAPHITE_ASSERT(!fanouts.empty(), "need at least one layer fanout");
     GRAPHITE_ASSERT(seed < graph.numVertices(),
@@ -159,11 +182,11 @@ sampleTree(const CsrGraph &graph, VertexId seed,
 
         block.rowPtr.push_back(0);
         for (const VertexId v : block.dstVertices) {
-            const auto neighbors = graph.neighbors(v);
+            const auto neighbors = neighborRowOf(graph, v);
             std::size_t sampled = 0;
             if (neighbors.size() <= fanout) {
-                for (const VertexId u : neighbors)
-                    reservoir[sampled++] = u;
+                for (std::size_t j = 0; j < neighbors.size(); ++j)
+                    reservoir[sampled++] = neighbors[j];
             } else {
                 // Reservoir sampling of `fanout` neighbors without
                 // replacement — identical draw order to sampleBlock so
@@ -191,6 +214,24 @@ sampleTree(const CsrGraph &graph, VertexId seed,
                 static_cast<EdgeId>(block.colIdx.size()));
         }
     }
+}
+
+void
+sampleTree(const CsrGraph &graph, VertexId seed,
+           std::span<const VertexId> fanouts, Rng &rng,
+           SamplerScratch &scratch, SampledTree &tree)
+{
+    SamplerScratch::sampleTreeImpl(graph, seed, fanouts, rng, scratch,
+                                   tree);
+}
+
+void
+sampleTree(const DeltaCsr &graph, VertexId seed,
+           std::span<const VertexId> fanouts, Rng &rng,
+           SamplerScratch &scratch, SampledTree &tree)
+{
+    SamplerScratch::sampleTreeImpl(graph, seed, fanouts, rng, scratch,
+                                   tree);
 }
 
 std::vector<std::vector<VertexId>>

@@ -27,6 +27,8 @@
 
 namespace graphite {
 
+class DeltaCsr;
+
 /** One sampled bipartite layer block. */
 struct SampledBlock
 {
@@ -131,6 +133,20 @@ class SamplerScratch
     friend void sampleTree(const CsrGraph &graph, VertexId seed,
                            std::span<const VertexId> fanouts, Rng &rng,
                            SamplerScratch &scratch, SampledTree &tree);
+    friend void sampleTree(const DeltaCsr &graph, VertexId seed,
+                           std::span<const VertexId> fanouts, Rng &rng,
+                           SamplerScratch &scratch, SampledTree &tree);
+
+    /**
+     * Shared sampling core; instantiated for CsrGraph and DeltaCsr in
+     * the implementation file (both overloads live there, so the
+     * definition need not be visible here).
+     */
+    template <typename GraphT>
+    static void sampleTreeImpl(const GraphT &graph, VertexId seed,
+                               std::span<const VertexId> fanouts,
+                               Rng &rng, SamplerScratch &scratch,
+                               SampledTree &tree);
 
     /** Start a new dedup domain; O(1) except on 32-bit epoch wrap. */
     void
@@ -157,6 +173,18 @@ class SamplerScratch
  * tree+scratch pair samples with zero heap allocations.
  */
 void sampleTree(const CsrGraph &graph, VertexId seed,
+                std::span<const VertexId> fanouts, Rng &rng,
+                SamplerScratch &scratch, SampledTree &tree);
+
+/**
+ * sampleTree over a delta-CSR overlay: neighbor lists are the base row
+ * followed by published delta edges. The reservoir draw sequence is
+ * identical to the CsrGraph overload given the same neighbor sequence,
+ * so a vertex with no delta edges samples the exact same tree as it
+ * would on the base graph — which is what makes an overlay holding
+ * zero deltas bitwise-interchangeable with its base.
+ */
+void sampleTree(const DeltaCsr &graph, VertexId seed,
                 std::span<const VertexId> fanouts, Rng &rng,
                 SamplerScratch &scratch, SampledTree &tree);
 

@@ -6,6 +6,8 @@
 
 #include "common/assert.h"
 #include "graph/csr_graph.h"
+#include "graph/delta_csr.h"
+#include "obs/metrics.h"
 
 namespace graphite::serve {
 
@@ -49,6 +51,26 @@ churnFreeDegreeThreshold(const CsrGraph &graph, std::size_t capacity)
     return degrees[nth];
 }
 
+EdgeId
+churnFreeDegreeThreshold(const DeltaCsr &graph, std::size_t capacity,
+                         std::vector<EdgeId> &degreeScratch)
+{
+    if (capacity == 0 || graph.numVertices() == 0)
+        return 0;
+    // Grows once to |V|; every periodic threshold re-evaluation
+    // under churn then reuses the storage.
+    degreeScratch.resize(graph.numVertices());
+    for (VertexId v = 0; v < graph.numVertices(); ++v)
+        degreeScratch[v] = graph.degree(v);
+    const std::size_t nth =
+        std::min(capacity / 2, degreeScratch.size() - 1);
+    std::nth_element(degreeScratch.begin(),
+                     degreeScratch.begin() +
+                         static_cast<std::ptrdiff_t>(nth),
+                     degreeScratch.end(), std::greater<EdgeId>());
+    return degreeScratch[nth];
+}
+
 HotVertexCache::HotVertexCache(std::size_t capacity, std::size_t shards,
                                std::size_t rowWidth, EdgeId minDegree)
     : slotsPerShard_(0), rowWidth_(rowWidth), minDegree_(minDegree),
@@ -88,6 +110,13 @@ HotVertexCache::shardOf(VertexId v)
     return shards_[(h >> 32) & (shards_.size() - 1)];
 }
 
+const HotVertexCache::Shard &
+HotVertexCache::shardOf(VertexId v) const
+{
+    const std::uint64_t h = mixHash(v);
+    return shards_[(h >> 32) & (shards_.size() - 1)];
+}
+
 std::int32_t
 HotVertexCache::findSlot(const Shard &shard, VertexId v) const
 {
@@ -122,10 +151,11 @@ HotVertexCache::rehashShard(Shard &shard)
 bool
 HotVertexCache::lookup(VertexId v, Feature *dst)
 {
-    if (!enabled()) {
-        misses_.fetch_add(1, std::memory_order_relaxed);
+    // A disabled cache must stay invisible in the stats: counting a
+    // miss here made cache-off A/B legs report a fake 0% hit rate
+    // instead of "no cache".
+    if (!enabled())
         return false;
-    }
     Shard &shard = shardOf(v);
     bool hit = false;
     {
@@ -144,6 +174,58 @@ HotVertexCache::lookup(VertexId v, Feature *dst)
     return hit;
 }
 
+bool
+HotVertexCache::putLocked(Shard &shard, VertexId v, const Feature *row)
+{
+    bool evicted = false;
+    std::int32_t slot = findSlot(shard, v);
+    if (slot == kEmpty) {
+        if (shard.used < slotsPerShard_) {
+            slot = static_cast<std::int32_t>(shard.used++);
+        } else {
+            // CLOCK second chance: spend ref bits until a cold
+            // slot comes under the hand (terminates within two
+            // sweeps — each pass clears a bit).
+            while (shard.refBit[shard.clockHand] != 0) {
+                shard.refBit[shard.clockHand] = 0;
+                shard.clockHand =
+                    (shard.clockHand + 1) % slotsPerShard_;
+            }
+            slot = static_cast<std::int32_t>(shard.clockHand);
+            shard.clockHand = (shard.clockHand + 1) % slotsPerShard_;
+            // Unlink the victim from the index.
+            const VertexId victim =
+                shard.slotVertex[static_cast<std::size_t>(slot)];
+            std::size_t i = mixHash(victim) & tableMask_;
+            while (shard.table[i] != slot) {
+                GRAPHITE_DCHECK(shard.table[i] != kEmpty,
+                                "evicted vertex missing from table");
+                i = (i + 1) & tableMask_;
+            }
+            shard.table[i] = kTombstone;
+            ++shard.tombstones;
+            evicted = true;
+        }
+        shard.slotVertex[static_cast<std::size_t>(slot)] = v;
+        // Link the new resident: first empty or tombstone cell on
+        // v's probe chain.
+        std::size_t i = mixHash(v) & tableMask_;
+        while (shard.table[i] != kEmpty &&
+               shard.table[i] != kTombstone)
+            i = (i + 1) & tableMask_;
+        if (shard.table[i] == kTombstone)
+            --shard.tombstones;
+        shard.table[i] = slot;
+        if (shard.tombstones * 4 > shard.table.size())
+            rehashShard(shard);
+    }
+    shard.refBit[static_cast<std::size_t>(slot)] = 1;
+    std::memcpy(shard.rows.data() +
+                    static_cast<std::size_t>(slot) * rowWidth_,
+                row, rowWidth_ * sizeof(Feature));
+    return evicted;
+}
+
 void
 HotVertexCache::put(VertexId v, const Feature *row)
 {
@@ -153,55 +235,160 @@ HotVertexCache::put(VertexId v, const Feature *row)
     bool evicted = false;
     {
         MutexLock lock(shard.mutex);
-        std::int32_t slot = findSlot(shard, v);
-        if (slot == kEmpty) {
-            if (shard.used < slotsPerShard_) {
-                slot = static_cast<std::int32_t>(shard.used++);
-            } else {
-                // CLOCK second chance: spend ref bits until a cold
-                // slot comes under the hand (terminates within two
-                // sweeps — each pass clears a bit).
-                while (shard.refBit[shard.clockHand] != 0) {
-                    shard.refBit[shard.clockHand] = 0;
-                    shard.clockHand =
-                        (shard.clockHand + 1) % slotsPerShard_;
-                }
-                slot = static_cast<std::int32_t>(shard.clockHand);
-                shard.clockHand = (shard.clockHand + 1) % slotsPerShard_;
-                // Unlink the victim from the index.
-                const VertexId victim =
-                    shard.slotVertex[static_cast<std::size_t>(slot)];
-                std::size_t i = mixHash(victim) & tableMask_;
-                while (shard.table[i] != slot) {
-                    GRAPHITE_DCHECK(shard.table[i] != kEmpty,
-                                    "evicted vertex missing from table");
-                    i = (i + 1) & tableMask_;
-                }
-                shard.table[i] = kTombstone;
-                ++shard.tombstones;
-                evicted = true;
-            }
-            shard.slotVertex[static_cast<std::size_t>(slot)] = v;
-            // Link the new resident: first empty or tombstone cell on
-            // v's probe chain.
-            std::size_t i = mixHash(v) & tableMask_;
-            while (shard.table[i] != kEmpty &&
-                   shard.table[i] != kTombstone)
-                i = (i + 1) & tableMask_;
-            if (shard.table[i] == kTombstone)
-                --shard.tombstones;
-            shard.table[i] = slot;
-            if (shard.tombstones * 4 > shard.table.size())
-                rehashShard(shard);
-        }
-        shard.refBit[static_cast<std::size_t>(slot)] = 1;
-        std::memcpy(shard.rows.data() +
-                        static_cast<std::size_t>(slot) * rowWidth_,
-                    row, rowWidth_ * sizeof(Feature));
+        evicted = putLocked(shard, v, row);
     }
     puts_.fetch_add(1, std::memory_order_relaxed);
     if (evicted)
         evictions_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::uint64_t
+HotVertexCache::fillEpoch(VertexId v) const
+{
+    if (!enabled())
+        return 0;
+    // Acquire pairs with invalidate()'s release bump: a filler that
+    // reads epoch E is guaranteed that if an invalidation happened
+    // before this load, it sees the bumped value and putIfFresh will
+    // reject the (possibly stale) row.
+    return shardOf(v).epoch.load(std::memory_order_acquire);
+}
+
+bool
+HotVertexCache::putIfFresh(VertexId v, const Feature *row,
+                           std::uint64_t epoch)
+{
+    if (!enabled())
+        return false;
+    Shard &shard = shardOf(v);
+    bool evicted = false;
+    {
+        MutexLock lock(shard.mutex);
+        // The epoch can only advance under the shard mutex, so a
+        // relaxed load here is race-free; a mismatch means an edge
+        // update landed between the caller's gather and now — the row
+        // may encode pre-update adjacency and must not be installed.
+        if (shard.epoch.load(std::memory_order_relaxed) != epoch)
+            return false;
+        evicted = putLocked(shard, v, row);
+    }
+    puts_.fetch_add(1, std::memory_order_relaxed);
+    if (evicted)
+        evictions_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+}
+
+bool
+HotVertexCache::invalidate(VertexId v)
+{
+    if (!enabled())
+        return false;
+    Shard &shard = shardOf(v);
+    bool dropped = false;
+    {
+        MutexLock lock(shard.mutex);
+        // Bump first (release): any fill that sampled the old epoch
+        // before this point is now rejected by putIfFresh, resident or
+        // not — the in-flight row may predate the edge update.
+        shard.epoch.fetch_add(1, std::memory_order_release);
+        const std::int32_t slot = findSlot(shard, v);
+        if (slot != kEmpty) {
+            dropped = true;
+            const auto s = static_cast<std::size_t>(slot);
+            // Tombstone v's table cell.
+            std::size_t i = mixHash(v) & tableMask_;
+            while (shard.table[i] != slot) {
+                GRAPHITE_DCHECK(shard.table[i] != kEmpty,
+                                "resident vertex missing from table");
+                i = (i + 1) & tableMask_;
+            }
+            shard.table[i] = kTombstone;
+            ++shard.tombstones;
+            // Swap-with-last keeps slots [0, used) densely resident —
+            // the invariant the CLOCK sweep and rehash depend on.
+            const std::size_t last = shard.used - 1;
+            if (s != last) {
+                const VertexId moved = shard.slotVertex[last];
+                shard.slotVertex[s] = moved;
+                shard.refBit[s] = shard.refBit[last];
+                std::memcpy(shard.rows.data() + s * rowWidth_,
+                            shard.rows.data() + last * rowWidth_,
+                            rowWidth_ * sizeof(Feature));
+                std::size_t j = mixHash(moved) & tableMask_;
+                while (shard.table[j] !=
+                       static_cast<std::int32_t>(last)) {
+                    GRAPHITE_DCHECK(shard.table[j] != kEmpty,
+                                    "moved vertex missing from table");
+                    j = (j + 1) & tableMask_;
+                }
+                shard.table[j] = static_cast<std::int32_t>(s);
+            }
+            --shard.used;
+            // The CLOCK hand only sweeps when the shard is full, but
+            // keep it inside the resident prefix so the next sweep
+            // starts on a live slot.
+            if (shard.used > 0 && shard.clockHand >= shard.used)
+                shard.clockHand = 0;
+            if (shard.tombstones * 4 > shard.table.size())
+                rehashShard(shard);
+        }
+    }
+    invalidations_.fetch_add(1, std::memory_order_relaxed);
+    static obs::Counter &invalidationCounter =
+        obs::MetricsRegistry::global().counter("serve.invalidations");
+    invalidationCounter.increment();
+    return dropped;
+}
+
+bool
+HotVertexCache::patchMeanRow(VertexId v, const Feature *addedRow,
+                             EdgeId oldDegree)
+{
+    if (!enabled())
+        return false;
+    Shard &shard = shardOf(v);
+    bool patched = false;
+    {
+        MutexLock lock(shard.mutex);
+        // Even when the patch applies, in-flight fills gathered from
+        // the pre-insert adjacency must not overwrite it later.
+        shard.epoch.fetch_add(1, std::memory_order_release);
+        const std::int32_t slot = findSlot(shard, v);
+        if (slot != kEmpty) {
+            patched = true;
+            Feature *row = shard.rows.data() +
+                           static_cast<std::size_t>(slot) * rowWidth_;
+            // (d+1)-term mean -> (d+2)-term mean including addedRow.
+            const float oldTerms =
+                1.0f + static_cast<float>(oldDegree);
+            const float invNewTerms = 1.0f / (oldTerms + 1.0f);
+            for (std::size_t c = 0; c < rowWidth_; ++c)
+                row[c] = (row[c] * oldTerms + addedRow[c]) * invNewTerms;
+        }
+    }
+    invalidations_.fetch_add(1, std::memory_order_relaxed);
+    static obs::Counter &invalidationCounter =
+        obs::MetricsRegistry::global().counter("serve.invalidations");
+    invalidationCounter.increment();
+    return patched;
+}
+
+void
+HotVertexCache::clear()
+{
+    if (!enabled())
+        return;
+    for (auto &shard : shards_) {
+        MutexLock lock(shard.mutex);
+        shard.epoch.fetch_add(1, std::memory_order_release);
+        for (auto &cell : shard.table)
+            cell = kEmpty;
+        std::fill(shard.refBit.begin(), shard.refBit.end(),
+                  std::uint8_t{0});
+        shard.used = 0;
+        shard.clockHand = 0;
+        shard.tombstones = 0;
+    }
 }
 
 HotVertexCache::Stats
@@ -212,6 +399,7 @@ HotVertexCache::stats() const
     s.misses = misses_.load(std::memory_order_relaxed);
     s.puts = puts_.load(std::memory_order_relaxed);
     s.evictions = evictions_.load(std::memory_order_relaxed);
+    s.invalidations = invalidations_.load(std::memory_order_relaxed);
     return s;
 }
 
@@ -222,6 +410,7 @@ HotVertexCache::resetStats()
     misses_.store(0, std::memory_order_relaxed);
     puts_.store(0, std::memory_order_relaxed);
     evictions_.store(0, std::memory_order_relaxed);
+    invalidations_.store(0, std::memory_order_relaxed);
 }
 
 } // namespace graphite::serve

@@ -35,6 +35,7 @@
 namespace graphite {
 
 class CsrGraph;
+class DeltaCsr;
 
 namespace serve {
 
@@ -48,6 +49,16 @@ namespace serve {
  */
 EdgeId churnFreeDegreeThreshold(const CsrGraph &graph,
                                 std::size_t capacity);
+
+/**
+ * churnFreeDegreeThreshold over a delta-CSR overlay (degrees include
+ * published delta edges). @p degreeScratch is caller-owned storage
+ * resized to |V| once, so periodic re-evaluation under churn stays
+ * allocation-free after the first call.
+ */
+EdgeId churnFreeDegreeThreshold(const DeltaCsr &graph,
+                                std::size_t capacity,
+                                std::vector<EdgeId> &degreeScratch);
 
 /** Sharded CLOCK cache of per-hub aggregation rows. */
 class HotVertexCache
@@ -76,14 +87,33 @@ class HotVertexCache
     }
 
     std::size_t rowWidth() const { return rowWidth_; }
-    EdgeId minDegree() const { return minDegree_; }
+
+    EdgeId
+    minDegree() const
+    {
+        return minDegree_.load(std::memory_order_relaxed);
+    }
+
+    /**
+     * Raise/replace the admission threshold. Safe while lookups and
+     * puts run concurrently: admission is advisory (a row admitted
+     * under the old threshold stays resident until evicted), so a
+     * racing reader seeing either value is correct.
+     */
+    void
+    setMinDegree(EdgeId minDegree)
+    {
+        minDegree_.store(minDegree, std::memory_order_relaxed);
+    }
 
     /** @p v passes the degree admission filter. */
-    bool admits(EdgeId degree) const { return degree >= minDegree_; }
+    bool admits(EdgeId degree) const { return degree >= minDegree(); }
 
     /**
      * Copy @p v's cached row into @p dst (rowWidth floats) and mark it
-     * recently used. Returns false (counting a miss) when absent.
+     * recently used. Returns false (counting a miss) when absent. A
+     * disabled cache returns false without touching the hit/miss stats
+     * — cache-off A/B legs report "no cache", not a 0% hit rate.
      */
     bool lookup(VertexId v, Feature *dst);
 
@@ -94,12 +124,65 @@ class HotVertexCache
      */
     void put(VertexId v, const Feature *row);
 
+    /**
+     * Shard fill epoch of @p v, for the stale-fill protocol (DESIGN.md
+     * §14): read the epoch *before* gathering v's neighborhood, then
+     * install with putIfFresh(). invalidate()/patchMeanRow() bump the
+     * epoch, so a fill computed from pre-update adjacency can never be
+     * installed after the update invalidated it.
+     */
+    std::uint64_t fillEpoch(VertexId v) const;
+
+    /**
+     * put(), unless @p v's shard fill epoch has advanced past
+     * @p epoch (an edge update touched the shard since the caller
+     * gathered the row). Returns true when the row was installed.
+     */
+    bool putIfFresh(VertexId v, const Feature *row, std::uint64_t epoch);
+
+    /**
+     * Drop @p v's cached row (edge-update path) and bump the shard
+     * fill epoch so concurrent in-flight fills of the pre-update row
+     * are rejected by putIfFresh(). Returns true when @p v was
+     * resident.
+     */
+    bool invalidate(VertexId v);
+
+    /**
+     * Exact mean-aggregation patch for an inserted edge v -> u: if
+     * @p v is resident, rescale its cached row from the
+     * (@p oldDegree + 1)-term mean to include @p addedRow:
+     *
+     *   row' = (row * (oldDegree + 1) + addedRow) / (oldDegree + 2)
+     *
+     * Mathematically exact, but not bitwise identical to a re-gathered
+     * mean (different FP summation order), so the bitwise serving
+     * contract requires invalidate() instead; patching is the cheap
+     * opt-in (see ServeConfig::patchCacheOnInsert). Bumps the shard
+     * fill epoch either way. Returns true when the patch was applied.
+     */
+    bool patchMeanRow(VertexId v, const Feature *addedRow,
+                      EdgeId oldDegree);
+
+    /**
+     * Drop every resident row and bump all shard fill epochs. Called
+     * around overlay compaction: a compacted row gathers in sorted
+     * merged order, not base-then-delta-chain order, so rows cached
+     * before the compaction are mathematically equal but bitwise
+     * different from post-compaction gathers — flushing keeps the
+     * cache-on == hub-exact-oracle serving contract bitwise across
+     * compactions. Allocation-free (the table is reset in place).
+     */
+    void clear();
+
     struct Stats
     {
         std::uint64_t hits = 0;
         std::uint64_t misses = 0;
         std::uint64_t puts = 0;
         std::uint64_t evictions = 0;
+        /** invalidate()/patchMeanRow() calls (edge-update traffic). */
+        std::uint64_t invalidations = 0;
     };
 
     Stats stats() const;
@@ -125,6 +208,13 @@ class HotVertexCache
         std::size_t used GRAPHITE_GUARDED_BY(mutex) = 0;
         std::size_t clockHand GRAPHITE_GUARDED_BY(mutex) = 0;
         std::size_t tombstones GRAPHITE_GUARDED_BY(mutex) = 0;
+        /**
+         * Fill epoch: bumped by invalidate()/patchMeanRow(), read
+         * lock-free by fillEpoch(). Atomic (not merely guarded) so
+         * the pre-gather read takes no lock; mutations happen under
+         * the shard mutex.
+         */
+        std::atomic<std::uint64_t> epoch{0};
     };
 
     /** Slot of @p v in @p shard's table, or kEmpty. */
@@ -132,12 +222,16 @@ class HotVertexCache
         GRAPHITE_REQUIRES(shard.mutex);
     /** Rebuild @p shard's table in place (tombstone purge). */
     void rehashShard(Shard &shard) GRAPHITE_REQUIRES(shard.mutex);
+    /** put() body under @p shard's lock; returns whether it evicted. */
+    bool putLocked(Shard &shard, VertexId v, const Feature *row)
+        GRAPHITE_REQUIRES(shard.mutex);
 
     Shard &shardOf(VertexId v);
+    const Shard &shardOf(VertexId v) const;
 
     std::size_t slotsPerShard_;
     std::size_t rowWidth_;
-    EdgeId minDegree_;
+    std::atomic<EdgeId> minDegree_;
     std::size_t tableMask_;
     std::vector<Shard> shards_;
 
@@ -145,6 +239,7 @@ class HotVertexCache
     std::atomic<std::uint64_t> misses_{0};
     std::atomic<std::uint64_t> puts_{0};
     std::atomic<std::uint64_t> evictions_{0};
+    std::atomic<std::uint64_t> invalidations_{0};
 };
 
 } // namespace serve

@@ -14,25 +14,23 @@
 
 namespace graphite::serve {
 
-namespace {
-
-/** Exact q-quantile of @p values (mutated) by selection. */
 double
-percentile(std::vector<double> &values, double q)
+exactPercentile(std::vector<double> &values, double q)
 {
     if (values.empty())
         return 0.0;
-    const std::size_t idx = std::min(
-        values.size() - 1,
-        static_cast<std::size_t>(q * static_cast<double>(values.size() - 1) +
-                                 0.5));
+    // Nearest rank, identical to MetricsRegistry::estimateQuantile:
+    // 1-based rank = ceil(q * n), clamped into [1, n].
+    const double n = static_cast<double>(values.size());
+    std::size_t rank =
+        static_cast<std::size_t>(std::ceil(q * n));
+    rank = std::min(std::max<std::size_t>(rank, 1), values.size());
+    const std::size_t idx = rank - 1;
     std::nth_element(values.begin(),
                      values.begin() + static_cast<std::ptrdiff_t>(idx),
                      values.end());
     return values[idx];
 }
-
-} // namespace
 
 LoadGenReport
 runServeLoad(InferenceServer &server, const LoadGenConfig &config)
@@ -69,8 +67,12 @@ runServeLoad(InferenceServer &server, const LoadGenConfig &config)
 
     const std::size_t totalRequests =
         config.warmupRequests + config.numRequests;
-    DenseMatrix results(totalRequests, server.outFeatures());
+    DenseMatrix localResults;
+    DenseMatrix &results =
+        config.resultsOut != nullptr ? *config.resultsOut : localResults;
+    results.resize(totalRequests, server.outFeatures());
     std::vector<double> latencies(totalRequests, -1.0);
+    std::vector<VertexId> vertices(totalRequests, 0);
 
     std::thread consumer([&server] { server.run(); });
 
@@ -115,6 +117,7 @@ runServeLoad(InferenceServer &server, const LoadGenConfig &config)
         const std::size_t rank = static_cast<std::size_t>(
             std::lower_bound(cdf.begin(), cdf.end(), z) - cdf.begin());
         req.vertex = ranked[std::min(rank, hot - 1)];
+        vertices[i] = req.vertex;
         req.enqueueNs = monotonicNanos();
         req.out = results.row(i);
         req.latencyUs = &latencies[i];
@@ -133,6 +136,11 @@ runServeLoad(InferenceServer &server, const LoadGenConfig &config)
     const double duration = measuredTimer.seconds();
     const ServeStats statsAfter = server.stats();
 
+    if (config.verticesOut != nullptr)
+        *config.verticesOut = std::move(vertices);
+    if (config.latenciesOut != nullptr)
+        *config.latenciesOut = latencies;
+
     LoadGenReport report;
     report.offered = config.numRequests;
     report.accepted = accepted;
@@ -150,8 +158,8 @@ runServeLoad(InferenceServer &server, const LoadGenConfig &config)
                                      measuredLat.end(),
                                      [](double v) { return v < 0.0; }),
                       measuredLat.end());
-    report.p50Us = percentile(measuredLat, 0.50);
-    report.p99Us = percentile(measuredLat, 0.99);
+    report.p50Us = exactPercentile(measuredLat, 0.50);
+    report.p99Us = exactPercentile(measuredLat, 0.99);
     if (!measuredLat.empty()) {
         double sum = 0.0;
         for (const double v : measuredLat)

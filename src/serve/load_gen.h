@@ -18,10 +18,22 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "serve/server.h"
 
 namespace graphite::serve {
+
+/**
+ * Exact q-quantile of @p values (mutated by selection), nearest-rank
+ * convention: rank = ceil(q * n) clamped to [1, n], result = the
+ * rank-th smallest value. This matches MetricsRegistry's
+ * estimateQuantile so the load-gen's exact percentiles and the
+ * histogram estimates answer the same question — the old half-up
+ * rounding of q*(n-1) sat between conventions and disagreed with both
+ * on small samples. Returns 0 for an empty vector.
+ */
+double exactPercentile(std::vector<double> &values, double q);
 
 /** Open-loop workload shape. */
 struct LoadGenConfig
@@ -37,6 +49,20 @@ struct LoadGenConfig
     /** Restrict traffic to the top-N vertices by degree; 0 = all. */
     std::size_t popularVertices = 0;
     std::uint64_t seed = 7;
+    /**
+     * Optional post-run capture (no overhead when left null): row i of
+     * @c resultsOut is request i's served embedding, @c verticesOut[i]
+     * its target vertex and @c latenciesOut[i] its latency in
+     * microseconds (-1 = dropped, warmup requests included in all
+     * three). Request i's sampling seed is its id i, so a caller can
+     * replay any captured request against an oracle server — the churn
+     * bench compares embeddings served under live edge inserts with a
+     * compacted-graph replay to measure staleness. resultsOut is
+     * resized to (warmupRequests + numRequests) x outFeatures().
+     */
+    DenseMatrix *resultsOut = nullptr;
+    std::vector<VertexId> *verticesOut = nullptr;
+    std::vector<double> *latenciesOut = nullptr;
 };
 
 /** Measured-phase results of one load run. */

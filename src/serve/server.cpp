@@ -5,6 +5,7 @@
 #include <functional>
 
 #include "common/assert.h"
+#include "kernels/overlay_gather.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "tensor/gemm.h"
@@ -15,38 +16,34 @@ namespace graphite::serve {
 namespace {
 
 /**
- * Full-neighborhood mean aggregation of @p v's input features — the
- * deterministic, sampling-independent row the hot-vertex cache stores.
- */
-void
-fullMeanRow(const CsrGraph &graph, const DenseMatrix &features, VertexId v,
-            Feature *dst)
-{
-    const std::size_t cols = features.cols();
-    const Feature *self = features.row(v);
-    for (std::size_t c = 0; c < cols; ++c)
-        dst[c] = self[c];
-    const auto neighbors = graph.neighbors(v);
-    for (const VertexId u : neighbors) {
-        const Feature *srcRow = features.row(u);
-        for (std::size_t c = 0; c < cols; ++c)
-            dst[c] += srcRow[c];
-    }
-    const float scale =
-        1.0f / (1.0f + static_cast<float>(neighbors.size()));
-    for (std::size_t c = 0; c < cols; ++c)
-        dst[c] *= scale;
-}
-
-/**
- * Effective cache admission threshold. Auto mode (0) aims the cache at
- * the true hub set: roughly the capacity-th largest degree, but never
- * below the mean degree or the largest fanout — vertices below either
- * gain little from caching (their sampled fan-in is already the full
+ * Effective cache admission threshold over @p degrees (scrambled by
+ * the nth_element partition). Auto mode aims the cache at the true hub
+ * set: roughly the capacity-th largest degree, but never below the
+ * mean degree or the largest fanout — vertices below either gain
+ * little from caching (their sampled fan-in is already the full
  * fan-in).
  */
 EdgeId
-resolveHotThreshold(const CsrGraph &graph, const ServeConfig &config)
+thresholdFromDegrees(std::vector<EdgeId> &degrees, EdgeId numEdges,
+                     const ServeConfig &config)
+{
+    const std::size_t n = degrees.size();
+    const std::size_t nth = std::min(config.hotCacheCapacity, n - 1);
+    std::nth_element(degrees.begin(),
+                     degrees.begin() + static_cast<std::ptrdiff_t>(nth),
+                     degrees.end(), std::greater<EdgeId>());
+    const EdgeId capacityTh = degrees[nth];
+    const EdgeId avgPlusOne = (numEdges + n - 1) / n + 1;
+    EdgeId maxFanout = 0;
+    for (const VertexId f : config.fanouts)
+        maxFanout = std::max<EdgeId>(maxFanout, f);
+    return std::max({capacityTh, avgPlusOne, maxFanout + 1});
+}
+
+/** resolveHotThreshold over either graph variant (cold, ctor-only). */
+template <typename GraphT>
+EdgeId
+resolveHotThreshold(const GraphT &graph, const ServeConfig &config)
 {
     if (config.hotCacheMinDegree > 0 || config.hotCacheCapacity == 0 ||
         graph.numVertices() == 0)
@@ -54,20 +51,7 @@ resolveHotThreshold(const CsrGraph &graph, const ServeConfig &config)
     std::vector<EdgeId> degrees(graph.numVertices());
     for (VertexId v = 0; v < graph.numVertices(); ++v)
         degrees[v] = graph.degree(v);
-    const std::size_t nth =
-        std::min(config.hotCacheCapacity, degrees.size() - 1);
-    std::nth_element(degrees.begin(),
-                     degrees.begin() + static_cast<std::ptrdiff_t>(nth),
-                     degrees.end(), std::greater<EdgeId>());
-    const EdgeId capacityTh = degrees[nth];
-    const EdgeId avgPlusOne =
-        (graph.numEdges() + graph.numVertices() - 1) /
-            graph.numVertices() +
-        1;
-    EdgeId maxFanout = 0;
-    for (const VertexId f : config.fanouts)
-        maxFanout = std::max<EdgeId>(maxFanout, f);
-    return std::max({capacityTh, avgPlusOne, maxFanout + 1});
+    return thresholdFromDegrees(degrees, graph.numEdges(), config);
 }
 
 } // namespace
@@ -103,7 +87,8 @@ InferenceServer::InferenceServer(const CsrGraph &graph,
       hotDegreeThreshold_(resolveHotThreshold(graph, config_)),
       queue_(config_.queueCapacity),
       cache_(config_.hotCacheCapacity, config_.hotCacheShards,
-             features.cols(), hotDegreeThreshold_)
+             features.cols(), hotDegreeThreshold()),
+      liveStats_(computeGraphStats(graph))
 {
     GRAPHITE_ASSERT(!layers_.empty(), "serving needs at least one layer");
     GRAPHITE_ASSERT(layers_.size() == config_.fanouts.size(),
@@ -119,6 +104,40 @@ InferenceServer::InferenceServer(const CsrGraph &graph,
     }
     scratch_ = makeScratch(config_.maxBatch);
     oracleScratch_ = makeScratch(1);
+}
+
+InferenceServer::InferenceServer(DeltaCsr &graph,
+                                 const DenseMatrix &features,
+                                 std::vector<GnnLayer *> layers,
+                                 ServeConfig config)
+    : graph_(graph.base()), overlay_(&graph), features_(features),
+      layers_(std::move(layers)), config_(std::move(config)),
+      hotDegreeThreshold_(resolveHotThreshold(graph, config_)),
+      queue_(config_.queueCapacity),
+      cache_(config_.hotCacheCapacity, config_.hotCacheShards,
+             features.cols(), hotDegreeThreshold()),
+      liveStats_(computeGraphStats(graph))
+{
+    GRAPHITE_ASSERT(!layers_.empty(), "serving needs at least one layer");
+    GRAPHITE_ASSERT(layers_.size() == config_.fanouts.size(),
+                    "one fanout per layer, innermost first");
+    GRAPHITE_ASSERT(layers_.front()->inFeatures() == features_.cols(),
+                    "layer 0 input width must match the feature table");
+    for (std::size_t k = 0; k + 1 < layers_.size(); ++k) {
+        // graphite-lint: allow(assert) cold ctor contract check, once
+        // per layer, not per request.
+        GRAPHITE_ASSERT(layers_[k]->outFeatures() ==
+                            layers_[k + 1]->inFeatures(),
+                        "layer stack width mismatch");
+    }
+    scratch_ = makeScratch(config_.maxBatch);
+    oracleScratch_ = makeScratch(1);
+    {
+        // Pre-size the refresh scratch so periodic threshold
+        // re-derivation under churn never allocates.
+        MutexLock lock(updateMutex_);
+        degreeScratch_.resize(graph.numVertices());
+    }
 }
 
 InferenceServer::~InferenceServer() = default;
@@ -176,8 +195,17 @@ InferenceServer::makeScratch(std::size_t maxBatch) const
 }
 
 void
+InferenceServer::gatherFullMeanRow(VertexId v, Feature *dst) const
+{
+    if (overlay_ != nullptr)
+        fullMeanRow(*overlay_, features_, v, dst);
+    else
+        fullMeanRow(graph_, features_, v, dst);
+}
+
+void
 InferenceServer::forwardBatch(ForwardScratch &scratch, std::size_t n,
-                              bool useCache)
+                              AggPolicy policy)
 {
     GRAPHITE_TRACE_SPAN("serve.batch");
     auto &metrics = obs::MetricsRegistry::global();
@@ -202,8 +230,13 @@ InferenceServer::forwardBatch(ForwardScratch &scratch, std::size_t n,
     // request id, whatever else shares the batch.
     for (std::size_t r = 0; r < n; ++r) {
         Rng rng(requestSeed(scratch.batch[r].id));
-        sampleTree(graph_, scratch.batch[r].vertex, fanouts, rng,
-                   scratch.sampler, scratch.trees[r]);
+        if (overlay_ != nullptr) {
+            sampleTree(*overlay_, scratch.batch[r].vertex, fanouts, rng,
+                       scratch.sampler, scratch.trees[r]);
+        } else {
+            sampleTree(graph_, scratch.batch[r].vertex, fanouts, rng,
+                       scratch.sampler, scratch.trees[r]);
+        }
     }
 
     // 2. Per-layer destination row offsets of the concatenation.
@@ -222,7 +255,14 @@ InferenceServer::forwardBatch(ForwardScratch &scratch, std::size_t n,
     // then one serial packed GEMM over the concatenated rows — the
     // batching win; the plan cache in GnnLayer amortises the pack.
     std::uint64_t bytes = 0;
-    const bool cacheActive = useCache && cache_.enabled();
+    const bool cacheActive =
+        policy == AggPolicy::HubExactCached && cache_.enabled();
+    // HubExactCached degrades to the pure sampled estimate when the
+    // cache is disabled — serving then stays bitwise identical to the
+    // serveOne() replay, the header's determinism contract. Only the
+    // explicit oracle policy takes the hub-exact path cache-free.
+    const bool hubExact =
+        cacheActive || policy == AggPolicy::HubExactUncached;
     for (std::size_t k = 0; k < K; ++k) {
         GnnLayer &layer = *layers_[k];
         const std::size_t inF = layer.inFeatures();
@@ -246,19 +286,27 @@ InferenceServer::forwardBatch(ForwardScratch &scratch, std::size_t n,
             const std::size_t srcBase = k > 0 ? prevOff[r] : 0;
             for (std::size_t i = 0; i < numDst; ++i) {
                 Feature *dstRow = agg.row(off[r] + i);
-                if (k == 0 && cacheActive) {
+                if (k == 0 && hubExact) {
                     const VertexId v = block.dstVertices[i];
-                    const EdgeId deg = graph_.degree(v);
+                    const EdgeId deg = liveDegree(v);
                     if (cache_.admits(deg)) {
-                        if (cache_.lookup(v, dstRow)) {
+                        if (cacheActive && cache_.lookup(v, dstRow)) {
                             // Hub hit: one cached row read replaces
                             // the whole fan-in gather.
                             bytes += srcRowBytes;
                             continue;
                         }
-                        fullMeanRow(graph_, features_, v, dstRow);
+                        // Stale-fill protocol: snapshot the shard fill
+                        // epoch *before* gathering; a concurrent edge
+                        // insert on this shard bumps it, and
+                        // putIfFresh then discards this row rather
+                        // than installing pre-insert adjacency.
+                        const std::uint64_t epoch =
+                            cacheActive ? cache_.fillEpoch(v) : 0;
+                        gatherFullMeanRow(v, dstRow);
                         bytes += (deg + 1) * srcRowBytes;
-                        cache_.put(v, dstRow);
+                        if (cacheActive)
+                            cache_.putIfFresh(v, dstRow, epoch);
                         continue;
                     }
                 }
@@ -292,9 +340,15 @@ InferenceServer::forwardBatch(ForwardScratch &scratch, std::size_t n,
         gemmBlockSerial(agg.row(0), totalDst, agg.rowStride(),
                         layer.packedWeights(config_.precision),
                         outM.row(0), outM.rowStride(), inF);
-        addBias(outM, layer.bias());
+        // Serial on purpose: forwardBatch runs concurrently on the
+        // consumer thread and serveOne oracle callers, and the
+        // pool-backed addBias/reluForward would enter the global
+        // ThreadPool::runOnAll from both at once (found by the TSan
+        // churn sweep — a panic under GRAPHITE_CHECKS, silent pool-job
+        // corruption in Release).
+        addBiasSerial(outM, layer.bias());
         if (layer.hasRelu())
-            reluForward(outM);
+            reluForwardSerial(outM);
     }
 
     // 4. Deliver: the outermost layer has exactly one destination row
@@ -323,7 +377,11 @@ InferenceServer::forwardBatch(ForwardScratch &scratch, std::size_t n,
     batchesCounter.increment();
     bytesCounter.add(bytes);
     batchSizeHist.observe(n);
-    requestsServed_.fetch_add(n, std::memory_order_relaxed);
+    // Release-publish the batch: every req.out/req.latencyUs write
+    // above happens-before a reader that acquires requestsServed via
+    // stats() and observes the bumped count — the only completion
+    // signal a producer can poll before reading its output row.
+    requestsServed_.fetch_add(n, std::memory_order_release);
     batchesServed_.fetch_add(1, std::memory_order_relaxed);
     bytesGathered_.fetch_add(bytes, std::memory_order_relaxed);
 }
@@ -350,9 +408,12 @@ InferenceServer::warmup()
             req.out = nullptr;
             req.latencyUs = nullptr;
         }
-        forwardBatch(*scratch_, n, pass < 2);
+        forwardBatch(*scratch_, n,
+                     pass < 2 ? AggPolicy::HubExactCached
+                              : AggPolicy::Sampled);
     }
     serveOne(~std::uint64_t{0}, 0, nullptr);
+    serveOneHubExact(~std::uint64_t{0}, 0, nullptr);
 }
 
 void
@@ -360,11 +421,21 @@ InferenceServer::run()
 {
     const std::int64_t budgetNs = config_.latencyBudgetUs * 1000;
     for (;;) {
+        // Honor compaction requests between batches: this thread is
+        // the only batch forwarder, so excluding updates and oracle
+        // reads here gives compact() the exclusive access it needs.
+        if (compactionRequested_.exchange(false,
+                                          std::memory_order_acq_rel) &&
+            overlay_ != nullptr) {
+            MutexLock update(updateMutex_);
+            MutexLock oracle(oracleMutex_);
+            compactLocked();
+        }
         const std::size_t n = queue_.popBatch(
             scratch_->batch.data(), config_.maxBatch, budgetNs);
         if (n == 0)
             return; // closed and drained
-        forwardBatch(*scratch_, n, true);
+        forwardBatch(*scratch_, n, AggPolicy::HubExactCached);
     }
 }
 
@@ -379,16 +450,131 @@ InferenceServer::serveOne(std::uint64_t requestId, VertexId vertex,
     req.enqueueNs = monotonicNanos();
     req.out = out;
     req.latencyUs = nullptr;
-    forwardBatch(*oracleScratch_, 1, false);
+    forwardBatch(*oracleScratch_, 1, AggPolicy::Sampled);
+}
+
+void
+InferenceServer::serveOneHubExact(std::uint64_t requestId,
+                                  VertexId vertex, Feature *out)
+{
+    MutexLock lock(oracleMutex_);
+    InferenceRequest &req = oracleScratch_->batch[0];
+    req.id = requestId;
+    req.vertex = vertex;
+    req.enqueueNs = monotonicNanos();
+    req.out = out;
+    req.latencyUs = nullptr;
+    forwardBatch(*oracleScratch_, 1, AggPolicy::HubExactUncached);
+}
+
+DeltaCsr::AddEdge
+InferenceServer::insertEdge(VertexId src, VertexId dst)
+{
+    GRAPHITE_ASSERT(overlay_ != nullptr,
+                    "insertEdge requires overlay (dynamic-graph) mode");
+    MutexLock lock(updateMutex_);
+    const DeltaCsr::AddEdge result = overlay_->addEdge(src, dst);
+    if (result != DeltaCsr::AddEdge::Added)
+        return result;
+
+    const EdgeId newDegree = overlay_->degree(src);
+    liveStats_.onEdgeInserted(newDegree);
+
+    // Cache coherence: src's cached aggregation row now misses the new
+    // neighbor. Patch it in place (exact mean rescale) or drop it;
+    // both bump the shard fill epoch, so any in-flight fill gathered
+    // from pre-insert adjacency is rejected by putIfFresh.
+    if (cache_.enabled()) {
+        if (config_.patchCacheOnInsert) {
+            cache_.patchMeanRow(src, features_.row(dst), newDegree - 1);
+        } else {
+            cache_.invalidate(src);
+        }
+    }
+
+    // Re-derive the auto admission threshold as hubs grow.
+    if (config_.thresholdRefreshEvery > 0 &&
+        ++insertsSinceRefresh_ >= config_.thresholdRefreshEvery) {
+        insertsSinceRefresh_ = 0;
+        refreshHotThreshold();
+    }
+
+    edgeInserts_.fetch_add(1, std::memory_order_relaxed);
+    return result;
+}
+
+void
+InferenceServer::refreshHotThreshold()
+{
+    // Explicit thresholds are a user pin; only auto mode tracks hub
+    // growth. Degrees only grow under insert-only churn, so the
+    // re-derived threshold is clamped monotone — a transiently lower
+    // estimate must not widen the admissible set beyond capacity.
+    if (config_.hotCacheMinDegree != 0 || !cache_.enabled() ||
+        overlay_ == nullptr)
+        return;
+    for (VertexId v = 0; v < overlay_->numVertices(); ++v)
+        degreeScratch_[v] = overlay_->degree(v);
+    const EdgeId fresh = thresholdFromDegrees(
+        degreeScratch_, overlay_->numEdges(), config_);
+    const EdgeId current = hotDegreeThreshold();
+    if (fresh > current) {
+        hotDegreeThreshold_.store(fresh, std::memory_order_relaxed);
+        cache_.setMinDegree(fresh);
+    }
+}
+
+void
+InferenceServer::requestCompaction()
+{
+    if (overlay_ == nullptr)
+        return;
+    compactionRequested_.store(true, std::memory_order_release);
+}
+
+void
+InferenceServer::compactNow()
+{
+    if (overlay_ == nullptr)
+        return;
+    MutexLock update(updateMutex_);
+    MutexLock oracle(oracleMutex_);
+    compactLocked();
+}
+
+void
+InferenceServer::compactLocked()
+{
+    if (overlay_->deltaEdges() == 0)
+        return;
+    overlay_->compact();
+    // Rows cached before the compaction were gathered in
+    // base-then-delta order; the compacted base gathers in sorted
+    // merged order. Flush so cache-on serving stays bitwise identical
+    // to a fresh hub-exact gather (HotVertexCache::clear doc).
+    cache_.clear();
+    compactions_.fetch_add(1, std::memory_order_relaxed);
+    static obs::Counter &compactionCounter =
+        obs::MetricsRegistry::global().counter("serve.compactions");
+    compactionCounter.increment();
+}
+
+GraphStats
+InferenceServer::liveGraphStats() const
+{
+    MutexLock lock(updateMutex_);
+    return liveStats_.current();
 }
 
 ServeStats
 InferenceServer::stats() const
 {
     ServeStats s;
-    s.requestsServed = requestsServed_.load(std::memory_order_relaxed);
+    s.requestsServed = requestsServed_.load(std::memory_order_acquire);
     s.batchesServed = batchesServed_.load(std::memory_order_relaxed);
     s.bytesGathered = bytesGathered_.load(std::memory_order_relaxed);
+    s.edgeInserts = edgeInserts_.load(std::memory_order_relaxed);
+    s.compactions = compactions_.load(std::memory_order_relaxed);
     s.cache = cache_.stats();
     return s;
 }

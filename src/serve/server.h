@@ -34,6 +34,8 @@
 
 #include "gnn/gnn_layer.h"
 #include "graph/csr_graph.h"
+#include "graph/delta_csr.h"
+#include "graph/graph_stats.h"
 #include "sampling/neighbor_sampler.h"
 #include "serve/hot_vertex_cache.h"
 #include "serve/request_queue.h"
@@ -65,15 +67,46 @@ struct ServeConfig
     EdgeId hotCacheMinDegree = 0;
     /** Update-GEMM precision (the per-precision plan-cache key). */
     Precision precision = Precision::Fp32;
+    /**
+     * Edge-insert cache policy (overlay mode): false = invalidate the
+     * source's cached row (next touch re-gathers; preserves the
+     * bitwise cache-on == hub-exact-oracle contract), true = patch the
+     * resident row in place with the exact mean update (cheaper — no
+     * re-gather — but FP summation order differs from a fresh gather,
+     * so bitwise parity is waived; see HotVertexCache::patchMeanRow).
+     */
+    bool patchCacheOnInsert = false;
+    /**
+     * Overlay mode: re-derive the auto admission threshold after this
+     * many accepted edge inserts, so the degree gate tracks hubs as
+     * they grow (0 = never; ignored when hotCacheMinDegree pins an
+     * explicit threshold). The re-derived threshold never decreases —
+     * degrees only grow under insert-only churn.
+     */
+    std::size_t thresholdRefreshEvery = 1024;
 };
 
-/** Monotonic serving counters (readable from any thread). */
+/**
+ * Monotonic serving counters (readable from any thread).
+ *
+ * requestsServed is also the result-publication edge: the consumer
+ * bumps it with a release fetch_add after writing every request's
+ * output row and latency slot, and stats() reads it with acquire — a
+ * producer that polls stats() until requestsServed covers its request
+ * may then read the request's InferenceRequest::out/latencyUs storage
+ * without further synchronization (the load generator's quiesce loop
+ * and the churn tests rely on this).
+ */
 struct ServeStats
 {
     std::uint64_t requestsServed = 0;
     std::uint64_t batchesServed = 0;
     /** Feature-row bytes read by aggregation gathers (all layers). */
     std::uint64_t bytesGathered = 0;
+    /** Accepted edge inserts through insertEdge() (overlay mode). */
+    std::uint64_t edgeInserts = 0;
+    /** Overlay compactions performed by this server. */
+    std::uint64_t compactions = 0;
     HotVertexCache::Stats cache;
 };
 
@@ -92,6 +125,18 @@ class InferenceServer
      */
     InferenceServer(const CsrGraph &graph, const DenseMatrix &features,
                     std::vector<GnnLayer *> layers, ServeConfig config);
+
+    /**
+     * Dynamic-graph mode: serve over a DeltaCsr overlay (borrowed, not
+     * owned). Sampling, hub gathers and cache admission all see base +
+     * delta adjacency; insertEdge() feeds the overlay and keeps the
+     * hot-vertex cache coherent (DESIGN.md §14). The overlay must
+     * outlive the server; external writers must not touch it while the
+     * server is live (route all inserts through insertEdge()).
+     */
+    InferenceServer(DeltaCsr &graph, const DenseMatrix &features,
+                    std::vector<GnnLayer *> layers, ServeConfig config);
+
     ~InferenceServer();
 
     InferenceServer(const InferenceServer &) = delete;
@@ -100,10 +145,50 @@ class InferenceServer
     RequestQueue &queue() { return queue_; }
     const ServeConfig &config() const { return config_; }
     const CsrGraph &graph() const { return graph_; }
+    /** Overlay being served, or nullptr in frozen-CSR mode. */
+    const DeltaCsr *overlay() const { return overlay_; }
     /** Output width of the served embeddings (last layer's). */
     std::size_t outFeatures() const;
     /** Effective cache admission threshold (resolved when auto). */
-    EdgeId hotDegreeThreshold() const { return hotDegreeThreshold_; }
+    EdgeId
+    hotDegreeThreshold() const
+    {
+        return hotDegreeThreshold_.load(std::memory_order_relaxed);
+    }
+
+    /**
+     * Edge-update path (overlay mode only): insert src -> dst into the
+     * overlay and keep the serving state coherent — the source's
+     * cached aggregation row is invalidated (or mean-patched, see
+     * ServeConfig::patchCacheOnInsert), live graph stats are folded
+     * forward in O(1), and the auto admission threshold is re-derived
+     * every thresholdRefreshEvery accepted inserts. Thread-safe
+     * against the consumer loop, serveOne() and other insertEdge()
+     * callers; never blocks on the request queue.
+     */
+    DeltaCsr::AddEdge insertEdge(VertexId src, VertexId dst);
+
+    /**
+     * Ask the consumer loop to compact the overlay between batches
+     * (run() performs it with updates and oracle reads excluded).
+     * No-op in frozen-CSR mode.
+     */
+    void requestCompaction();
+
+    /**
+     * Compact the overlay immediately. Caller must guarantee the
+     * consumer loop is not mid-batch (idle, or not started, or
+     * drained); insertEdge()/serveOne() callers are excluded
+     * internally. No-op in frozen-CSR mode.
+     */
+    void compactNow();
+
+    /**
+     * Live graph statistics maintained incrementally across
+     * insertEdge() calls (overlay mode; in frozen-CSR mode these are
+     * the construction-time stats).
+     */
+    GraphStats liveGraphStats() const;
 
     /**
      * Prime every lazy allocation on the serving path (packed weight
@@ -128,38 +213,92 @@ class InferenceServer
      */
     void serveOne(std::uint64_t requestId, VertexId vertex, Feature *out);
 
+    /**
+     * Cache-disabled forward that mirrors the cache-on aggregation
+     * *policy*: admissible hubs use the exact full-neighborhood mean
+     * (freshly gathered, never cached), everything else the sampled
+     * estimate. This is the bitwise oracle for cache-on serving — with
+     * churn quiesced and patchCacheOnInsert off, a cache-on batch and
+     * this replay produce identical embeddings bit for bit.
+     */
+    void serveOneHubExact(std::uint64_t requestId, VertexId vertex,
+                          Feature *out);
+
     ServeStats stats() const;
 
   private:
     /** Preallocated per-consumer working state for forwardBatch. */
     struct ForwardScratch;
 
+    /** Layer-1 aggregation policy of one forward pass. */
+    enum class AggPolicy
+    {
+        /** Pure sampled estimate everywhere (the replay oracle). */
+        Sampled,
+        /** Hubs take the exact mean via the hot-vertex cache. */
+        HubExactCached,
+        /** Hubs take the exact mean, freshly gathered, cache bypassed
+            (the bitwise oracle for HubExactCached). */
+        HubExactUncached,
+    };
+
     std::unique_ptr<ForwardScratch> makeScratch(std::size_t maxBatch) const;
 
     /**
      * Sample + aggregate + layer-stack forward for @p n requests in
      * @p scratch.batch, writing each request's embedding row and
-     * latency. @p useCache routes admissible layer-1 destinations
-     * through the hot-vertex cache.
+     * latency. @p policy selects how admissible layer-1 destinations
+     * aggregate (see AggPolicy).
      */
     void forwardBatch(ForwardScratch &scratch, std::size_t n,
-                      bool useCache);
+                      AggPolicy policy);
+
+    /** Full-graph degree of @p v (overlay-aware). */
+    EdgeId
+    liveDegree(VertexId v) const
+    {
+        return overlay_ != nullptr ? overlay_->degree(v)
+                                   : graph_.degree(v);
+    }
+
+    /** Exact mean gather of @p v into @p dst (overlay-aware). */
+    void gatherFullMeanRow(VertexId v, Feature *dst) const;
+
+    /** Re-derive the auto admission threshold from live degrees. */
+    void refreshHotThreshold() GRAPHITE_REQUIRES(updateMutex_);
+
+    /** Shared compaction body (updates + oracle excluded by caller). */
+    void compactLocked() GRAPHITE_REQUIRES(updateMutex_);
 
     const CsrGraph &graph_;
+    /** Overlay in dynamic mode, nullptr when serving a frozen CSR. */
+    DeltaCsr *overlay_ = nullptr;
     const DenseMatrix &features_;
     std::vector<GnnLayer *> layers_;
     ServeConfig config_;
-    EdgeId hotDegreeThreshold_;
+    std::atomic<EdgeId> hotDegreeThreshold_;
     RequestQueue queue_;
     HotVertexCache cache_;
     std::unique_ptr<ForwardScratch> scratch_;       ///< run()'s state
     std::unique_ptr<ForwardScratch> oracleScratch_; ///< serveOne's
     /** Serializes serveOne callers (one oracle scratch). */
     Mutex oracleMutex_;
+    /** Serializes insertEdge callers and compaction vs updates. */
+    mutable Mutex updateMutex_;
+    /** Live stats folded forward per accepted insert. */
+    IncrementalGraphStats liveStats_ GRAPHITE_GUARDED_BY(updateMutex_);
+    /** Reused by refreshHotThreshold (|V|, sized at construction). */
+    std::vector<EdgeId> degreeScratch_ GRAPHITE_GUARDED_BY(updateMutex_);
+    /** Accepted inserts since the last threshold refresh. */
+    std::size_t insertsSinceRefresh_ GRAPHITE_GUARDED_BY(updateMutex_) = 0;
+    /** Set by requestCompaction, consumed by run() between batches. */
+    std::atomic<bool> compactionRequested_{false};
 
     std::atomic<std::uint64_t> requestsServed_{0};
     std::atomic<std::uint64_t> batchesServed_{0};
     std::atomic<std::uint64_t> bytesGathered_{0};
+    std::atomic<std::uint64_t> edgeInserts_{0};
+    std::atomic<std::uint64_t> compactions_{0};
 };
 
 } // namespace graphite::serve

@@ -18,8 +18,20 @@ namespace graphite {
 /** out[r, :] += bias for every row. */
 void addBias(DenseMatrix &out, std::span<const Feature> bias);
 
+/**
+ * addBias without the thread pool, for callers that must stay serial
+ * on the calling thread. The inference server runs forward passes
+ * concurrently (consumer loop vs serveOne oracle callers), and
+ * ThreadPool::runOnAll must never be entered from two threads at
+ * once — the pool-backed addBias would do exactly that.
+ */
+void addBiasSerial(DenseMatrix &out, std::span<const Feature> bias);
+
 /** In-place ReLU: x = max(x, 0). The paper's activation (Table 2). */
 void reluForward(DenseMatrix &x);
+
+/** reluForward without the thread pool (see addBiasSerial). */
+void reluForwardSerial(DenseMatrix &x);
 
 /**
  * ReLU backward: grad[r, c] = 0 wherever activated[r, c] == 0.

@@ -18,7 +18,10 @@
 #include <vector>
 
 #include "common/alloc_guard.h"
+#include "common/rng.h"
+#include "graph/delta_csr.h"
 #include "graph/generators.h"
+#include "graph/graph_builder.h"
 #include "obs/metrics.h"
 #include "sampling/neighbor_sampler.h"
 #include "serve/hot_vertex_cache.h"
@@ -547,6 +550,203 @@ TEST(InferenceServer, SteadyStateServingIsAllocFreeBf16)
     expectAllocFreeServing(Precision::Bf16);
 }
 
+// ------------------------------------------------------------------
+// Disabled-cache stats (regression: lookup counted misses while
+// disabled, so cache-off A/B legs reported a fake 0% hit rate)
+// ------------------------------------------------------------------
+
+TEST(HotVertexCache, DisabledLookupTouchesNoStats)
+{
+    HotVertexCache cache(0, 4, 4, 0);
+    Feature out[4] = {};
+    for (VertexId v = 0; v < 100; ++v)
+        EXPECT_FALSE(cache.lookup(v, out));
+    const auto stats = cache.stats();
+    EXPECT_EQ(stats.hits, 0u);
+    EXPECT_EQ(stats.misses, 0u)
+        << "a disabled cache must not report misses";
+    EXPECT_EQ(stats.puts, 0u);
+    EXPECT_EQ(stats.invalidations, 0u);
+}
+
+// ------------------------------------------------------------------
+// Invalidation / epoch protocol
+// ------------------------------------------------------------------
+
+TEST(HotVertexCache, InvalidateDropsRowAndRejectsStaleFills)
+{
+    HotVertexCache cache(8, 1, 2, 0);
+    const Feature row[2] = {1.0f, 2.0f};
+    Feature out[2] = {};
+    cache.put(7, row);
+    ASSERT_TRUE(cache.lookup(7, out));
+
+    // A fill snapshots the epoch before gathering; an invalidation in
+    // between must reject the (stale-adjacency) install.
+    const std::uint64_t preInsert = cache.fillEpoch(7);
+    EXPECT_TRUE(cache.invalidate(7));
+    EXPECT_FALSE(cache.lookup(7, out));
+    EXPECT_FALSE(cache.putIfFresh(7, row, preInsert))
+        << "a fill gathered before the invalidation must be rejected";
+    EXPECT_FALSE(cache.lookup(7, out));
+
+    // A fill gathered after the invalidation installs normally.
+    const std::uint64_t postInsert = cache.fillEpoch(7);
+    EXPECT_TRUE(cache.putIfFresh(7, row, postInsert));
+    ASSERT_TRUE(cache.lookup(7, out));
+    EXPECT_EQ(0, std::memcmp(row, out, sizeof(row)));
+
+    // Invalidating a non-resident vertex still bumps the epoch (it
+    // must fence in-flight fills of not-yet-resident vertices).
+    const std::uint64_t epoch = cache.fillEpoch(1234);
+    EXPECT_FALSE(cache.invalidate(1234));
+    EXPECT_NE(cache.fillEpoch(1234), epoch);
+    EXPECT_GE(cache.stats().invalidations, 2u);
+}
+
+TEST(HotVertexCache, PatchMeanRowAppliesExactMeanUpdate)
+{
+    HotVertexCache cache(4, 1, 3, 0);
+    // Cached row = mean of (self + 2 neighbors) => oldDegree = 2.
+    const Feature cached[3] = {3.0f, 6.0f, 9.0f};
+    const Feature added[3] = {7.0f, 11.0f, 1.0f};
+    cache.put(5, cached);
+    const std::uint64_t epoch = cache.fillEpoch(5);
+    EXPECT_TRUE(cache.patchMeanRow(5, added, 2));
+    Feature out[3] = {};
+    ASSERT_TRUE(cache.lookup(5, out));
+    for (std::size_t c = 0; c < 3; ++c) {
+        const float expect = (cached[c] * 3.0f + added[c]) / 4.0f;
+        EXPECT_FLOAT_EQ(out[c], expect);
+    }
+    // The patch bumps the epoch too: a concurrent stale fill must not
+    // overwrite the patched row.
+    EXPECT_FALSE(cache.putIfFresh(5, cached, epoch));
+    // Non-resident vertices are not patched.
+    EXPECT_FALSE(cache.patchMeanRow(99, added, 4));
+}
+
+// ------------------------------------------------------------------
+// rehashShard tombstone purge (tombstones * 4 > table.size())
+// ------------------------------------------------------------------
+
+TEST(HotVertexCache, RehashPurgesTombstonesAndKeepsResidents)
+{
+    // One shard, 8 slots -> table of 16 cells; the purge triggers once
+    // tombstones exceed 4. Drive put/invalidate churn far past that
+    // and verify the index never loses a resident and probes always
+    // terminate (an un-purged table would fill with tombstones and
+    // findSlot would spin).
+    HotVertexCache cache(8, 1, 2, 0);
+    Feature row[2];
+    Feature out[2];
+    std::vector<VertexId> resident;
+    for (int round = 0; round < 200; ++round) {
+        // Install a fresh generation of 8 residents.
+        resident.clear();
+        for (VertexId k = 0; k < 8; ++k) {
+            const auto v = static_cast<VertexId>(round * 8 + k);
+            row[0] = static_cast<Feature>(v);
+            row[1] = static_cast<Feature>(round);
+            cache.put(v, row);
+            resident.push_back(v);
+        }
+        // Invalidate half of them (tombstoning the index each time).
+        for (std::size_t i = 0; i < resident.size(); i += 2)
+            EXPECT_TRUE(cache.invalidate(resident[i]));
+        // The surviving half must still hit with intact rows.
+        for (std::size_t i = 1; i < resident.size(); i += 2) {
+            ASSERT_TRUE(cache.lookup(resident[i], out))
+                << "round " << round << ": resident "
+                << resident[i] << " lost";
+            EXPECT_EQ(out[0], static_cast<Feature>(resident[i]));
+            EXPECT_EQ(out[1], static_cast<Feature>(round));
+        }
+        // And the invalidated half must stay gone.
+        for (std::size_t i = 0; i < resident.size(); i += 2)
+            EXPECT_FALSE(cache.lookup(resident[i], out));
+    }
+    // 200 rounds x 4 invalidations churned far past the purge budget
+    // of one 16-cell table; survival of the loop proves the purge ran.
+    EXPECT_EQ(cache.stats().invalidations, 200u * 4u);
+}
+
+TEST(HotVertexCache, ClearDropsEverythingAndBumpsEpochs)
+{
+    HotVertexCache cache(16, 4, 2, 0);
+    Feature row[2] = {1.0f, 2.0f};
+    Feature out[2];
+    for (VertexId v = 0; v < 16; ++v)
+        cache.put(v, row);
+    const std::uint64_t epoch = cache.fillEpoch(3);
+    cache.clear();
+    for (VertexId v = 0; v < 16; ++v)
+        EXPECT_FALSE(cache.lookup(v, out));
+    EXPECT_NE(cache.fillEpoch(3), epoch);
+    EXPECT_FALSE(cache.putIfFresh(3, row, epoch))
+        << "fills gathered before clear() must be rejected";
+    // The cache stays fully usable after the flush.
+    cache.put(3, row);
+    EXPECT_TRUE(cache.lookup(3, out));
+}
+
+// ------------------------------------------------------------------
+// Load-gen percentile convention (regression: q*(n-1) half-up
+// rounding disagreed with MetricsRegistry::estimateQuantile)
+// ------------------------------------------------------------------
+
+TEST(LoadGen, ExactPercentileUsesNearestRank)
+{
+    // Nearest rank: the ceil(q*n)-th smallest, clamped to [1, n].
+    std::vector<double> v = {40.0, 10.0, 30.0, 20.0};
+    EXPECT_EQ(serve::exactPercentile(v, 0.50), 20.0)
+        << "rank ceil(0.5*4)=2 -> second smallest (the old half-up "
+           "rounding of q*(n-1) picked the third)";
+    EXPECT_EQ(serve::exactPercentile(v, 0.25), 10.0);
+    EXPECT_EQ(serve::exactPercentile(v, 0.51), 30.0);
+    EXPECT_EQ(serve::exactPercentile(v, 0.75), 30.0);
+    EXPECT_EQ(serve::exactPercentile(v, 1.0), 40.0);
+    EXPECT_EQ(serve::exactPercentile(v, 0.0), 10.0)
+        << "rank clamps to 1: q=0 is the smallest sample";
+    std::vector<double> empty;
+    EXPECT_EQ(serve::exactPercentile(empty, 0.5), 0.0);
+
+    // Rank agreement with estimateQuantile's convention on 1..n (value
+    // == its rank, so the selected value IS the selected rank).
+    std::vector<double> ranks(100);
+    for (std::size_t i = 0; i < ranks.size(); ++i)
+        ranks[i] = static_cast<double>(i + 1);
+    for (const double q : {0.01, 0.5, 0.9, 0.99, 0.999}) {
+        const double exact = q * 100.0;
+        double want = std::ceil(exact);
+        if (want < 1.0)
+            want = 1.0;
+        std::vector<double> shuffled = ranks;
+        EXPECT_EQ(serve::exactPercentile(shuffled, q), want)
+            << "q = " << q;
+    }
+}
+
+TEST(LoadGen, ExactPercentileAgreesWithHistogramOnDegenerateBuckets)
+{
+    // All samples equal: the histogram estimate clamps to [min, max]
+    // and becomes exact, so the two quantile paths must coincide.
+    const std::uint64_t value = 96;
+    std::vector<std::uint64_t> buckets(64, 0);
+    std::size_t width = 0;
+    for (std::uint64_t x = value; x > 0; x >>= 1)
+        ++width;
+    buckets[width] = 10;
+    std::vector<double> samples(10, static_cast<double>(value));
+    for (const double q : {0.5, 0.9, 0.99}) {
+        EXPECT_EQ(obs::estimateQuantile(buckets, 10, value, value, q),
+                  static_cast<double>(value));
+        std::vector<double> scratch = samples;
+        EXPECT_EQ(serve::exactPercentile(scratch, q),
+                  static_cast<double>(value));
+    }
+}
+
 TEST(InferenceServer, LoadGeneratorReportsSaneNumbers)
 {
     const CsrGraph graph = testGraph();
@@ -572,6 +772,332 @@ TEST(InferenceServer, LoadGeneratorReportsSaneNumbers)
     EXPECT_LE(report.cacheHitRate, 1.0);
     EXPECT_GT(report.bytesGathered, 0u);
     EXPECT_EQ(report.accepted + report.dropped, 500u);
+}
+
+// ------------------------------------------------------------------
+// Dynamic-graph serving (delta-CSR overlay, DESIGN.md §14)
+// ------------------------------------------------------------------
+
+/** Spin until @p server has served at least @p target requests. */
+void
+waitServed(InferenceServer &server, std::uint64_t target)
+{
+    while (server.stats().requestsServed < target)
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+}
+
+TEST(DynamicServing, CacheOnMatchesHubExactOracleUnderChurn)
+{
+    // Rounds of edge inserts interleaved with served batches: after
+    // every round, each cache-enabled served embedding must match the
+    // cache-bypassed hub-exact forward on the same overlay bitwise —
+    // the invalidation protocol's acceptance contract.
+    DeltaCsr overlay(generateBarabasiAlbert(800, 6, 42), 4096);
+    DenseMatrix features(overlay.numVertices(), 16);
+    features.fillUniform(0.0f, 1.0f, 7);
+    TestModel model(16);
+    ServeConfig config;
+    config.fanouts = {5, 5};
+    config.maxBatch = 16;
+    config.latencyBudgetUs = 500;
+    config.hotCacheCapacity = 64;
+    InferenceServer server(overlay, features, model.layers(), config);
+
+    std::thread consumer([&server] { server.run(); });
+    Rng rng(17);
+    std::vector<Feature> replay(server.outFeatures());
+    DenseMatrix served(16, server.outFeatures());
+    std::uint64_t servedSoFar = 0;
+    for (int round = 0; round < 6; ++round) {
+        // Churn: 40 accepted inserts through the server's update path.
+        for (int i = 0; i < 40;) {
+            const auto src = static_cast<VertexId>(rng.next() % 800);
+            const auto dst = static_cast<VertexId>(rng.next() % 800);
+            if (server.insertEdge(src, dst) == DeltaCsr::AddEdge::Added)
+                ++i;
+        }
+        // Serve one batch of hub-heavy requests.
+        for (std::uint64_t i = 0; i < 16; ++i) {
+            InferenceRequest req = makeRequest(
+                round * 16 + i, static_cast<VertexId>((i * 3) % 48));
+            req.out = served.row(i);
+            while (!server.queue().push(req))
+                std::this_thread::sleep_for(
+                    std::chrono::microseconds(50));
+        }
+        servedSoFar += 16;
+        waitServed(server, servedSoFar);
+        // Churn is quiesced: replay each request against the
+        // cache-bypassed oracle on the same overlay.
+        for (std::uint64_t i = 0; i < 16; ++i) {
+            server.serveOneHubExact(round * 16 + i,
+                                    static_cast<VertexId>((i * 3) % 48),
+                                    replay.data());
+            EXPECT_EQ(0,
+                      std::memcmp(served.row(i), replay.data(),
+                                  replay.size() * sizeof(Feature)))
+                << "round " << round << " request " << i
+                << ": cache-on serving diverged from the hub-exact "
+                   "oracle after inserts";
+        }
+        servedSoFar += 16; // the replays count as served requests
+    }
+    server.queue().close();
+    consumer.join();
+    const serve::ServeStats stats = server.stats();
+    EXPECT_EQ(stats.edgeInserts, 240u);
+    EXPECT_GT(stats.cache.invalidations, 0u)
+        << "inserts on cached hubs must invalidate";
+    EXPECT_EQ(overlay.validate(), nullptr);
+    EXPECT_EQ(overlay.deltaEdges(), 240u);
+}
+
+TEST(DynamicServing, PostCompactionMatchesFreshServerBitwise)
+{
+    const VertexId n = 600;
+    DeltaCsr overlay(generateBarabasiAlbert(n, 5, 21), 2048);
+    // Mirror every edge (base + inserted) into a from-scratch builder.
+    GraphBuilder builder(n);
+    for (VertexId v = 0; v < n; ++v)
+        for (const VertexId u : overlay.baseNeighbors(v))
+            builder.addEdge(v, u);
+
+    DenseMatrix features(n, 16);
+    features.fillUniform(0.0f, 1.0f, 8);
+    TestModel model(16);
+    ServeConfig config;
+    config.fanouts = {5, 5};
+    config.maxBatch = 16;
+    config.hotCacheCapacity = 64;
+    // Pin the admission threshold: the overlay server resolved its
+    // auto threshold on pre-insert degrees, a fresh server would
+    // resolve on post-insert degrees — pinning makes hub admission
+    // identical so the policies compare bitwise.
+    config.hotCacheMinDegree = 20;
+    InferenceServer server(overlay, features, model.layers(), config);
+
+    Rng rng(29);
+    for (int i = 0; i < 700;) {
+        const auto src = static_cast<VertexId>(rng.next() % n);
+        const auto dst = static_cast<VertexId>(rng.next() % n);
+        if (server.insertEdge(src, dst) == DeltaCsr::AddEdge::Added) {
+            builder.addEdge(src, dst);
+            ++i;
+        }
+    }
+    // Consumer idle -> compactNow is legal.
+    server.compactNow();
+    EXPECT_EQ(server.stats().compactions, 1u);
+    EXPECT_EQ(overlay.deltaEdges(), 0u);
+
+    const CsrGraph fresh = builder.build();
+    TestModel freshModel(16);
+    InferenceServer freshServer(fresh, features, freshModel.layers(),
+                                config);
+
+    std::vector<Feature> a(server.outFeatures());
+    std::vector<Feature> b(server.outFeatures());
+    for (std::uint64_t id = 0; id < 40; ++id) {
+        const auto v = static_cast<VertexId>((id * 13) % n);
+        server.serveOne(id, v, a.data());
+        freshServer.serveOne(id, v, b.data());
+        EXPECT_EQ(0, std::memcmp(a.data(), b.data(),
+                                 a.size() * sizeof(Feature)))
+            << "sampled replay " << id
+            << " differs between compacted overlay and fresh build";
+        server.serveOneHubExact(id, v, a.data());
+        freshServer.serveOneHubExact(id, v, b.data());
+        EXPECT_EQ(0, std::memcmp(a.data(), b.data(),
+                                 a.size() * sizeof(Feature)))
+            << "hub-exact replay " << id
+            << " differs between compacted overlay and fresh build";
+    }
+    EXPECT_EQ(0,
+              std::memcmp(overlay.base().colIdx().data(),
+                          fresh.colIdx().data(),
+                          fresh.colIdx().size() * sizeof(VertexId)))
+        << "compacted adjacency must equal the from-scratch build";
+}
+
+TEST(DynamicServing, ThresholdRefreshTracksGrowingHubs)
+{
+    // Base degrees: v0=6, v1=5, v2=4, v3..v9 = 1. Auto threshold with
+    // capacity 2: max(3rd-largest degree, ceil-avg+1, maxFanout+1).
+    GraphBuilder builder(10);
+    for (VertexId u = 1; u <= 6; ++u)
+        builder.addEdge(0, u);
+    for (VertexId u = 2; u <= 6; ++u)
+        builder.addEdge(1, u);
+    for (VertexId u = 3; u <= 6; ++u)
+        builder.addEdge(2, u);
+    for (VertexId v = 3; v < 10; ++v)
+        builder.addEdge(v, (v + 1) % 10);
+    DeltaCsr overlay(builder.build(), 64);
+
+    DenseMatrix features(10, 8);
+    features.fillUniform(0.0f, 1.0f, 9);
+    TestModel model(8);
+    ServeConfig config;
+    config.fanouts = {2, 2};
+    config.maxBatch = 4;
+    config.hotCacheCapacity = 2;
+    config.hotCacheShards = 1;
+    config.hotCacheMinDegree = 0;  // auto: refresh may move it
+    config.thresholdRefreshEvery = 1;
+    InferenceServer server(overlay, features, model.layers(), config);
+    const EdgeId initial = server.hotDegreeThreshold();
+    EXPECT_EQ(initial, 4u);
+
+    // Grow v3 from degree 1 to 9: the capacity-th largest degree rises
+    // to 5, and every accepted insert re-derives the threshold.
+    for (VertexId u = 0; u < 10; ++u) {
+        if (u == 3 || u == 4)
+            continue;
+        ASSERT_EQ(server.insertEdge(3, u), DeltaCsr::AddEdge::Added);
+    }
+    EXPECT_GE(server.hotDegreeThreshold(), 5u)
+        << "the admission gate must track hub growth";
+    EXPECT_GE(server.hotDegreeThreshold(), initial)
+        << "the refreshed threshold is clamped monotone";
+    const GraphStats live = server.liveGraphStats();
+    EXPECT_EQ(live.numEdges, overlay.numEdges());
+    EXPECT_EQ(live.maxDegree, 9u);
+}
+
+TEST(DynamicServing, ConcurrentChurnWhileServingStaysCoherent)
+{
+    // The TSan target of the bugfix sweep: producers push requests,
+    // an updater inserts edges and requests compactions, the consumer
+    // serves — all concurrently. Coherence checks: stats add up, the
+    // overlay validates, and every served embedding is finite.
+    DeltaCsr overlay(generateBarabasiAlbert(800, 6, 42), 8192);
+    DenseMatrix features(overlay.numVertices(), 16);
+    features.fillUniform(0.0f, 1.0f, 10);
+    TestModel model(16);
+    ServeConfig config;
+    config.fanouts = {5, 5};
+    config.maxBatch = 16;
+    config.latencyBudgetUs = 100;
+    config.hotCacheCapacity = 64;
+    config.thresholdRefreshEvery = 64;
+    InferenceServer server(overlay, features, model.layers(), config);
+    server.warmup();
+
+    constexpr std::size_t kRequests = 512;
+    DenseMatrix served(kRequests, server.outFeatures());
+    std::thread consumer([&server] { server.run(); });
+    std::atomic<std::uint64_t> inserted{0};
+    std::thread updater([&server, &inserted] {
+        Rng rng(31);
+        for (int i = 0; i < 1500; ++i) {
+            const auto src = static_cast<VertexId>(rng.next() % 800);
+            const auto dst = static_cast<VertexId>(rng.next() % 800);
+            if (server.insertEdge(src, dst) ==
+                DeltaCsr::AddEdge::Added)
+                inserted.fetch_add(1, std::memory_order_relaxed);
+            if (i % 400 == 399)
+                server.requestCompaction();
+        }
+    });
+    std::thread oracle([&server] {
+        std::vector<Feature> out(server.outFeatures());
+        for (std::uint64_t id = 0; id < 200; ++id)
+            server.serveOneHubExact(1'000'000 + id,
+                                    static_cast<VertexId>(id % 64),
+                                    out.data());
+    });
+    for (std::size_t i = 0; i < kRequests; ++i) {
+        InferenceRequest req = makeRequest(
+            i, static_cast<VertexId>((i * 7) % 800));
+        req.out = served.row(i);
+        while (!server.queue().push(req))
+            std::this_thread::sleep_for(std::chrono::microseconds(50));
+    }
+    updater.join();
+    oracle.join();
+    server.queue().close();
+    consumer.join();
+
+    const serve::ServeStats stats = server.stats();
+    EXPECT_EQ(stats.edgeInserts, inserted.load());
+    EXPECT_GE(stats.requestsServed, kRequests);
+    EXPECT_EQ(overlay.validate(), nullptr);
+    for (std::size_t i = 0; i < kRequests; ++i)
+        for (std::size_t c = 0; c < server.outFeatures(); ++c)
+            ASSERT_TRUE(std::isfinite(served.row(i)[c]))
+                << "request " << i << " col " << c;
+    const GraphStats live = server.liveGraphStats();
+    EXPECT_EQ(live.numEdges, overlay.numEdges());
+}
+
+TEST(DynamicServing, SteadyStateChurnServingIsAllocFree)
+{
+    if (!ScopedAllocGuard::interpositionActive())
+        GTEST_SKIP() << "interposer compiled out (GRAPHITE_CHECKS off)";
+    DeltaCsr overlay(generateBarabasiAlbert(800, 6, 42), 8192);
+    DenseMatrix features(overlay.numVertices(), 16);
+    features.fillUniform(0.0f, 1.0f, 12);
+    TestModel model(16);
+    ServeConfig config;
+    config.fanouts = {5, 5};
+    config.maxBatch = 16;
+    config.latencyBudgetUs = 50;
+    config.hotCacheCapacity = 64;
+    config.thresholdRefreshEvery = 32;
+    InferenceServer server(overlay, features, model.layers(), config);
+    obs::MetricsRegistry::global().setEnabled(true);
+    server.warmup();
+    // Warm the insert path (first counter registration, etc.).
+    Rng warmRng(41);
+    for (int i = 0; i < 8;) {
+        const auto src = static_cast<VertexId>(warmRng.next() % 800);
+        const auto dst = static_cast<VertexId>(warmRng.next() % 800);
+        if (server.insertEdge(src, dst) == DeltaCsr::AddEdge::Added)
+            ++i;
+    }
+
+    constexpr std::size_t kRequests = 128;
+    DenseMatrix served(kRequests, server.outFeatures());
+    for (std::size_t i = 0; i < kRequests; ++i) {
+        InferenceRequest req = makeRequest(
+            i, static_cast<VertexId>((i * 13) % 800));
+        req.out = served.row(i);
+        ASSERT_TRUE(server.queue().push(req));
+    }
+    server.queue().close();
+    // Spawn the updater before the guard (thread creation allocates);
+    // it waits for the start flag so its inserts land inside the
+    // guarded region, concurrent with the serving drain.
+    std::atomic<bool> start{false};
+    std::atomic<bool> done{false};
+    std::thread updater([&server, &start, &done] {
+        while (!start.load(std::memory_order_acquire))
+            std::this_thread::yield();
+        Rng rng(43);
+        for (int i = 0; i < 256;) {
+            const auto src = static_cast<VertexId>(rng.next() % 800);
+            const auto dst = static_cast<VertexId>(rng.next() % 800);
+            if (server.insertEdge(src, dst) ==
+                DeltaCsr::AddEdge::Added)
+                ++i;
+        }
+        done.store(true, std::memory_order_release);
+    });
+    {
+        ScopedAllocGuard guard("churn serve steady state");
+        start.store(true, std::memory_order_release);
+        server.run();
+        while (!done.load(std::memory_order_acquire))
+            std::this_thread::yield();
+        if (ScopedAllocGuard::interpositionActive()) {
+            EXPECT_EQ(guard.allocations(), 0u)
+                << "insert+serve steady state allocated after warmup";
+        }
+    }
+    updater.join();
+    obs::MetricsRegistry::global().setEnabled(false);
+    EXPECT_GE(server.stats().requestsServed, kRequests);
+    EXPECT_EQ(server.stats().edgeInserts, 256u + 8u);
 }
 
 } // namespace
